@@ -1,0 +1,68 @@
+// Ablation — PDPA's two contributions in isolation (DESIGN.md §5).
+//
+// The paper claims the processor-allocation policy and the coordinated
+// multiprogramming-level policy are "orthogonal and complementary". This
+// harness runs workload 3 (the ML-sensitive one) under:
+//   * Equipartition             — neither contribution
+//   * PDPA-alloc-only           — PDPA allocation, fixed ML=4 (coordination off)
+//   * PDPA (full)               — both
+// Expected: alloc-only yields the best execution times (apsi no longer
+// steals processors from bt) but *worse* response times than Equipartition
+// (the freed processors sit idle at the fixed ML); the response-time
+// collapse only happens once the coordinated ML rule admits queued jobs
+// into that idle capacity.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pdpa {
+namespace {
+
+void Run() {
+  std::printf("=== Ablation: allocation policy vs ML coordination (w3) ===\n\n");
+  for (double load : {0.6, 1.0}) {
+    std::printf("--- load = %.0f%%, untuned requests ---\n", load * 100);
+    std::printf("%-16s | %19s | %19s | %12s | %6s\n", "variant", "bt resp/exec (s)",
+                "apsi resp/exec (s)", "makespan (s)", "max ml");
+    struct Variant {
+      const char* name;
+      PolicyKind policy;
+      bool coordinated;
+    };
+    const Variant variants[] = {
+        {"Equip", PolicyKind::kEquipartition, true},
+        {"PDPA alloc-only", PolicyKind::kPdpa, false},
+        {"PDPA full", PolicyKind::kPdpa, true},
+    };
+    for (const Variant& variant : variants) {
+      ExperimentConfig config = MakeConfig(WorkloadId::kW3, load, variant.policy);
+      config.untuned = true;
+      config.pdpa_coordinated_ml = variant.coordinated;
+      const ExperimentResult r = RunExperiment(config);
+      const ClassMetrics bt = r.metrics.per_class.count(AppClass::kBt)
+                                  ? r.metrics.per_class.at(AppClass::kBt)
+                                  : ClassMetrics{};
+      const ClassMetrics apsi = r.metrics.per_class.count(AppClass::kApsi)
+                                    ? r.metrics.per_class.at(AppClass::kApsi)
+                                    : ClassMetrics{};
+      std::printf("%-16s | %8.0f / %8.0f | %8.0f / %8.0f | %12.0f | %6d\n", variant.name,
+                  bt.avg_response_s, bt.avg_exec_s, apsi.avg_response_s, apsi.avg_exec_s,
+                  r.metrics.makespan_s, r.max_ml);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: alloc-only trims apsi to its useful size, which shows up as\n"
+      "the best bt execution times — but with a fixed ML the freed processors\n"
+      "just sit idle and response times get WORSE than Equipartition. Only\n"
+      "the coordinated ML rule turns the freed capacity into admitted jobs\n"
+      "and collapses response times: the two contributions need each other.\n");
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main() {
+  pdpa::Run();
+  return 0;
+}

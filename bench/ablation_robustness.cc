@@ -1,0 +1,80 @@
+// Ablation — robustness of PDPA to its remaining knobs and to the
+// environment (DESIGN.md §5):
+//   * measurement noise (SelfAnalyzer timer jitter / interference),
+//   * the allocation step size,
+//   * the cost of reallocation (reconfiguration freeze).
+// The paper argues PDPA's convergence gives it robustness that reactive
+// policies (Equal_efficiency) lack; the noise sweep quantifies that claim.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pdpa {
+namespace {
+
+double MeanResponse(const ExperimentResult& r) {
+  double total = 0.0;
+  int jobs = 0;
+  for (const auto& [app_class, m] : r.metrics.per_class) {
+    total += m.avg_response_s * m.count;
+    jobs += m.count;
+  }
+  return jobs > 0 ? total / jobs : 0.0;
+}
+
+void Run() {
+  std::printf("=== Ablation: robustness sweeps (w2, load = 100%%) ===\n\n");
+
+  std::printf("-- measurement noise sigma (PDPA vs Equal_efficiency mean response, s) --\n");
+  std::printf("%-8s %12s %12s\n", "sigma", "PDPA", "Equal_eff");
+  for (double sigma : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+    double resp[2] = {0, 0};
+    int i = 0;
+    for (PolicyKind policy : {PolicyKind::kPdpa, PolicyKind::kEqualEfficiency}) {
+      ExperimentConfig config = MakeConfig(WorkloadId::kW2, 1.0, policy);
+      config.rm.analyzer.noise_sigma = sigma;
+      resp[i++] = MeanResponse(RunExperiment(config));
+    }
+    std::printf("%-8.2f %12.1f %12.1f\n", sigma, resp[0], resp[1]);
+  }
+
+  std::printf("\n-- PDPA step size (search granularity) --\n");
+  std::printf("%-8s %12s %14s %15s\n", "step", "mean resp", "makespan (s)", "reallocations");
+  for (int step : {1, 2, 4, 8, 16}) {
+    ExperimentConfig config = MakeConfig(WorkloadId::kW2, 1.0, PolicyKind::kPdpa);
+    config.pdpa.step = step;
+    const ExperimentResult r = RunExperiment(config);
+    std::printf("%-8d %12.1f %14.1f %15lld\n", step, MeanResponse(r), r.metrics.makespan_s,
+                r.reallocations);
+  }
+
+  std::printf("\n-- reconfiguration freeze (cost per reallocation, ms) --\n");
+  std::printf("%-8s %12s %12s %12s\n", "ms", "PDPA", "Equal_eff", "Dynamic");
+  for (double freeze_ms : {0.0, 30.0, 100.0, 300.0}) {
+    double resp[3] = {0, 0, 0};
+    int i = 0;
+    for (PolicyKind policy :
+         {PolicyKind::kPdpa, PolicyKind::kEqualEfficiency, PolicyKind::kMcCannDynamic}) {
+      ExperimentConfig config = MakeConfig(WorkloadId::kW2, 1.0, policy);
+      config.rm.app_costs.reconfig_freeze = MillisToTime(freeze_ms);
+      resp[i++] = MeanResponse(RunExperiment(config));
+    }
+    std::printf("%-8.0f %12.1f %12.1f %12.1f\n", freeze_ms, resp[0], resp[1], resp[2]);
+  }
+  std::printf(
+      "\nReading: PDPA absorbs realistic measurement noise (<=5%%) and is nearly\n"
+      "immune to the reallocation cost (it converges and holds), while the\n"
+      "reactive policies pay for every reallocation. The flip side of\n"
+      "convergence shows at extreme noise (20%%): PDPA can lock in a wrong\n"
+      "decision (anti-ping-pong limit) where the constantly-reacting\n"
+      "Equal_efficiency averages errors out. Small steps search slowly; huge\n"
+      "steps overshoot: the paper's step=4 sits at the sweet spot.\n");
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main() {
+  pdpa::Run();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 3 — Speedup curves of the four applications (swim, bt.A, hydro2d,
+// apsi). Prints speedup and efficiency for 1..32 processors.
+#include <cstdio>
+
+#include "src/app/app_profile.h"
+
+namespace pdpa {
+namespace {
+
+void Run() {
+  const AppProfile profiles[] = {MakeSwimProfile(), MakeBtProfile(), MakeHydro2dProfile(),
+                                 MakeApsiProfile()};
+  std::printf("=== Fig. 3: speedup curves (speedup | efficiency) ===\n");
+  std::printf("%5s", "P");
+  for (const AppProfile& p : profiles) {
+    std::printf(" | %18s", p.name.c_str());
+  }
+  std::printf("\n");
+  const int procs[] = {1, 2, 4, 8, 12, 16, 20, 24, 28, 30, 32};
+  for (int p : procs) {
+    std::printf("%5d", p);
+    for (const AppProfile& profile : profiles) {
+      const double s = profile.speedup->SpeedupAt(p);
+      std::printf(" | %8.2f  (%5.2f) ", s, s / p);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShapes to check against the paper:\n");
+  std::printf("  swim    superlinear (eff > 1) through ~30 CPUs, knee at 16\n");
+  std::printf("  bt.A    good scalability, eff ~0.85 at 20, ~0.70 at 30\n");
+  std::printf("  hydro2d medium, saturates around 10-12 CPUs\n");
+  std::printf("  apsi    no scaling beyond 2 CPUs\n");
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main() {
+  pdpa::Run();
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fig. 4 — Workload 1 (50% swim, 50% bt): average response and execution
+// times versus machine load under IRIX, Equipartition, Equal_efficiency and
+// PDPA.
+//
+// Expected shape (paper): Equip best by a small margin, PDPA within
+// ~10-30%, both far ahead of IRIX and Equal_efficiency.
+#include "bench/bench_util.h"
+
+int main() {
+  pdpa::RunFigureGrid("Fig. 4: workload 1 (swim + bt)", pdpa::WorkloadId::kW1,
+                      {pdpa::AppClass::kSwim, pdpa::AppClass::kBt});
+  return 0;
+}

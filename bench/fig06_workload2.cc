@@ -1,0 +1,13 @@
+// Fig. 6 — Workload 2 (50% bt, 50% hydro2d): average response and execution
+// times versus machine load.
+//
+// Expected shape (paper): PDPA beats Equip on bt (~10%) by splitting the
+// machine 20/9 instead of 15/15; Equip beats PDPA on hydro2d (20-30%); both
+// far ahead of IRIX and Equal_efficiency.
+#include "bench/bench_util.h"
+
+int main() {
+  pdpa::RunFigureGrid("Fig. 6: workload 2 (bt + hydro2d)", pdpa::WorkloadId::kW2,
+                      {pdpa::AppClass::kBt, pdpa::AppClass::kHydro2d});
+  return 0;
+}

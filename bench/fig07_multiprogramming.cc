@@ -1,0 +1,47 @@
+// Fig. 7 — Workload 2 executed with initial multiprogramming levels 2, 3
+// and 4 under Equipartition and PDPA, across loads.
+//
+// Expected shape (paper): Equipartition's results depend strongly on the ML
+// the administrator picked (ML=2 gives each job its full request: good
+// execution times, terrible response times); PDPA is robust — it detects
+// the right ML on its own, so all three settings converge.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pdpa {
+namespace {
+
+void Run() {
+  std::printf("=== Fig. 7: workload 2 with multiprogramming level 2, 3, 4 ===\n\n");
+  for (double load : {0.8, 1.0}) {
+    std::printf("--- load = %.0f%% ---\n", load * 100);
+    std::printf("%-8s %-4s | %21s | %21s | %9s | %6s\n", "policy", "ml", "bt resp/exec (s)",
+                "hydro2d resp/exec (s)", "makespan", "max ml");
+    for (PolicyKind policy : {PolicyKind::kEquipartition, PolicyKind::kPdpa}) {
+      for (int ml : {2, 3, 4}) {
+        ExperimentConfig config = MakeConfig(WorkloadId::kW2, load, policy);
+        config.multiprogramming_level = ml;
+        const ExperimentResult r = RunExperiment(config);
+        const ClassMetrics bt = r.metrics.per_class.count(AppClass::kBt)
+                                    ? r.metrics.per_class.at(AppClass::kBt)
+                                    : ClassMetrics{};
+        const ClassMetrics hy = r.metrics.per_class.count(AppClass::kHydro2d)
+                                    ? r.metrics.per_class.at(AppClass::kHydro2d)
+                                    : ClassMetrics{};
+        std::printf("%-8s %-4d | %9.1f / %9.1f | %9.1f / %9.1f | %9.1f | %6d\n",
+                    PolicyKindName(policy), ml, bt.avg_response_s, bt.avg_exec_s,
+                    hy.avg_response_s, hy.avg_exec_s, r.metrics.makespan_s, r.max_ml);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main() {
+  pdpa::Run();
+  return 0;
+}

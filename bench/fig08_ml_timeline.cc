@@ -1,0 +1,53 @@
+// Fig. 8 — The multiprogramming level decided by PDPA over time (workload
+// 2, load = 100%). The fixed-ML baselines would show a flat line at 4; PDPA
+// adapts it to the running applications.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pdpa {
+namespace {
+
+void Run() {
+  std::printf("=== Fig. 8: multiprogramming level decided by PDPA (w2, load=100%%) ===\n\n");
+  ExperimentConfig config = MakeConfig(WorkloadId::kW2, 1.0, PolicyKind::kPdpa);
+  const ExperimentResult result = RunExperiment(config);
+
+  // Bucket the (time, ml) step function into 10-second bins (max within bin)
+  // and draw a horizontal bar chart.
+  const double end_s = result.metrics.makespan_s;
+  const double bin_s = 10.0;
+  const int bins = static_cast<int>(end_s / bin_s) + 1;
+  std::vector<int> ml_per_bin(static_cast<std::size_t>(bins), 0);
+  int current_ml = 0;
+  std::size_t idx = 0;
+  for (int b = 0; b < bins; ++b) {
+    const double t0 = b * bin_s;
+    const double t1 = t0 + bin_s;
+    int peak = current_ml;
+    while (idx < result.ml_timeline_s.size() && result.ml_timeline_s[idx].first < t1) {
+      current_ml = result.ml_timeline_s[idx].second;
+      peak = std::max(peak, current_ml);
+      ++idx;
+    }
+    ml_per_bin[static_cast<std::size_t>(b)] = peak;
+  }
+  for (int b = 0; b < bins; ++b) {
+    std::printf("%5.0fs |", b * bin_s);
+    for (int i = 0; i < ml_per_bin[static_cast<std::size_t>(b)]; ++i) {
+      std::printf("#");
+    }
+    std::printf(" %d\n", ml_per_bin[static_cast<std::size_t>(b)]);
+  }
+  std::printf("\npeak multiprogramming level: %d (paper: up to 6 on this workload)\n",
+              result.max_ml);
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main() {
+  pdpa::Run();
+  return 0;
+}

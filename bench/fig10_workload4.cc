@@ -1,0 +1,15 @@
+// Fig. 10 — Workload 4 (25% each of swim, bt, hydro2d, apsi): average
+// response and execution times versus machine load.
+//
+// Expected shape (paper): PDPA's response times are far ahead of every
+// baseline (high hundreds of percent versus Equal_efficiency), at a small
+// execution-time cost (1-16%); Equal_efficiency only matches PDPA's
+// execution times by spending 40-270% more processors.
+#include "bench/bench_util.h"
+
+int main() {
+  pdpa::RunFigureGrid("Fig. 10: workload 4 (all classes)", pdpa::WorkloadId::kW4,
+                      {pdpa::AppClass::kSwim, pdpa::AppClass::kBt, pdpa::AppClass::kHydro2d,
+                       pdpa::AppClass::kApsi});
+  return 0;
+}

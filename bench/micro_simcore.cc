@@ -1,0 +1,88 @@
+// Microbenchmarks (google-benchmark) for the simulation substrates: event
+// queue throughput, application progress integration, machine reallocation
+// and trace recording. These bound the cost of a full workload simulation.
+#include <benchmark/benchmark.h>
+
+#include "src/app/application.h"
+#include "src/machine/machine.h"
+#include "src/sim/event_queue.h"
+#include "src/trace/trace_recorder.h"
+#include "src/workload/experiment.h"
+
+namespace pdpa {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  EventQueue queue;
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 1;
+    queue.Schedule(now, [] {});
+    benchmark::DoNotOptimize(queue.RunNext());
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_ApplicationAdvanceTick(benchmark::State& state) {
+  Application app(0, MakeBtProfile());
+  app.SetAllocation(16, 0);
+  app.Start(0);
+  SimTime now = 0;
+  for (auto _ : state) {
+    app.Advance(now, 20 * kMillisecond);
+    now += 20 * kMillisecond;
+    if (app.finished()) {
+      state.PauseTiming();
+      app = Application(0, MakeBtProfile());
+      app.SetAllocation(16, now);
+      app.Start(now);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_ApplicationAdvanceTick);
+
+void BM_MachineReallocate(benchmark::State& state) {
+  Machine machine(60);
+  std::map<JobId, int> a = {{0, 30}, {1, 30}};
+  std::map<JobId, int> b = {{0, 15}, {1, 15}, {2, 15}, {3, 15}};
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.ApplyAllocation(flip ? a : b));
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_MachineReallocate);
+
+void BM_TraceRecorderHandoff(benchmark::State& state) {
+  TraceRecorder recorder(60);
+  SimTime now = 0;
+  int cpu = 0;
+  JobId job = 0;
+  for (auto _ : state) {
+    now += kMillisecond;
+    recorder.OnHandoff(now, CpuHandoff{cpu, kIdleJob, job});
+    recorder.OnHandoff(now + 1, CpuHandoff{cpu, job, kIdleJob});
+    cpu = (cpu + 1) % 60;
+    job = (job + 1) % 8;
+  }
+}
+BENCHMARK(BM_TraceRecorderHandoff);
+
+// End-to-end: one full workload simulation per iteration. This is the cost
+// of one cell in the figure grids.
+void BM_FullExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    ExperimentConfig config;
+    config.workload = WorkloadId::kW2;
+    config.load = 0.8;
+    config.policy = PolicyKind::kPdpa;
+    benchmark::DoNotOptimize(RunExperiment(config));
+  }
+}
+BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pdpa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 3 — Workload 3 with apsi submitted *untuned* (requesting 30
+// processors instead of 2), load = 60%: Equipartition versus PDPA.
+//
+// Expected shape (paper): Equipartition hands apsi the equal share it asked
+// for and burns it (response ~900 s for both classes); PDPA shrinks apsi to
+// the 1-2 CPUs it can use, raises the multiprogramming level into the
+// twenties, and improves response times ~10x at a single-digit execution
+// cost. Paper row: Equip 949/102 (bt), 890/107 (apsi), makespan 1993, ML 4;
+// PDPA 95/88, 107/98, makespan 427, ML 29.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pdpa {
+namespace {
+
+void Run() {
+  std::printf("=== Table 3: w3, apsi requesting 30 (not tuned), load = 60%% ===\n");
+  std::printf("%-8s | %19s | %19s | %12s | %6s\n", "policy", "bt resp/exec (s)",
+              "apsi resp/exec (s)", "makespan (s)", "max ml");
+  ClassMetrics equip_bt;
+  ClassMetrics pdpa_bt;
+  ClassMetrics equip_apsi;
+  ClassMetrics pdpa_apsi;
+  double equip_makespan = 0.0;
+  double pdpa_makespan = 0.0;
+  for (PolicyKind policy : {PolicyKind::kEquipartition, PolicyKind::kPdpa}) {
+    ExperimentConfig config = MakeConfig(WorkloadId::kW3, 0.6, policy);
+    config.untuned = true;
+    const ExperimentResult r = RunExperiment(config);
+    const ClassMetrics bt = r.metrics.per_class.count(AppClass::kBt)
+                                ? r.metrics.per_class.at(AppClass::kBt)
+                                : ClassMetrics{};
+    const ClassMetrics apsi = r.metrics.per_class.count(AppClass::kApsi)
+                                  ? r.metrics.per_class.at(AppClass::kApsi)
+                                  : ClassMetrics{};
+    std::printf("%-8s | %8.0f / %8.0f | %8.0f / %8.0f | %12.0f | %6d\n",
+                PolicyKindName(policy), bt.avg_response_s, bt.avg_exec_s, apsi.avg_response_s,
+                apsi.avg_exec_s, r.metrics.makespan_s, r.max_ml);
+    if (policy == PolicyKind::kEquipartition) {
+      equip_bt = bt;
+      equip_apsi = apsi;
+      equip_makespan = r.metrics.makespan_s;
+    } else {
+      pdpa_bt = bt;
+      pdpa_apsi = apsi;
+      pdpa_makespan = r.metrics.makespan_s;
+    }
+  }
+  std::printf("%-8s | %8.0f%% /%7.0f%% | %8.0f%% /%7.0f%% | %11.0f%% |\n", "Speedup",
+              100.0 * (equip_bt.avg_response_s / pdpa_bt.avg_response_s - 1.0),
+              100.0 * (equip_bt.avg_exec_s / pdpa_bt.avg_exec_s - 1.0),
+              100.0 * (equip_apsi.avg_response_s / pdpa_apsi.avg_response_s - 1.0),
+              100.0 * (equip_apsi.avg_exec_s / pdpa_apsi.avg_exec_s - 1.0),
+              100.0 * (equip_makespan / pdpa_makespan - 1.0));
+  std::printf("\npaper:   Equip 949/102, 890/107, 1993s, ML 4\n");
+  std::printf("         PDPA   95/88, 107/98,  427s, ML 29  (speedups 998%%/15%%, 831%%/9%%, 466%%)\n");
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main() {
+  pdpa::Run();
+  return 0;
+}

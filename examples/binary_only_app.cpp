@@ -1,0 +1,65 @@
+// Example: the "binary-only" path of the paper's runtime (Sec. 3.1).
+//
+// When source code is not available, SelfAnalyzer calls cannot be inserted
+// by the compiler: the runtime only sees the stream of parallel loops the
+// binary executes. The Dynamic Periodicity Detector discovers the outer
+// loop's period from that stream, and from then on the SelfTuner measures
+// iterations and PDPA manages the application exactly as in the
+// source-available case. This example runs one live application in that
+// mode and prints what the detector found.
+#include <cstdio>
+#include <memory>
+
+#include "src/rt/process_rm.h"
+
+namespace pdpa {
+namespace {
+
+void Run() {
+  std::printf("binary_only_app: DPD-driven self-tuning on live threads\n\n");
+
+  InProcessRm::Params params;
+  params.cpu_budget = 6;
+  params.quantum_ms = 20.0;
+  params.pdpa.step = 2;
+  params.pdpa.target_eff = 0.5;  // tolerant of timer noise on small hosts
+  InProcessRm rm(params);
+
+  // The "binary": 5 parallel loops per outer iteration, latency-bound and
+  // perfectly scalable. The runtime is NOT told where iterations start.
+  RtApplication::Options options;
+  options.loops_per_iteration = 5;
+  options.detect_iterations_with_dpd = true;
+  SelfTuner::Params tuner;
+  tuner.baseline_iterations = 1;
+  tuner.baseline_width = 1;
+  tuner.amdahl_factor = 1.0;
+  auto app = std::make_unique<RtApplication>(0, "opaque-binary",
+                                             std::make_unique<LatencyKernel>(50.0, 0.0, 1.0),
+                                             /*iterations=*/25, /*request=*/6, tuner, options);
+  RtApplication* raw = app.get();
+  rm.AddApplication(std::move(app));
+  rm.Run();
+
+  const PdpaAutomaton* automaton = rm.AutomatonFor(0);
+  std::printf("iterations executed:            %d\n", raw->completed_iterations());
+  std::printf("iteration boundaries detected:  %d (detector locks after ~3 periods)\n",
+              raw->detected_boundaries());
+  std::printf("baseline measured:              %s (%.1f ms per iteration on 1 worker)\n",
+              raw->tuner().baseline_done() ? "yes" : "no",
+              raw->tuner().baseline_seconds() * 1000.0);
+  std::printf("final PDPA state / allocation:  %s / %d workers\n",
+              PdpaStateName(automaton->state()), automaton->current_alloc());
+  std::printf(
+      "\nThe runtime never received explicit iteration marks: the periodicity\n"
+      "detector recovered them from the loop-address stream, which is what\n"
+      "lets PDPA manage applications shipped as opaque binaries.\n");
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main() {
+  pdpa::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Example: implementing your own scheduling policy against the public
+// SchedulingPolicy interface and racing it against PDPA.
+//
+// The custom policy here is "RequestFit": give every job exactly what it
+// asked for, admit a new job only when its full request fits (a classic
+// rigid space-sharing scheduler). It illustrates the fragmentation problem
+// the paper's Sec. 4.3 discusses: a 30-CPU request leaves 30 CPUs idle
+// when the next job also wants 30+.
+#include <cstdio>
+#include <memory>
+
+#include "src/qs/queuing_system.h"
+#include "src/sim/simulation.h"
+#include "src/workload/experiment.h"
+
+namespace pdpa {
+namespace {
+
+class RequestFit : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "RequestFit"; }
+
+  AllocationPlan OnJobStart(const PolicyContext& ctx, JobId job) override {
+    AllocationPlan plan;
+    for (const PolicyJobInfo& info : ctx.jobs) {
+      if (info.id == job) {
+        plan[job] = info.request;
+      }
+    }
+    return plan;
+  }
+
+  AllocationPlan OnJobFinish(const PolicyContext& ctx, JobId job) override {
+    (void)ctx;
+    (void)job;
+    return AllocationPlan{};
+  }
+
+  bool ShouldAdmit(const PolicyContext& ctx) const override {
+    // Rigid: the head-of-queue job needs its full request. The QS does not
+    // tell us the next request, so be conservative: require the largest
+    // possible request (30) to fit unless the machine is empty.
+    if (ctx.jobs.empty()) {
+      return true;
+    }
+    return ctx.free_cpus >= 30;
+  }
+};
+
+ExperimentResult RunWith(std::unique_ptr<SchedulingPolicy> policy,
+                         const std::vector<JobSpec>& jobs) {
+  Simulation sim;
+  ResourceManager::Params rm_params;
+  rm_params.num_cpus = 60;
+  ResourceManager rm(rm_params, std::move(policy), &sim, nullptr, Rng(1));
+  QueuingSystem qs(&sim, &rm, jobs);
+  rm.Start();
+  qs.Start();
+  SimTime horizon = 0;
+  while (!qs.AllJobsDone() && sim.now() < 4 * 3600 * kSecond) {
+    horizon += 60 * kSecond;
+    sim.RunUntil(horizon);
+  }
+  rm.Stop();
+  ExperimentResult result;
+  result.policy_name = "custom";
+  result.metrics = ComputeMetrics(qs.outcomes(), rm.alloc_integral_us());
+  result.max_ml = qs.max_ml();
+  return result;
+}
+
+void Run() {
+  std::printf(
+      "custom_policy: RequestFit (rigid) vs PDPA on workload w3 (untuned: apsi\n"
+      "asks for 30 CPUs it cannot use), load 100%%\n\n");
+  const std::vector<JobSpec> jobs =
+      BuildWorkload(WorkloadId::kW3, 1.0, /*seed=*/11, /*untuned=*/true);
+
+  const ExperimentResult rigid = RunWith(std::make_unique<RequestFit>(), jobs);
+
+  ExperimentConfig config;
+  config.workload = WorkloadId::kW3;
+  config.load = 1.0;
+  config.policy = PolicyKind::kPdpa;
+  config.seed = 11;
+  config.jobs_override = jobs;
+  const ExperimentResult pdpa = RunExperiment(config);
+
+  std::printf("%-12s %-10s %12s %12s\n", "policy", "class", "response(s)", "exec(s)");
+  for (const auto* result : {&rigid, &pdpa}) {
+    for (const auto& [app_class, metrics] : result->metrics.per_class) {
+      std::printf("%-12s %-10s %12.1f %12.1f\n",
+                  result == &rigid ? "RequestFit" : "PDPA", AppClassName(app_class),
+                  metrics.avg_response_s, metrics.avg_exec_s);
+    }
+  }
+  std::printf("\nmakespan: RequestFit %.0f s vs PDPA %.0f s\n", rigid.metrics.makespan_s,
+              pdpa.metrics.makespan_s);
+  std::printf(
+      "Rigid allocation honors every request, so untuned apsi jobs burn 30\n"
+      "CPUs for nothing and the queue explodes; PDPA measures, trims them to\n"
+      "1-2 CPUs, raises the multiprogramming level (%d vs %d) and wins.\n",
+      pdpa.max_ml, rigid.max_ml);
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main() {
+  pdpa::Run();
+  return 0;
+}

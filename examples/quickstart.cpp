@@ -1,0 +1,42 @@
+// Quickstart: run one workload under PDPA and Equipartition and compare the
+// per-class response/execution times — the library's 60-second tour.
+#include <cstdio>
+
+#include "src/workload/experiment.h"
+
+using pdpa::AppClassName;
+using pdpa::ExperimentConfig;
+using pdpa::ExperimentResult;
+using pdpa::PolicyKind;
+using pdpa::RunExperiment;
+using pdpa::WorkloadId;
+
+int main() {
+  std::printf("nanos-pdpa quickstart: workload w2 (bt + hydro2d), load 80%%\n\n");
+
+  for (PolicyKind policy : {PolicyKind::kEquipartition, PolicyKind::kPdpa}) {
+    ExperimentConfig config;
+    config.workload = WorkloadId::kW2;
+    config.load = 0.8;
+    config.policy = policy;
+    config.seed = 7;
+
+    const ExperimentResult result = RunExperiment(config);
+    std::printf("--- %s ---\n", result.policy_name.c_str());
+    std::printf("%-10s %6s %12s %12s %10s\n", "class", "jobs", "response(s)", "exec(s)",
+                "avg cpus");
+    for (const auto& [app_class, metrics] : result.metrics.per_class) {
+      std::printf("%-10s %6d %12.1f %12.1f %10.1f\n", AppClassName(app_class), metrics.count,
+                  metrics.avg_response_s, metrics.avg_exec_s, metrics.avg_alloc);
+    }
+    std::printf("makespan %.1f s, peak multiprogramming level %d\n\n",
+                result.metrics.makespan_s, result.max_ml);
+  }
+  std::printf(
+      "PDPA measured both applications and split the machine unevenly: bt gets\n"
+      "the processors it can use efficiently (and finishes sooner), hydro2d is\n"
+      "trimmed to its efficient size and pays a little — the paper's workload-2\n"
+      "trade. On workloads with non-scalable applications (see fig09/table3),\n"
+      "the same mechanism plus the coordinated multiprogramming level wins big.\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "src/app/app_profile.h"
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+const char* AppClassName(AppClass app_class) {
+  switch (app_class) {
+    case AppClass::kSwim:
+      return "swim";
+    case AppClass::kBt:
+      return "bt.A";
+    case AppClass::kHydro2d:
+      return "hydro2d";
+    case AppClass::kApsi:
+      return "apsi";
+  }
+  return "?";
+}
+
+double AppProfile::IdealExecSeconds(double p) const {
+  PDPA_CHECK_GT(p, 0.0);
+  return sequential_work_s / speedup->SpeedupAt(p);
+}
+
+double AppProfile::CpuDemandAtRequest() const {
+  return IdealExecSeconds(default_request) * default_request;
+}
+
+AppProfile MakeSwimProfile() {
+  AppProfile profile;
+  profile.name = "swim";
+  profile.app_class = AppClass::kSwim;
+  // Superlinear between 8 and 16 CPUs (cache-fitting working set), still
+  // above-linear beyond but with a poor *relative* speedup — the case the
+  // paper uses to motivate the RelativeSpeedup test.
+  profile.speedup = std::make_shared<TableSpeedup>(std::vector<std::pair<double, double>>{
+      {1, 1.0},
+      {2, 2.1},
+      {4, 4.6},
+      {8, 10.0},
+      {12, 16.5},
+      {16, 23.0},
+      {20, 25.5},
+      {24, 27.5},
+      {30, 29.5},
+      {32, 30.0},
+  });
+  profile.sequential_work_s = 900.0;
+  profile.iterations = 80;
+  profile.default_request = 30;
+  profile.baseline_procs = 4;
+  return profile;
+}
+
+AppProfile MakeBtProfile() {
+  AppProfile profile;
+  profile.name = "bt.A";
+  profile.app_class = AppClass::kBt;
+  // Good, progressive scalability: efficiency ~0.88 at 20 CPUs and 0.70 at
+  // 30 CPUs. The 12->16->20 segment keeps the relative speedup above the
+  // high_eff-discounted ideal so PDPA's INC search climbs to 20 and stops
+  // there, where the paper's PDPA lands bt.
+  profile.speedup = std::make_shared<TableSpeedup>(std::vector<std::pair<double, double>>{
+      {1, 1.0},
+      {2, 1.95},
+      {4, 3.85},
+      {8, 7.6},
+      {12, 11.2},
+      {16, 14.8},
+      {20, 17.6},
+      {24, 19.4},
+      {30, 21.0},
+      {32, 21.6},
+  });
+  profile.sequential_work_s = 1800.0;
+  profile.iterations = 100;
+  profile.default_request = 30;
+  profile.baseline_procs = 4;
+  return profile;
+}
+
+AppProfile MakeHydro2dProfile() {
+  AppProfile profile;
+  profile.name = "hydro2d";
+  profile.app_class = AppClass::kHydro2d;
+  // Medium scalability: saturates around 10-12 CPUs.
+  profile.speedup = std::make_shared<TableSpeedup>(std::vector<std::pair<double, double>>{
+      {1, 1.0},
+      {2, 1.9},
+      {4, 3.5},
+      {6, 4.9},
+      {8, 6.1},
+      {10, 7.0},
+      {12, 7.7},
+      {16, 8.6},
+      {20, 9.1},
+      {30, 9.5},
+  });
+  profile.sequential_work_s = 300.0;
+  profile.iterations = 80;
+  profile.default_request = 30;
+  profile.baseline_procs = 4;
+  return profile;
+}
+
+AppProfile MakeApsiProfile() {
+  AppProfile profile;
+  profile.name = "apsi";
+  profile.app_class = AppClass::kApsi;
+  // Essentially no scaling: a second CPU buys 25%, everything beyond is flat.
+  profile.speedup = std::make_shared<TableSpeedup>(std::vector<std::pair<double, double>>{
+      {1, 1.0},
+      {2, 1.25},
+      {4, 1.35},
+      {8, 1.40},
+      {16, 1.42},
+      {30, 1.40},
+      {32, 1.40},
+  });
+  profile.sequential_work_s = 135.0;
+  profile.iterations = 50;
+  // Tuned request: the paper submits apsi asking for 2 CPUs because of its
+  // poor scalability; the "untuned" experiments override this to 30.
+  profile.default_request = 2;
+  profile.baseline_procs = 1;
+  return profile;
+}
+
+AppProfileBuilder::AppProfileBuilder(std::string name) {
+  profile_.name = std::move(name);
+  profile_.speedup = std::make_shared<AmdahlSpeedup>(0.95);
+  profile_.sequential_work_s = 60.0;
+  profile_.iterations = 50;
+  profile_.default_request = 8;
+  profile_.baseline_procs = 1;
+}
+
+AppProfileBuilder& AppProfileBuilder::WithAmdahl(double parallel_fraction) {
+  profile_.speedup = std::make_shared<AmdahlSpeedup>(parallel_fraction);
+  return *this;
+}
+
+AppProfileBuilder& AppProfileBuilder::WithCurve(
+    std::vector<std::pair<double, double>> points) {
+  profile_.speedup = std::make_shared<TableSpeedup>(std::move(points));
+  return *this;
+}
+
+AppProfileBuilder& AppProfileBuilder::WithSaturating(double knee, double max_speedup) {
+  profile_.speedup = std::shared_ptr<const SpeedupModel>(
+      MakeSaturatingSpeedup(knee, max_speedup).release());
+  return *this;
+}
+
+AppProfileBuilder& AppProfileBuilder::WithWork(double sequential_seconds) {
+  PDPA_CHECK_GT(sequential_seconds, 0.0);
+  profile_.sequential_work_s = sequential_seconds;
+  return *this;
+}
+
+AppProfileBuilder& AppProfileBuilder::WithIterations(int iterations) {
+  PDPA_CHECK_GE(iterations, 1);
+  profile_.iterations = iterations;
+  return *this;
+}
+
+AppProfileBuilder& AppProfileBuilder::WithRequest(int request) {
+  PDPA_CHECK_GE(request, 1);
+  profile_.default_request = request;
+  return *this;
+}
+
+AppProfileBuilder& AppProfileBuilder::WithBaselineProcs(int baseline_procs) {
+  PDPA_CHECK_GE(baseline_procs, 1);
+  profile_.baseline_procs = baseline_procs;
+  return *this;
+}
+
+AppProfile AppProfileBuilder::Build() const { return profile_; }
+
+AppProfile MakeProfile(AppClass app_class) {
+  switch (app_class) {
+    case AppClass::kSwim:
+      return MakeSwimProfile();
+    case AppClass::kBt:
+      return MakeBtProfile();
+    case AppClass::kHydro2d:
+      return MakeHydro2dProfile();
+    case AppClass::kApsi:
+      return MakeApsiProfile();
+  }
+  PDPA_CHECK(false) << "unknown app class";
+  return AppProfile{};
+}
+
+}  // namespace pdpa

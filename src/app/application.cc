@@ -1,0 +1,180 @@
+#include "src/app/application.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+Application::Application(JobId id, AppProfile profile, AppCosts costs)
+    : id_(id), profile_(std::move(profile)), costs_(costs), request_(profile_.default_request) {
+  PDPA_CHECK_GT(profile_.sequential_work_s, 0.0);
+  PDPA_CHECK_GT(profile_.iterations, 0);
+  work_per_iter_s_ = profile_.sequential_work_s / profile_.iterations;
+}
+
+void Application::Start(SimTime now) {
+  PDPA_CHECK(!started_);
+  PDPA_CHECK_GT(allocated_, 0) << "job " << id_ << " started without processors";
+  started_ = true;
+  iter_start_wall_ = now;
+  iter_clean_ = true;
+  warm_procs_ = static_cast<double>(EffectiveProcs());
+}
+
+void Application::SetAllocation(int procs, SimTime now) {
+  PDPA_CHECK_GE(procs, 0);
+  if (procs == allocated_) {
+    return;
+  }
+  const int old_effective = started_ ? EffectiveProcs() : 0;
+  allocated_ = procs;
+  if (!started_) {
+    return;
+  }
+  const int new_effective = EffectiveProcs();
+  if (new_effective == old_effective) {
+    return;
+  }
+  // Team re-formation: freeze briefly and restart the warmup ramp; taint the
+  // current iteration's measurement.
+  frozen_until_ = std::max(frozen_until_, now + costs_.reconfig_freeze);
+  if (new_effective < old_effective) {
+    // Shrinking gives no locality debt: remaining CPUs are already warm.
+    warm_procs_ = std::min(warm_procs_, static_cast<double>(new_effective));
+  }
+  iter_clean_ = false;
+}
+
+void Application::ForceProcs(int procs, SimTime now) {
+  PDPA_CHECK_GE(procs, 0);
+  if (procs == forced_procs_) {
+    return;
+  }
+  const int old_effective = started_ ? EffectiveProcs() : 0;
+  forced_procs_ = procs;
+  if (!started_) {
+    return;
+  }
+  const int new_effective = EffectiveProcs();
+  if (new_effective != old_effective) {
+    frozen_until_ = std::max(frozen_until_, now + costs_.reconfig_freeze);
+    if (new_effective < old_effective) {
+      warm_procs_ = std::min(warm_procs_, static_cast<double>(new_effective));
+    }
+    iter_clean_ = false;
+  }
+}
+
+int Application::EffectiveProcs() const {
+  if (forced_procs_ > 0) {
+    return std::min(allocated_, forced_procs_);
+  }
+  return allocated_;
+}
+
+void Application::Advance(SimTime now, SimDuration dt) {
+  if (!started_ || finished_ || dt <= 0) {
+    return;
+  }
+  const int procs = EffectiveProcs();
+  if (procs <= 0) {
+    return;
+  }
+  // Warmup ramp: move warm_procs_ toward the target with time constant
+  // costs_.warmup (first-order). Integrated over the tick as the midpoint
+  // value to stay stable for large ticks.
+  const double target = static_cast<double>(procs);
+  double p_eff = target;
+  if (costs_.warmup > 0) {
+    const double k = std::min(1.0, static_cast<double>(dt) / static_cast<double>(costs_.warmup));
+    const double warm = warm_procs_ + (target - warm_procs_) * k;
+    p_eff = 0.5 * (warm_procs_ + warm);
+    warm_procs_ = warm;
+  } else {
+    warm_procs_ = target;
+  }
+
+  double speed = 0.0;
+  if (rigid_) {
+    // Folded rigid execution: `request_` processes share p_eff CPUs. The
+    // application's parallel structure is that of `request_` processes; the
+    // CPUs bound the rate, with a folding overhead when oversubscribed.
+    const double fold = std::min(1.0, p_eff / std::max(1, request_));
+    const double overhead = fold < 1.0 ? costs_.folding_overhead : 1.0;
+    speed = profile_.speedup->SpeedupAt(std::max(1, request_)) * fold * overhead;
+  } else {
+    speed = profile_.speedup->SpeedupAt(std::max(1.0, p_eff));
+  }
+  Integrate(now, dt, speed, procs);
+}
+
+void Application::AdvanceTimeShared(SimTime now, SimDuration dt, double effective_procs,
+                                    double overhead_factor) {
+  if (!started_ || finished_ || dt <= 0) {
+    return;
+  }
+  PDPA_CHECK_GT(overhead_factor, 0.0);
+  PDPA_CHECK_LE(overhead_factor, 1.0);
+  const double p = std::max(0.0, effective_procs);
+  if (p <= 0.0) {
+    return;
+  }
+  const double speed = profile_.speedup->SpeedupAt(std::max(1.0, p)) * overhead_factor;
+  Integrate(now, dt, speed, static_cast<int>(std::lround(std::max(1.0, p))));
+}
+
+void Application::Integrate(SimTime now, SimDuration dt, double speed, int procs_label) {
+  SimTime t = now;
+  SimTime end = now + dt;
+
+  // Consume the reconfiguration freeze first.
+  if (frozen_until_ > t) {
+    const SimTime thaw = std::min(frozen_until_, end);
+    t = thaw;
+    if (t >= end) {
+      return;
+    }
+  }
+  if (speed <= 0.0) {
+    return;
+  }
+
+  double remaining_dt_s = TimeToSeconds(end - t);
+  while (remaining_dt_s > 0.0 && !finished_) {
+    const double next_boundary = work_per_iter_s_ * (completed_iterations_ + 1);
+    const double work_to_boundary = next_boundary - progress_s_;
+    const double time_to_boundary_s = work_to_boundary / speed;
+    if (time_to_boundary_s > remaining_dt_s) {
+      progress_s_ += remaining_dt_s * speed;
+      break;
+    }
+    // Cross the iteration boundary at the exact sub-tick instant.
+    progress_s_ = next_boundary;
+    remaining_dt_s -= time_to_boundary_s;
+    t += SecondsToTime(time_to_boundary_s);
+    FinishIteration(t, procs_label);
+    if (completed_iterations_ >= profile_.iterations) {
+      finished_ = true;
+      finish_time_ = t;
+    }
+  }
+}
+
+void Application::FinishIteration(SimTime when, int procs_label) {
+  IterationRecord record;
+  record.index = completed_iterations_;
+  record.end_time = when;
+  record.wall_time = when - iter_start_wall_;
+  record.procs = procs_label;
+  record.clean = iter_clean_;
+  ++completed_iterations_;
+  iter_start_wall_ = when;
+  iter_clean_ = true;
+  if (on_iteration_) {
+    on_iteration_(record);
+  }
+}
+
+}  // namespace pdpa

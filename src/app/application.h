@@ -1,0 +1,141 @@
+// Simulated malleable iterative parallel application.
+//
+// The application executes `iterations` iterations of an outer loop (the
+// "iterative parallel region" the SelfAnalyzer exploits). Progress is
+// measured in sequential-equivalent seconds and advances at SpeedupAt(p)
+// seconds per wall-second on p processors. Two costs make reallocation
+// non-free, as the paper stresses:
+//   * a reconfiguration freeze while the runtime re-forms the thread team;
+//   * a locality warmup: newly gained CPUs contribute gradually (cache and
+//     page migration on the CC-NUMA machine).
+#ifndef SRC_APP_APPLICATION_H_
+#define SRC_APP_APPLICATION_H_
+
+#include <functional>
+
+#include "src/app/app_profile.h"
+#include "src/common/ids.h"
+#include "src/common/time_types.h"
+
+namespace pdpa {
+
+// Costs of malleability. Defaults model an OpenMP runtime re-forming teams
+// between parallel regions on a CC-NUMA machine.
+struct AppCosts {
+  // Wall time during which the application makes no progress after an
+  // allocation change.
+  SimDuration reconfig_freeze = 30 * kMillisecond;
+  // Time constant of the locality warmup ramp for the effective processor
+  // count after a change.
+  SimDuration warmup = 400 * kMillisecond;
+  // Multiplicative efficiency of a folded rigid application (context
+  // switching between its processes on shared CPUs).
+  double folding_overhead = 0.85;
+};
+
+// One completed iteration of the outer loop, as observable by the runtime.
+struct IterationRecord {
+  int index = 0;
+  // Exact (sub-tick) completion instant of the iteration.
+  SimTime end_time = 0;
+  SimDuration wall_time = 0;
+  // Processor count in effect when the iteration completed.
+  int procs = 0;
+  // True when the effective processor count was constant for the whole
+  // iteration (no reallocation, no baseline switch, no freeze).
+  bool clean = false;
+};
+
+class Application {
+ public:
+  using IterationCallback = std::function<void(const IterationRecord&)>;
+
+  Application(JobId id, AppProfile profile, AppCosts costs = AppCosts{});
+
+  JobId id() const { return id_; }
+  const AppProfile& profile() const { return profile_; }
+  int request() const { return request_; }
+  void set_request(int request) { request_ = request; }
+
+  // Rigid (MPI-like) execution: the application always runs `request`
+  // processes. When allocated fewer CPUs the processes are *folded*
+  // (time-sliced two-or-more per CPU) at a multiplicative overhead — the
+  // binding/folding approach of the paper's future-work section. Must be
+  // set before Start().
+  void set_rigid(bool rigid) { rigid_ = rigid; }
+  bool rigid() const { return rigid_; }
+
+  // Invoked at every completed outer-loop iteration.
+  void set_iteration_callback(IterationCallback callback) { on_iteration_ = std::move(callback); }
+
+  // Marks the job as running; the first allocation must already be in place.
+  void Start(SimTime now);
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+  SimTime finish_time() const { return finish_time_; }
+
+  // Space-sharing allocation from the RM. Charges the reconfiguration
+  // freeze and restarts the warmup ramp when the count actually changes.
+  void SetAllocation(int procs, SimTime now);
+  int allocated() const { return allocated_; }
+
+  // SelfAnalyzer baseline control: while `procs` > 0, the application runs
+  // on min(allocated, procs) CPUs regardless of the allocation. 0 releases
+  // the override.
+  void ForceProcs(int procs, SimTime now);
+  int forced_procs() const { return forced_procs_; }
+
+  // Processor count the application actually uses this instant.
+  int EffectiveProcs() const;
+
+  // Advances wall time by `dt` under space sharing.
+  void Advance(SimTime now, SimDuration dt);
+
+  // Advances wall time by `dt` under time sharing (IRIX model): the
+  // application held `effective_procs` CPUs on average over the interval and
+  // suffered multiplicative `overhead_factor` in (0, 1] from migrations and
+  // contention.
+  void AdvanceTimeShared(SimTime now, SimDuration dt, double effective_procs,
+                         double overhead_factor);
+
+  // Sequential-equivalent seconds of work completed / total.
+  double progress_s() const { return progress_s_; }
+  double total_work_s() const { return profile_.sequential_work_s; }
+  int completed_iterations() const { return completed_iterations_; }
+
+ private:
+  // Shared forward-integration used by both advance flavors. `speed` is
+  // sequential-equivalent seconds of progress per wall second.
+  void Integrate(SimTime now, SimDuration dt, double speed, int procs_label);
+
+  void FinishIteration(SimTime when, int procs_label);
+
+  JobId id_;
+  AppProfile profile_;
+  AppCosts costs_;
+  int request_ = 0;
+
+  bool started_ = false;
+  bool finished_ = false;
+  SimTime finish_time_ = 0;
+
+  int allocated_ = 0;
+  int forced_procs_ = 0;
+  bool rigid_ = false;
+
+  // Locality model: effective processor count ramps toward the target.
+  double warm_procs_ = 0.0;
+  SimTime frozen_until_ = 0;
+
+  double progress_s_ = 0.0;
+  double work_per_iter_s_ = 0.0;
+  int completed_iterations_ = 0;
+  SimTime iter_start_wall_ = 0;
+  bool iter_clean_ = true;
+
+  IterationCallback on_iteration_;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_APP_APPLICATION_H_

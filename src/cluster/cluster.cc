@@ -1,0 +1,163 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin:
+      return "round-robin";
+    case PlacementPolicy::kMostFreeCpus:
+      return "most-free";
+    case PlacementPolicy::kLeastLoaded:
+      return "least-loaded";
+  }
+  return "?";
+}
+
+Cluster::Cluster(Simulation* sim, int num_nodes, int cpus_per_node,
+                 const std::function<std::unique_ptr<SchedulingPolicy>()>& make_policy,
+                 ResourceManager::Params rm_params, Rng rng) {
+  PDPA_CHECK_GE(num_nodes, 1);
+  PDPA_CHECK_GE(cpus_per_node, 1);
+  rm_params.num_cpus = cpus_per_node;
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<ResourceManager>(rm_params, make_policy(), sim,
+                                                       /*trace=*/nullptr, rng.Fork()));
+  }
+}
+
+Cluster::NodeStats Cluster::StatsOf(int index) const {
+  PDPA_CHECK_GE(index, 0);
+  PDPA_CHECK_LT(index, static_cast<int>(nodes_.size()));
+  const ResourceManager& rm = *nodes_[static_cast<std::size_t>(index)];
+  NodeStats stats;
+  stats.free_cpus = rm.machine().FreeCpus();
+  stats.running_jobs = rm.running_jobs();
+  stats.can_admit = rm.CanStartJob();
+  return stats;
+}
+
+void Cluster::Start() {
+  for (auto& node : nodes_) {
+    node->Start();
+  }
+}
+
+void Cluster::Stop() {
+  for (auto& node : nodes_) {
+    node->Stop();
+  }
+}
+
+void Cluster::set_job_finish_callback(ResourceManager::JobFinishCallback callback) {
+  for (auto& node : nodes_) {
+    node->set_job_finish_callback(callback);
+  }
+}
+
+void Cluster::set_state_change_callback(ResourceManager::StateChangeCallback callback) {
+  for (auto& node : nodes_) {
+    node->set_state_change_callback(callback);
+  }
+}
+
+ClusterQueuingSystem::ClusterQueuingSystem(Simulation* sim, Cluster* cluster,
+                                           std::vector<JobSpec> workload,
+                                           PlacementPolicy placement)
+    : sim_(sim), cluster_(cluster), workload_(std::move(workload)), placement_(placement) {
+  PDPA_CHECK(sim != nullptr);
+  PDPA_CHECK(cluster != nullptr);
+}
+
+void ClusterQueuingSystem::Start() {
+  PDPA_CHECK(!started_);
+  started_ = true;
+  cluster_->set_job_finish_callback([this](JobId job, SimTime finish_time) {
+    const auto it = in_flight_.find(job);
+    PDPA_CHECK(it != in_flight_.end());
+    JobOutcome outcome = it->second;
+    in_flight_.erase(it);
+    outcome.finish = finish_time;
+    outcomes_.push_back(outcome);
+    outcome_nodes_.push_back(job_node_[job]);
+  });
+  cluster_->set_state_change_callback([this](SimTime now) { TryStartJobs(now); });
+  for (const JobSpec& spec : workload_) {
+    sim_->events().Schedule(spec.submit, [this, spec] { OnArrival(spec); });
+  }
+}
+
+void ClusterQueuingSystem::OnArrival(const JobSpec& spec) {
+  queue_.push_back(spec);
+  TryStartJobs(sim_->now());
+}
+
+int ClusterQueuingSystem::ChooseNode() {
+  const int nodes = cluster_->num_nodes();
+  int best = -1;
+  switch (placement_) {
+    case PlacementPolicy::kRoundRobin: {
+      for (int i = 0; i < nodes; ++i) {
+        const int candidate = (round_robin_next_ + i) % nodes;
+        if (cluster_->StatsOf(candidate).can_admit) {
+          round_robin_next_ = (candidate + 1) % nodes;
+          return candidate;
+        }
+      }
+      return -1;
+    }
+    case PlacementPolicy::kMostFreeCpus: {
+      int best_free = -1;
+      for (int i = 0; i < nodes; ++i) {
+        const Cluster::NodeStats stats = cluster_->StatsOf(i);
+        if (stats.can_admit && stats.free_cpus > best_free) {
+          best_free = stats.free_cpus;
+          best = i;
+        }
+      }
+      return best;
+    }
+    case PlacementPolicy::kLeastLoaded: {
+      int best_running = 0;
+      for (int i = 0; i < nodes; ++i) {
+        const Cluster::NodeStats stats = cluster_->StatsOf(i);
+        if (stats.can_admit && (best < 0 || stats.running_jobs < best_running)) {
+          best_running = stats.running_jobs;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return -1;
+}
+
+void ClusterQueuingSystem::TryStartJobs(SimTime now) {
+  while (!queue_.empty()) {
+    const int node = ChooseNode();
+    if (node < 0) {
+      return;
+    }
+    const JobSpec spec = queue_.front();
+    queue_.pop_front();
+
+    JobOutcome outcome;
+    outcome.id = spec.id;
+    outcome.app_class = spec.app_class;
+    outcome.request = spec.request;
+    outcome.submit = spec.submit;
+    outcome.start = now;
+    in_flight_[spec.id] = outcome;
+    job_node_[spec.id] = node;
+    cluster_->node(node).StartJob(spec.id, MakeProfile(spec.app_class), spec.request, now,
+                                  spec.rigid);
+  }
+}
+
+}  // namespace pdpa

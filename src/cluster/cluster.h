@@ -1,0 +1,111 @@
+// Cluster of SMPs (the paper's second future-work direction, Sec. 6): a
+// set of shared-memory nodes, each managed by its own NANOS RM running its
+// own scheduling policy, plus a cluster-level queuing system that places
+// each arriving job on one node ("cooperation between the scheduling
+// policies running on the different machines").
+//
+// Jobs are node-local: a malleable OpenMP application cannot span nodes, so
+// the interesting new decision is *placement*, and the new failure mode is
+// node-boundary fragmentation (a 30-CPU request cannot use 2x15 free CPUs
+// on two different nodes).
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/qs/job.h"
+#include "src/rm/resource_manager.h"
+#include "src/sim/simulation.h"
+
+namespace pdpa {
+
+// How the cluster QS picks the node for the next job.
+enum class PlacementPolicy : int {
+  // Rotate over nodes that can admit the job.
+  kRoundRobin = 0,
+  // Node with the most free processors (best chance of a large initial
+  // allocation).
+  kMostFreeCpus = 1,
+  // Node with the fewest running jobs (spreads the ML pressure).
+  kLeastLoaded = 2,
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+class Cluster {
+ public:
+  struct NodeStats {
+    int free_cpus = 0;
+    int running_jobs = 0;
+    bool can_admit = false;
+  };
+
+  // Builds `num_nodes` nodes, each with `cpus_per_node` processors and its
+  // own policy instance from `make_policy`.
+  Cluster(Simulation* sim, int num_nodes, int cpus_per_node,
+          const std::function<std::unique_ptr<SchedulingPolicy>()>& make_policy,
+          ResourceManager::Params rm_params, Rng rng);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  ResourceManager& node(int index) { return *nodes_[static_cast<std::size_t>(index)]; }
+
+  NodeStats StatsOf(int index) const;
+
+  // Registers the periodic RM tasks on every node.
+  void Start();
+  void Stop();
+
+  // Installs callbacks shared by all nodes.
+  void set_job_finish_callback(ResourceManager::JobFinishCallback callback);
+  void set_state_change_callback(ResourceManager::StateChangeCallback callback);
+
+ private:
+  std::vector<std::unique_ptr<ResourceManager>> nodes_;
+};
+
+// Cluster-level queuing system: FCFS queue + placement.
+class ClusterQueuingSystem {
+ public:
+  ClusterQueuingSystem(Simulation* sim, Cluster* cluster, std::vector<JobSpec> workload,
+                       PlacementPolicy placement);
+
+  ClusterQueuingSystem(const ClusterQueuingSystem&) = delete;
+  ClusterQueuingSystem& operator=(const ClusterQueuingSystem&) = delete;
+
+  void Start();
+
+  bool AllJobsDone() const { return outcomes_.size() == workload_.size(); }
+  const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
+  // Node each job ran on, parallel to outcomes().
+  const std::vector<int>& outcome_nodes() const { return outcome_nodes_; }
+  int queued() const { return static_cast<int>(queue_.size()); }
+
+ private:
+  void OnArrival(const JobSpec& spec);
+  void TryStartJobs(SimTime now);
+  // Returns the chosen node for the head job, or -1 when no node admits it.
+  int ChooseNode();
+
+  Simulation* sim_;
+  Cluster* cluster_;
+  std::vector<JobSpec> workload_;
+  PlacementPolicy placement_;
+
+  std::deque<JobSpec> queue_;
+  std::map<JobId, JobOutcome> in_flight_;
+  std::map<JobId, int> job_node_;
+  std::vector<JobOutcome> outcomes_;
+  std::vector<int> outcome_nodes_;
+  int round_robin_next_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

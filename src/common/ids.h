@@ -1,0 +1,15 @@
+// Shared identifier types.
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+namespace pdpa {
+
+// Identifies one submitted job (application instance) within an experiment.
+using JobId = int;
+
+// Owner value for a CPU that is not running any job.
+inline constexpr JobId kIdleJob = -1;
+
+}  // namespace pdpa
+
+#endif  // SRC_COMMON_IDS_H_

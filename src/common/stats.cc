@@ -1,0 +1,79 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStat::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStat::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  PDPA_CHECK_GE(p, 0.0);
+  PDPA_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values[0];
+  }
+  const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  PDPA_CHECK_GT(alpha, 0.0);
+  PDPA_CHECK_LE(alpha, 1.0);
+}
+
+void Ewma::Add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+    return;
+  }
+  value_ = alpha_ * x + (1.0 - alpha_) * value_;
+}
+
+}  // namespace pdpa

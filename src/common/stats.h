@@ -1,0 +1,58 @@
+// Small statistics helpers used for metric aggregation and trace analysis.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pdpa {
+
+// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  // Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile of a data set using linear interpolation between order
+// statistics. `p` is in [0, 100]. Returns 0 for an empty set.
+double Percentile(std::vector<double> values, double p);
+
+// Arithmetic mean; 0 for an empty set.
+double Mean(const std::vector<double>& values);
+
+// Exponentially weighted moving average helper.
+class Ewma {
+ public:
+  // `alpha` is the weight of the newest sample, in (0, 1].
+  explicit Ewma(double alpha);
+
+  void Add(double x);
+  bool empty() const { return !initialized_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,98 @@
+#include "src/common/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+
+namespace pdpa {
+
+std::vector<std::string> SplitTokens(std::string_view text, char delimiter) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    while (start < text.size() && text[start] == delimiter) {
+      ++start;
+    }
+    std::size_t end = start;
+    while (end < text.size() && text[end] != delimiter) {
+      ++end;
+    }
+    if (end > start) {
+      tokens.emplace_back(text.substr(start, end - start));
+    }
+    start = end;
+  }
+  return tokens;
+}
+
+std::string_view Trim(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  std::size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  const std::string buffer(Trim(text));
+  if (buffer.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt(std::string_view text, int* out) {
+  long long wide = 0;
+  if (!ParseInt64(text, &wide)) {
+    return false;
+  }
+  *out = static_cast<int>(wide);
+  return true;
+}
+
+bool ParseInt64(std::string_view text, long long* out) {
+  const std::string buffer(Trim(text));
+  if (buffer.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (size < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string result(static_cast<std::size_t>(size), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,27 @@
+// String helpers used by the SWF parser and table printers.
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdpa {
+
+// Splits on any run of the delimiter; no empty tokens are produced.
+std::vector<std::string> SplitTokens(std::string_view text, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// Parses a double/int; returns false and leaves `out` untouched on failure.
+bool ParseDouble(std::string_view text, double* out);
+bool ParseInt(std::string_view text, int* out);
+bool ParseInt64(std::string_view text, long long* out);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pdpa
+
+#endif  // SRC_COMMON_STRINGS_H_

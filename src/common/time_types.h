@@ -1,0 +1,39 @@
+// Time representation used across the simulator.
+//
+// Simulated time is kept in integer microseconds to make every run perfectly
+// deterministic and insensitive to floating-point accumulation order. All
+// conversions to/from seconds happen at the edges (configuration, reporting).
+#ifndef SRC_COMMON_TIME_TYPES_H_
+#define SRC_COMMON_TIME_TYPES_H_
+
+#include <cstdint>
+
+namespace pdpa {
+
+// Simulated time in microseconds since the start of the experiment.
+using SimTime = std::int64_t;
+
+// A duration in microseconds. Kept as a distinct alias for readability.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * 1000;
+
+// Converts a floating-point number of seconds to SimTime, rounding to the
+// nearest microsecond.
+constexpr SimTime SecondsToTime(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond) + (seconds >= 0 ? 0.5 : -0.5));
+}
+
+constexpr SimTime MillisToTime(double millis) {
+  return SecondsToTime(millis / 1000.0);
+}
+
+constexpr double TimeToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+
+constexpr double TimeToMillis(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+
+}  // namespace pdpa
+
+#endif  // SRC_COMMON_TIME_TYPES_H_

@@ -1,0 +1,111 @@
+#include "src/core/pdpa_policy.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+PdpaPolicy::PdpaPolicy(PdpaParams params, PdpaMlParams ml_params)
+    : params_(params), ml_params_(ml_params) {}
+
+AllocationPlan PdpaPolicy::OnJobStart(const PolicyContext& ctx, JobId job) {
+  int request = 0;
+  bool rigid = false;
+  for (const PolicyJobInfo& info : ctx.jobs) {
+    if (info.id == job) {
+      request = info.request;
+      rigid = info.rigid;
+      break;
+    }
+  }
+  PDPA_CHECK_GT(request, 0) << "job " << job << " missing from context";
+  AllocationPlan plan;
+  if (rigid) {
+    // Rigid job: no performance search (the process count cannot change).
+    // Fold it onto whatever is free, up to its request — this is what lets
+    // it start immediately instead of fragmenting the machine.
+    plan[job] = std::min(request, std::max(1, ctx.free_cpus));
+    return plan;
+  }
+  auto automaton = std::make_unique<PdpaAutomaton>(params_, request);
+  const int initial = automaton->OnJobStart(ctx.free_cpus);
+  automatons_[job] = std::move(automaton);
+  plan[job] = initial;
+  return plan;
+}
+
+AllocationPlan PdpaPolicy::OnJobFinish(const PolicyContext& ctx, JobId job) {
+  automatons_.erase(job);
+  // Offer the freed processors, in arrival order, to (a) rigid jobs running
+  // folded — unfolding is always profitable — and (b) malleable
+  // applications that were still very efficient at their stable allocation.
+  AllocationPlan plan;
+  int free = ctx.free_cpus;
+  for (const PolicyJobInfo& info : ctx.jobs) {
+    if (free <= 0) {
+      break;
+    }
+    if (info.rigid) {
+      if (info.alloc < info.request) {
+        const int grant = std::min(info.request - info.alloc, free);
+        plan[info.id] = info.alloc + grant;
+        free -= grant;
+      }
+      continue;
+    }
+    const auto it = automatons_.find(info.id);
+    if (it == automatons_.end()) {
+      continue;
+    }
+    const int before = it->second->current_alloc();
+    const PdpaDecision decision = it->second->OnFreeCapacity(free);
+    if (decision.changed) {
+      plan[info.id] = decision.next_alloc;
+      free -= decision.next_alloc - before;
+    }
+  }
+  return plan;
+}
+
+AllocationPlan PdpaPolicy::OnReport(const PolicyContext& ctx, const PerfReport& report) {
+  const auto it = automatons_.find(report.job);
+  if (it == automatons_.end()) {
+    return AllocationPlan{};
+  }
+  if (params_.dynamic_target && ctx.total_cpus > 0) {
+    // Load-adaptive target efficiency: stricter as the machine fills up.
+    const double load =
+        1.0 - static_cast<double>(ctx.free_cpus) / static_cast<double>(ctx.total_cpus);
+    const double target =
+        params_.min_target_eff + (params_.max_target_eff - params_.min_target_eff) * load;
+    it->second->SetTargetEff(std::min(target, params_.high_eff));
+  }
+  const PdpaDecision decision = it->second->OnReport(report.speedup, report.procs, ctx.free_cpus);
+  AllocationPlan plan;
+  if (decision.changed) {
+    plan[report.job] = decision.next_alloc;
+  }
+  return plan;
+}
+
+bool PdpaPolicy::ShouldAdmit(const PolicyContext& ctx) const {
+  // Run-to-completion with at least one processor: admission always needs a
+  // free processor, even within the default-ML credit.
+  if (ctx.free_cpus < 1) {
+    return false;
+  }
+  std::vector<PdpaAppStatus> statuses;
+  statuses.reserve(automatons_.size());
+  for (const auto& [job, automaton] : automatons_) {
+    statuses.push_back(PdpaAppStatus{automaton->Settled(), automaton->BadPerformance()});
+  }
+  return PdpaShouldAdmit(ml_params_, ctx.free_cpus, static_cast<int>(ctx.jobs.size()), statuses);
+}
+
+const PdpaAutomaton* PdpaPolicy::AutomatonFor(JobId job) const {
+  const auto it = automatons_.find(job);
+  return it == automatons_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace pdpa

@@ -1,0 +1,36 @@
+// PdpaPolicy: adapter that drives one PdpaAutomaton per running job and
+// implements the SchedulingPolicy interface for the NANOS Resource Manager.
+#ifndef SRC_CORE_PDPA_POLICY_H_
+#define SRC_CORE_PDPA_POLICY_H_
+
+#include <map>
+#include <memory>
+
+#include "src/core/pdpa.h"
+#include "src/rm/policy.h"
+
+namespace pdpa {
+
+class PdpaPolicy : public SchedulingPolicy {
+ public:
+  PdpaPolicy(PdpaParams params, PdpaMlParams ml_params);
+
+  std::string name() const override { return "PDPA"; }
+
+  AllocationPlan OnJobStart(const PolicyContext& ctx, JobId job) override;
+  AllocationPlan OnJobFinish(const PolicyContext& ctx, JobId job) override;
+  AllocationPlan OnReport(const PolicyContext& ctx, const PerfReport& report) override;
+  bool ShouldAdmit(const PolicyContext& ctx) const override;
+
+  // State of one job's automaton, for tests and introspection.
+  const PdpaAutomaton* AutomatonFor(JobId job) const;
+
+ private:
+  PdpaParams params_;
+  PdpaMlParams ml_params_;
+  std::map<JobId, std::unique_ptr<PdpaAutomaton>> automatons_;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_CORE_PDPA_POLICY_H_

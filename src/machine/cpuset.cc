@@ -1,0 +1,103 @@
+#include "src/machine/cpuset.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace pdpa {
+
+CpuSet CpuSet::Range(int first, int count) {
+  CpuSet set;
+  for (int cpu = first; cpu < first + count; ++cpu) {
+    set.Add(cpu);
+  }
+  return set;
+}
+
+void CpuSet::Add(int cpu) {
+  PDPA_CHECK_GE(cpu, 0);
+  PDPA_CHECK_LT(cpu, kMaxCpus);
+  bits_.set(static_cast<std::size_t>(cpu));
+}
+
+void CpuSet::Remove(int cpu) {
+  PDPA_CHECK_GE(cpu, 0);
+  PDPA_CHECK_LT(cpu, kMaxCpus);
+  bits_.reset(static_cast<std::size_t>(cpu));
+}
+
+bool CpuSet::Contains(int cpu) const {
+  if (cpu < 0 || cpu >= kMaxCpus) {
+    return false;
+  }
+  return bits_.test(static_cast<std::size_t>(cpu));
+}
+
+int CpuSet::Count() const { return static_cast<int>(bits_.count()); }
+
+int CpuSet::First() const {
+  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+    if (bits_.test(static_cast<std::size_t>(cpu))) {
+      return cpu;
+    }
+  }
+  return -1;
+}
+
+std::vector<int> CpuSet::ToVector() const {
+  std::vector<int> cpus;
+  cpus.reserve(bits_.count());
+  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+    if (bits_.test(static_cast<std::size_t>(cpu))) {
+      cpus.push_back(cpu);
+    }
+  }
+  return cpus;
+}
+
+CpuSet CpuSet::Union(const CpuSet& other) const {
+  CpuSet result;
+  result.bits_ = bits_ | other.bits_;
+  return result;
+}
+
+CpuSet CpuSet::Intersect(const CpuSet& other) const {
+  CpuSet result;
+  result.bits_ = bits_ & other.bits_;
+  return result;
+}
+
+CpuSet CpuSet::Minus(const CpuSet& other) const {
+  CpuSet result;
+  result.bits_ = bits_ & ~other.bits_;
+  return result;
+}
+
+std::string CpuSet::ToString() const {
+  std::string out;
+  int run_start = -1;
+  int prev = -2;
+  auto flush = [&](int run_end) {
+    if (run_start < 0) {
+      return;
+    }
+    if (!out.empty()) {
+      out += ",";
+    }
+    if (run_start == run_end) {
+      out += StrFormat("%d", run_start);
+    } else {
+      out += StrFormat("%d-%d", run_start, run_end);
+    }
+  };
+  for (int cpu : ToVector()) {
+    if (cpu != prev + 1) {
+      flush(prev);
+      run_start = cpu;
+    }
+    prev = cpu;
+  }
+  flush(prev);
+  return out;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,48 @@
+// A fixed-capacity CPU set, the unit of space-sharing allocation.
+#ifndef SRC_MACHINE_CPUSET_H_
+#define SRC_MACHINE_CPUSET_H_
+
+#include <bitset>
+#include <string>
+#include <vector>
+
+namespace pdpa {
+
+// Upper bound on machine size; the paper's Origin 2000 has 64 CPUs.
+inline constexpr int kMaxCpus = 128;
+
+class CpuSet {
+ public:
+  CpuSet() = default;
+
+  static CpuSet Range(int first, int count);
+
+  void Add(int cpu);
+  void Remove(int cpu);
+  bool Contains(int cpu) const;
+  int Count() const;
+  bool Empty() const { return bits_.none(); }
+  void Clear() { bits_.reset(); }
+
+  // Lowest-numbered CPU in the set, or -1 when empty.
+  int First() const;
+
+  std::vector<int> ToVector() const;
+
+  CpuSet Union(const CpuSet& other) const;
+  CpuSet Intersect(const CpuSet& other) const;
+  // CPUs in this set but not in `other`.
+  CpuSet Minus(const CpuSet& other) const;
+
+  bool operator==(const CpuSet& other) const { return bits_ == other.bits_; }
+
+  // Compact human-readable form, e.g. "0-3,8,10-11".
+  std::string ToString() const;
+
+ private:
+  std::bitset<kMaxCpus> bits_;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_MACHINE_CPUSET_H_

@@ -1,0 +1,146 @@
+#include "src/machine/machine.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+Machine::Machine(int usable_cpus) : num_cpus_(usable_cpus) {
+  PDPA_CHECK_GT(usable_cpus, 0);
+  PDPA_CHECK_LE(usable_cpus, kMaxCpus);
+  owner_.assign(static_cast<std::size_t>(usable_cpus), kIdleJob);
+}
+
+int Machine::FreeCpus() const {
+  int free = 0;
+  for (JobId owner : owner_) {
+    if (owner == kIdleJob) {
+      ++free;
+    }
+  }
+  return free;
+}
+
+JobId Machine::OwnerOf(int cpu) const {
+  PDPA_CHECK_GE(cpu, 0);
+  PDPA_CHECK_LT(cpu, num_cpus_);
+  return owner_[static_cast<std::size_t>(cpu)];
+}
+
+CpuSet Machine::CpusOf(JobId job) const {
+  CpuSet set;
+  for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+    if (owner_[static_cast<std::size_t>(cpu)] == job) {
+      set.Add(cpu);
+    }
+  }
+  return set;
+}
+
+int Machine::CountOf(JobId job) const {
+  int count = 0;
+  for (JobId owner : owner_) {
+    if (owner == job) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<JobId> Machine::RunningJobs() const {
+  std::vector<JobId> jobs;
+  for (JobId owner : owner_) {
+    if (owner != kIdleJob && std::find(jobs.begin(), jobs.end(), owner) == jobs.end()) {
+      jobs.push_back(owner);
+    }
+  }
+  return jobs;
+}
+
+std::vector<CpuHandoff> Machine::ApplyAllocation(const std::map<JobId, int>& target) {
+  // Validate the request before mutating anything.
+  int total = 0;
+  for (const auto& [job, count] : target) {
+    PDPA_CHECK_GE(count, 0) << "job " << job;
+    total += count;
+  }
+  PDPA_CHECK_LE(total, num_cpus_);
+
+  std::vector<CpuHandoff> handoffs;
+
+  // Phase 1: shrink. Jobs above target (or absent from target) release their
+  // highest-numbered CPUs first so partitions stay contiguous-ish and the
+  // kept CPUs are the longest-held ones (affinity).
+  std::map<JobId, int> current;
+  for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+    const JobId owner = owner_[static_cast<std::size_t>(cpu)];
+    if (owner != kIdleJob) {
+      ++current[owner];
+    }
+  }
+  for (const auto& [job, count] : current) {
+    const auto it = target.find(job);
+    const int want = it == target.end() ? 0 : it->second;
+    int excess = count - want;
+    for (int cpu = num_cpus_ - 1; cpu >= 0 && excess > 0; --cpu) {
+      if (owner_[static_cast<std::size_t>(cpu)] == job) {
+        owner_[static_cast<std::size_t>(cpu)] = kIdleJob;
+        handoffs.push_back(CpuHandoff{cpu, job, kIdleJob});
+        --excess;
+      }
+    }
+  }
+
+  // Phase 2: grow. Jobs below target take the lowest-numbered idle CPUs.
+  // Deterministic iteration order (std::map) keeps runs reproducible.
+  for (const auto& [job, want] : target) {
+    int have = 0;
+    for (JobId owner : owner_) {
+      if (owner == job) {
+        ++have;
+      }
+    }
+    for (int cpu = 0; cpu < num_cpus_ && have < want; ++cpu) {
+      if (owner_[static_cast<std::size_t>(cpu)] == kIdleJob) {
+        // If this CPU was released in phase 1 the handoff list already has a
+        // (cpu, from, idle) entry; collapse the pair into a direct handoff so
+        // migration accounting sees one move, not two.
+        bool collapsed = false;
+        for (CpuHandoff& h : handoffs) {
+          if (h.cpu == cpu && h.to == kIdleJob) {
+            h.to = job;
+            collapsed = true;
+            break;
+          }
+        }
+        if (!collapsed) {
+          handoffs.push_back(CpuHandoff{cpu, kIdleJob, job});
+        }
+        owner_[static_cast<std::size_t>(cpu)] = job;
+        ++have;
+      }
+    }
+    PDPA_CHECK_EQ(have, want) << "job " << job;
+  }
+  return handoffs;
+}
+
+std::vector<CpuHandoff> Machine::ReleaseJob(JobId job) {
+  std::vector<CpuHandoff> handoffs;
+  for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+    if (owner_[static_cast<std::size_t>(cpu)] == job) {
+      owner_[static_cast<std::size_t>(cpu)] = kIdleJob;
+      handoffs.push_back(CpuHandoff{cpu, job, kIdleJob});
+    }
+  }
+  return handoffs;
+}
+
+void Machine::SetOwner(int cpu, JobId job) {
+  PDPA_CHECK_GE(cpu, 0);
+  PDPA_CHECK_LT(cpu, num_cpus_);
+  owner_[static_cast<std::size_t>(cpu)] = job;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,64 @@
+// Machine model: a shared-memory multiprocessor managed by space-sharing.
+//
+// The machine tracks which job owns each CPU. Policies decide *counts*; the
+// machine turns counts into concrete CPU sets while preserving affinity
+// (a job keeps the CPUs it already owns whenever possible), which is what the
+// NANOS RM does on the Origin 2000 and what keeps data locality intact.
+#ifndef SRC_MACHINE_MACHINE_H_
+#define SRC_MACHINE_MACHINE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/machine/cpuset.h"
+
+namespace pdpa {
+
+// One concrete reassignment performed by ApplyAllocation: CPU `cpu` moved
+// from job `from` to job `to` (either may be kIdleJob).
+struct CpuHandoff {
+  int cpu = 0;
+  JobId from = kIdleJob;
+  JobId to = kIdleJob;
+};
+
+class Machine {
+ public:
+  // `usable_cpus` is the number of CPUs handed to the scheduler; the paper
+  // uses 60 of the Origin's 64 (the rest run the OS and the tracing tool).
+  explicit Machine(int usable_cpus);
+
+  int num_cpus() const { return num_cpus_; }
+  int FreeCpus() const;
+
+  JobId OwnerOf(int cpu) const;
+  CpuSet CpusOf(JobId job) const;
+  int CountOf(JobId job) const;
+
+  // All jobs that currently own at least one CPU.
+  std::vector<JobId> RunningJobs() const;
+
+  // Reassigns CPUs so that each job in `target` owns exactly the given
+  // count. Jobs absent from `target` but currently owning CPUs are released
+  // entirely. Affinity is preserved: shrinking jobs give up their
+  // highest-numbered CPUs; growing jobs first take idle CPUs, then CPUs
+  // released by shrinking jobs. Returns the concrete handoffs (used by the
+  // trace recorder to count migrations).
+  std::vector<CpuHandoff> ApplyAllocation(const std::map<JobId, int>& target);
+
+  // Releases every CPU owned by `job` (job completion).
+  std::vector<CpuHandoff> ReleaseJob(JobId job);
+
+  // Direct single-CPU assignment, used by the time-sharing (IRIX) model that
+  // bypasses space-sharing partitions.
+  void SetOwner(int cpu, JobId job);
+
+ private:
+  int num_cpus_;
+  std::vector<JobId> owner_;  // indexed by cpu
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_MACHINE_MACHINE_H_

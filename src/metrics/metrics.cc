@@ -1,0 +1,43 @@
+#include "src/metrics/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/stats.h"
+
+namespace pdpa {
+
+WorkloadMetrics ComputeMetrics(const std::vector<JobOutcome>& outcomes,
+                               const std::map<JobId, double>& alloc_integral_us) {
+  WorkloadMetrics metrics;
+  metrics.jobs = static_cast<int>(outcomes.size());
+  std::map<AppClass, double> response_sum;
+  std::map<AppClass, double> exec_sum;
+  std::map<AppClass, double> wait_sum;
+  std::map<AppClass, double> alloc_sum;
+  std::map<AppClass, std::vector<double>> responses;
+  for (const JobOutcome& outcome : outcomes) {
+    ClassMetrics& cm = metrics.per_class[outcome.app_class];
+    ++cm.count;
+    response_sum[outcome.app_class] += outcome.ResponseSeconds();
+    responses[outcome.app_class].push_back(outcome.ResponseSeconds());
+    exec_sum[outcome.app_class] += outcome.ExecSeconds();
+    wait_sum[outcome.app_class] += outcome.WaitSeconds();
+    metrics.makespan_s = std::max(metrics.makespan_s, TimeToSeconds(outcome.finish));
+    const auto it = alloc_integral_us.find(outcome.id);
+    if (it != alloc_integral_us.end() && outcome.finish > outcome.start) {
+      alloc_sum[outcome.app_class] +=
+          it->second / static_cast<double>(outcome.finish - outcome.start);
+    }
+  }
+  for (auto& [app_class, cm] : metrics.per_class) {
+    cm.avg_response_s = response_sum[app_class] / cm.count;
+    cm.avg_exec_s = exec_sum[app_class] / cm.count;
+    cm.avg_wait_s = wait_sum[app_class] / cm.count;
+    cm.avg_alloc = alloc_sum[app_class] / cm.count;
+    cm.p50_response_s = Percentile(responses[app_class], 50.0);
+    cm.p95_response_s = Percentile(responses[app_class], 95.0);
+  }
+  return metrics;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,42 @@
+// Aggregation of per-job outcomes into the metrics the paper reports:
+// average response time and average execution time per application class,
+// workload makespan, and average processor allocation.
+#ifndef SRC_METRICS_METRICS_H_
+#define SRC_METRICS_METRICS_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/qs/job.h"
+
+namespace pdpa {
+
+struct ClassMetrics {
+  int count = 0;
+  double avg_response_s = 0.0;
+  double avg_exec_s = 0.0;
+  double avg_wait_s = 0.0;
+  // Response-time tail: median and 95th percentile (linear interpolation).
+  double p50_response_s = 0.0;
+  double p95_response_s = 0.0;
+  // Time-averaged processor allocation while running.
+  double avg_alloc = 0.0;
+};
+
+struct WorkloadMetrics {
+  std::map<AppClass, ClassMetrics> per_class;
+  int jobs = 0;
+  // Time from t=0 until the last job finished ("workload execution time" in
+  // Tables 3 and 4).
+  double makespan_s = 0.0;
+};
+
+// `alloc_integral_us` maps job id -> integral of allocated processors over
+// time (cpu-microseconds), as accumulated by the ResourceManager.
+WorkloadMetrics ComputeMetrics(const std::vector<JobOutcome>& outcomes,
+                               const std::map<JobId, double>& alloc_integral_us);
+
+}  // namespace pdpa
+
+#endif  // SRC_METRICS_METRICS_H_

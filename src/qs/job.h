@@ -1,0 +1,43 @@
+// Job descriptions exchanged between the workload generator, the SWF trace
+// files, the queuing system and the resource manager.
+#ifndef SRC_QS_JOB_H_
+#define SRC_QS_JOB_H_
+
+#include <vector>
+
+#include "src/app/app_profile.h"
+#include "src/common/ids.h"
+#include "src/common/time_types.h"
+
+namespace pdpa {
+
+// One job in a workload trace: which application, when it is submitted, and
+// how many processors the user requests.
+struct JobSpec {
+  JobId id = kIdleJob;
+  AppClass app_class = AppClass::kSwim;
+  SimTime submit = 0;
+  int request = 0;
+  // Rigid (MPI-like) job: runs exactly `request` processes; the RM may fold
+  // them onto fewer CPUs but the runtime cannot change the process count
+  // (future-work extension, Sec. 6).
+  bool rigid = false;
+};
+
+// The fate of one job after an experiment.
+struct JobOutcome {
+  JobId id = kIdleJob;
+  AppClass app_class = AppClass::kSwim;
+  int request = 0;
+  SimTime submit = 0;
+  SimTime start = 0;
+  SimTime finish = 0;
+
+  double ResponseSeconds() const { return TimeToSeconds(finish - submit); }
+  double ExecSeconds() const { return TimeToSeconds(finish - start); }
+  double WaitSeconds() const { return TimeToSeconds(start - submit); }
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_QS_JOB_H_

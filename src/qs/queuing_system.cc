@@ -1,0 +1,94 @@
+#include "src/qs/queuing_system.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+QueuingSystem::QueuingSystem(Simulation* sim, ResourceManager* rm, std::vector<JobSpec> workload,
+                             QueueOrder order)
+    : QueuingSystem(sim, rm, std::move(workload), Options{order, false}) {}
+
+QueuingSystem::QueuingSystem(Simulation* sim, ResourceManager* rm, std::vector<JobSpec> workload,
+                             Options options)
+    : sim_(sim), rm_(rm), workload_(std::move(workload)), options_(options) {
+  PDPA_CHECK(sim != nullptr);
+  PDPA_CHECK(rm != nullptr);
+}
+
+JobSpec QueuingSystem::PopNext() {
+  PDPA_CHECK(!queue_.empty());
+  std::size_t pick = 0;
+  if (options_.order == QueueOrder::kShortestDemandFirst) {
+    double best_demand = 0.0;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const JobSpec& spec = queue_[i];
+      const AppProfile profile = MakeProfile(spec.app_class);
+      const double demand = profile.IdealExecSeconds(spec.request) * spec.request;
+      if (i == 0 || demand < best_demand) {
+        best_demand = demand;
+        pick = i;
+      }
+    }
+  }
+  const JobSpec spec = queue_[pick];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+  return spec;
+}
+
+void QueuingSystem::Start() {
+  PDPA_CHECK(!started_);
+  started_ = true;
+  rm_->set_job_finish_callback(
+      [this](JobId job, SimTime finish_time) { OnJobFinish(job, finish_time); });
+  rm_->set_state_change_callback([this](SimTime now) { TryStartJobs(now); });
+  for (const JobSpec& spec : workload_) {
+    sim_->events().Schedule(spec.submit, [this, spec] { OnArrival(spec); });
+  }
+}
+
+void QueuingSystem::OnArrival(const JobSpec& spec) {
+  queue_.push_back(spec);
+  TryStartJobs(sim_->now());
+}
+
+void QueuingSystem::TryStartJobs(SimTime now) {
+  while (!queue_.empty() && rm_->CanStartJob()) {
+    if (options_.hold_rigid_until_fit && queue_.front().rigid &&
+        rm_->machine().FreeCpus() < queue_.front().request) {
+      break;  // classic rigid regime: wait for the full request
+    }
+    const JobSpec spec = PopNext();
+
+    JobOutcome outcome;
+    outcome.id = spec.id;
+    outcome.app_class = spec.app_class;
+    outcome.request = spec.request;
+    outcome.submit = spec.submit;
+    outcome.start = now;
+    in_flight_[spec.id] = outcome;
+
+    ++running_;
+    max_ml_ = std::max(max_ml_, running_);
+    RecordMl(now);
+    rm_->StartJob(spec.id, MakeProfile(spec.app_class), spec.request, now, spec.rigid);
+  }
+}
+
+void QueuingSystem::OnJobFinish(JobId job, SimTime finish_time) {
+  const auto it = in_flight_.find(job);
+  PDPA_CHECK(it != in_flight_.end()) << "finish for unknown job " << job;
+  JobOutcome outcome = it->second;
+  in_flight_.erase(it);
+  outcome.finish = finish_time;
+  outcomes_.push_back(outcome);
+  --running_;
+  RecordMl(finish_time);
+  // The RM's state-change callback fires after this, starting queued jobs.
+}
+
+void QueuingSystem::RecordMl(SimTime now) { ml_timeline_.emplace_back(now, running_); }
+
+}  // namespace pdpa

@@ -1,0 +1,30 @@
+// Standard Workload Format (SWF) reader/writer.
+//
+// The paper's workload trace files follow Feitelson's SWF specification;
+// this module reads and writes that format so workloads can be archived,
+// inspected and replayed. SWF lines have 18 whitespace-separated fields;
+// unknown values are -1. The application class is carried in field 15
+// ("executable number", 1-based AppClass) so a trace round-trips exactly.
+#ifndef SRC_QS_SWF_H_
+#define SRC_QS_SWF_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/qs/job.h"
+
+namespace pdpa {
+
+// Writes the workload as SWF, including header comments describing the
+// workload. Returns the number of jobs written.
+int WriteSwf(const std::vector<JobSpec>& jobs, std::ostream& out,
+             const std::string& workload_name = "");
+
+// Parses SWF text. Lines starting with ';' are comments. Returns false on a
+// malformed line and leaves `jobs` with the entries parsed so far.
+bool ReadSwf(std::istream& in, std::vector<JobSpec>* jobs, std::string* error = nullptr);
+
+}  // namespace pdpa
+
+#endif  // SRC_QS_SWF_H_

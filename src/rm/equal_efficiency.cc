@@ -1,0 +1,116 @@
+#include "src/rm/equal_efficiency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+EqualEfficiency::EqualEfficiency() : EqualEfficiency(Params{}) {}
+
+EqualEfficiency::EqualEfficiency(Params params) : params_(params) {
+  PDPA_CHECK_GE(params.fixed_ml, 1);
+  PDPA_CHECK_GE(params.history, 2);
+}
+
+AllocationPlan EqualEfficiency::OnJobStart(const PolicyContext& ctx, JobId job) {
+  models_[job] = JobModel{};
+  return Reallocate(ctx);
+}
+
+AllocationPlan EqualEfficiency::OnJobFinish(const PolicyContext& ctx, JobId job) {
+  models_.erase(job);
+  return Reallocate(ctx);
+}
+
+AllocationPlan EqualEfficiency::OnReport(const PolicyContext& ctx, const PerfReport& report) {
+  JobModel& model = models_[report.job];
+  model.samples.push_back(Sample{report.procs, report.speedup});
+  if (static_cast<int>(model.samples.size()) > params_.history) {
+    model.samples.erase(model.samples.begin());
+  }
+  // Reallocating on every report is what makes Equal_efficiency "too
+  // sensitive to small changes in the efficiency measurements" (Sec. 5.1).
+  return Reallocate(ctx);
+}
+
+AllocationPlan EqualEfficiency::OnQuantum(const PolicyContext& ctx) { return Reallocate(ctx); }
+
+bool EqualEfficiency::ShouldAdmit(const PolicyContext& ctx) const {
+  return static_cast<int>(ctx.jobs.size()) < params_.fixed_ml;
+}
+
+double EqualEfficiency::ExtrapolatedSpeedup(JobId job, double p) const {
+  if (p <= 0.0) {
+    return 0.0;
+  }
+  const auto it = models_.find(job);
+  if (it == models_.end() || it->second.samples.empty()) {
+    // No knowledge: optimistically assume linear speedup (this is what makes
+    // the policy hand 30 processors to a brand-new job).
+    return p;
+  }
+  const std::vector<Sample>& samples = it->second.samples;
+  const Sample& latest = samples.back();
+  double alpha = params_.default_alpha;
+  // Fit the exponent through the two most recent samples at distinct
+  // processor counts: S(p) = S1 * (p / p1)^alpha.
+  for (auto rit = samples.rbegin() + 1; rit != samples.rend(); ++rit) {
+    if (rit->procs != latest.procs && rit->procs > 0 && rit->speedup > 0.0) {
+      const double num = std::log(latest.speedup / rit->speedup);
+      const double den = std::log(static_cast<double>(latest.procs) / rit->procs);
+      if (std::abs(den) > 1e-9) {
+        alpha = std::clamp(num / den, params_.min_alpha, params_.max_alpha);
+      }
+      break;
+    }
+  }
+  const double base_p = static_cast<double>(latest.procs);
+  return latest.speedup * std::pow(p / base_p, alpha);
+}
+
+AllocationPlan EqualEfficiency::Reallocate(const PolicyContext& ctx) const {
+  AllocationPlan plan;
+  if (ctx.jobs.empty()) {
+    return plan;
+  }
+  // Everyone gets one processor (run-to-completion floor), then processors
+  // go one at a time to the job whose *extrapolated* efficiency at its next
+  // allocation is highest.
+  int remaining = ctx.total_cpus;
+  for (const PolicyJobInfo& job : ctx.jobs) {
+    plan[job.id] = 1;
+    --remaining;
+  }
+  if (remaining < 0) {
+    // More jobs than processors cannot happen with the paper's MLs.
+    return plan;
+  }
+  while (remaining > 0) {
+    double best_eff = -1.0;
+    JobId best_job = kIdleJob;
+    int best_request = 0;
+    for (const PolicyJobInfo& job : ctx.jobs) {
+      const int next = plan[job.id] + 1;
+      if (next > job.request) {
+        continue;
+      }
+      const double eff = ExtrapolatedSpeedup(job.id, next) / next;
+      if (eff > best_eff) {
+        best_eff = eff;
+        best_job = job.id;
+        best_request = job.request;
+      }
+    }
+    if (best_job == kIdleJob) {
+      break;  // Every job is at its request.
+    }
+    (void)best_request;
+    ++plan[best_job];
+    --remaining;
+  }
+  return plan;
+}
+
+}  // namespace pdpa

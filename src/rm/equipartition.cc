@@ -1,0 +1,55 @@
+#include "src/rm/equipartition.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+Equipartition::Equipartition(int fixed_ml) : fixed_ml_(fixed_ml) { PDPA_CHECK_GE(fixed_ml, 1); }
+
+AllocationPlan Equipartition::EqualSplit(const PolicyContext& ctx) {
+  AllocationPlan plan;
+  if (ctx.jobs.empty()) {
+    return plan;
+  }
+  // Start everyone at zero, then hand out processors one by one to the job
+  // with the smallest current share that is still below its request. This
+  // is the classic water-filling formulation: equal shares, with small
+  // requests capped and their leftovers redistributed.
+  for (const PolicyJobInfo& job : ctx.jobs) {
+    plan[job.id] = 0;
+  }
+  int remaining = ctx.total_cpus;
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (const PolicyJobInfo& job : ctx.jobs) {
+      if (remaining == 0) {
+        break;
+      }
+      if (plan[job.id] < job.request) {
+        ++plan[job.id];
+        --remaining;
+        progress = true;
+      }
+    }
+  }
+  return plan;
+}
+
+AllocationPlan Equipartition::OnJobStart(const PolicyContext& ctx, JobId job) {
+  (void)job;
+  return EqualSplit(ctx);
+}
+
+AllocationPlan Equipartition::OnJobFinish(const PolicyContext& ctx, JobId job) {
+  (void)job;
+  return EqualSplit(ctx);
+}
+
+bool Equipartition::ShouldAdmit(const PolicyContext& ctx) const {
+  return static_cast<int>(ctx.jobs.size()) < fixed_ml_;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,31 @@
+// Equipartition (McCann, Vaswani, Zahorjan): divide the machine equally
+// among running jobs, capped by each job's request; redistribute only at job
+// arrival and completion.
+#ifndef SRC_RM_EQUIPARTITION_H_
+#define SRC_RM_EQUIPARTITION_H_
+
+#include "src/rm/policy.h"
+
+namespace pdpa {
+
+class Equipartition : public SchedulingPolicy {
+ public:
+  // `fixed_ml` is the multiprogramming level enforced for this policy.
+  explicit Equipartition(int fixed_ml = 4);
+
+  std::string name() const override { return "Equipartition"; }
+
+  AllocationPlan OnJobStart(const PolicyContext& ctx, JobId job) override;
+  AllocationPlan OnJobFinish(const PolicyContext& ctx, JobId job) override;
+  bool ShouldAdmit(const PolicyContext& ctx) const override;
+
+  // Water-filling equal split capped by requests; exposed for tests.
+  static AllocationPlan EqualSplit(const PolicyContext& ctx);
+
+ private:
+  int fixed_ml_;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_RM_EQUIPARTITION_H_

@@ -1,0 +1,215 @@
+#include "src/rm/irix.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+IrixTimeShare::IrixTimeShare(Params params, Rng rng) : params_(params), rng_(rng) {
+  PDPA_CHECK_GE(params.fixed_ml, 1);
+  PDPA_CHECK_GE(params.migration_cost, 0.0);
+  PDPA_CHECK_LE(params.migration_cost, 1.0);
+}
+
+AllocationPlan IrixTimeShare::OnJobStart(const PolicyContext& ctx, JobId job) {
+  for (const PolicyJobInfo& info : ctx.jobs) {
+    if (info.id == job) {
+      // The SGI-MP library spawns OMP_NUM_THREADS kernel threads up front.
+      for (int i = 0; i < info.request; ++i) {
+        threads_.push_back(Thread{job, -1, false, 0.0});
+      }
+      break;
+    }
+  }
+  return AllocationPlan{};
+}
+
+AllocationPlan IrixTimeShare::OnJobFinish(const PolicyContext& ctx, JobId job) {
+  (void)ctx;
+  std::erase_if(threads_, [job](const Thread& t) { return t.job == job; });
+  return AllocationPlan{};
+}
+
+bool IrixTimeShare::ShouldAdmit(const PolicyContext& ctx) const {
+  return static_cast<int>(ctx.jobs.size()) < params_.fixed_ml;
+}
+
+int IrixTimeShare::ThreadCountOf(JobId job) const {
+  int count = 0;
+  for (const Thread& t : threads_) {
+    if (t.job == job) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void IrixTimeShare::AdjustThreadCounts(const PolicyContext& ctx, int ncpus) {
+  if (ctx.jobs.empty()) {
+    return;
+  }
+  // Fair share per running application (the SGI-MP heuristic reacts to the
+  // load average; the effect is a slow drift of each team toward ncpus/ml).
+  const int fair = std::max(1, ncpus / static_cast<int>(ctx.jobs.size()));
+  for (const PolicyJobInfo& info : ctx.jobs) {
+    const int have = ThreadCountOf(info.id);
+    const int floor_threads =
+        std::max(1, static_cast<int>(info.request * params_.omp_min_fraction));
+    const int want = std::min(info.request, std::max(fair, floor_threads));
+    if (have > want) {
+      // Retire the hungriest surplus threads (they are spinning anyway).
+      int to_remove = std::min(params_.omp_adjust_step, have - want);
+      for (auto it = threads_.rbegin(); it != threads_.rend() && to_remove > 0;) {
+        if (it->job == info.id) {
+          it = decltype(it)(threads_.erase(std::next(it).base()));
+          --to_remove;
+        } else {
+          ++it;
+        }
+      }
+    } else if (have < want) {
+      for (int i = 0; i < std::min(params_.omp_adjust_step, want - have); ++i) {
+        threads_.push_back(Thread{info.id, -1, false, 0.0});
+      }
+    }
+  }
+}
+
+std::map<JobId, TimeShare> IrixTimeShare::TimeShareTick(Machine& machine,
+                                                        const PolicyContext& ctx, SimDuration dt,
+                                                        std::vector<CpuHandoff>* handoffs) {
+  std::map<JobId, TimeShare> shares;
+  for (const PolicyJobInfo& info : ctx.jobs) {
+    shares[info.id] = TimeShare{0.0, 1.0};
+  }
+  const int ncpus = machine.num_cpus();
+  clock_ += dt;
+  if (params_.omp_dynamic && clock_ >= next_adjust_) {
+    AdjustThreadCounts(ctx, ncpus);
+    next_adjust_ = clock_ + params_.omp_adjust_period;
+  }
+  const int nthreads = static_cast<int>(threads_.size());
+  if (nthreads == 0) {
+    // No runnable threads: every CPU goes idle.
+    for (int c = 0; c < ncpus; ++c) {
+      const JobId prev_owner = machine.OwnerOf(c);
+      if (prev_owner != kIdleJob) {
+        machine.SetOwner(c, kIdleJob);
+        if (handoffs != nullptr) {
+          handoffs->push_back(CpuHandoff{c, prev_owner, kIdleJob});
+        }
+      }
+    }
+    return shares;
+  }
+
+  // Dispatch order: lowest effective vruntime first, where a thread that ran
+  // last tick gets an affinity/timeslice bonus. This is a coarse model of
+  // IRIX's priority aging with affinity.
+  const double bonus_s = TimeToSeconds(params_.affinity_bonus);
+  std::vector<int> order(threads_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const Thread& ta = threads_[static_cast<std::size_t>(a)];
+    const Thread& tb = threads_[static_cast<std::size_t>(b)];
+    const double ka = ta.vruntime_s - (ta.running ? bonus_s : 0.0);
+    const double kb = tb.vruntime_s - (tb.running ? bonus_s : 0.0);
+    return ka < kb;
+  });
+
+  const int to_run = std::min(ncpus, nthreads);
+  std::vector<bool> cpu_taken(static_cast<std::size_t>(ncpus), false);
+  std::map<JobId, int> migrations;
+  std::map<JobId, int> running_count;
+
+  // Pass 1: selected threads reclaim their previous CPU when possible.
+  for (int i = 0; i < to_run; ++i) {
+    Thread& t = threads_[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+    if (t.last_cpu >= 0 && t.last_cpu < ncpus && !cpu_taken[static_cast<std::size_t>(t.last_cpu)]) {
+      cpu_taken[static_cast<std::size_t>(t.last_cpu)] = true;
+    }
+  }
+  // Pass 2: place every selected thread; the ones whose CPU was claimed by
+  // someone else (or who never ran) take the lowest free CPU and migrate.
+  std::vector<bool> cpu_assigned(static_cast<std::size_t>(ncpus), false);
+  for (int i = 0; i < to_run; ++i) {
+    Thread& t = threads_[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+    int cpu = -1;
+    if (t.last_cpu >= 0 && t.last_cpu < ncpus &&
+        !cpu_assigned[static_cast<std::size_t>(t.last_cpu)] &&
+        cpu_taken[static_cast<std::size_t>(t.last_cpu)]) {
+      cpu = t.last_cpu;
+    } else {
+      for (int c = 0; c < ncpus; ++c) {
+        if (!cpu_taken[static_cast<std::size_t>(c)] && !cpu_assigned[static_cast<std::size_t>(c)]) {
+          cpu = c;
+          break;
+        }
+      }
+      if (cpu < 0) {
+        // All non-reclaimed CPUs exhausted: steal any unassigned CPU.
+        for (int c = 0; c < ncpus; ++c) {
+          if (!cpu_assigned[static_cast<std::size_t>(c)]) {
+            cpu = c;
+            break;
+          }
+        }
+      }
+      if (cpu >= 0 && t.last_cpu >= 0 && cpu != t.last_cpu) {
+        ++migrations[t.job];
+        ++total_thread_migrations_;
+      }
+    }
+    PDPA_CHECK_GE(cpu, 0);
+    cpu_assigned[static_cast<std::size_t>(cpu)] = true;
+    const JobId prev_owner = machine.OwnerOf(cpu);
+    if (prev_owner != t.job) {
+      machine.SetOwner(cpu, t.job);
+      if (handoffs != nullptr) {
+        handoffs->push_back(CpuHandoff{cpu, prev_owner, t.job});
+      }
+    }
+    t.last_cpu = cpu;
+    t.running = true;
+    // Work imbalance jitter desynchronizes dispatch epochs and sustains the
+    // migration churn observed on the real machine.
+    t.vruntime_s += TimeToSeconds(dt) * (1.0 + rng_.Uniform(-params_.vruntime_jitter,
+                                                            params_.vruntime_jitter));
+    ++running_count[t.job];
+  }
+  // Threads beyond the CPU count wait this tick.
+  for (int i = to_run; i < nthreads; ++i) {
+    threads_[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])].running = false;
+  }
+  // Idle CPUs (fewer threads than CPUs) release their owner.
+  for (int c = 0; c < ncpus; ++c) {
+    if (!cpu_assigned[static_cast<std::size_t>(c)] && machine.OwnerOf(c) != kIdleJob) {
+      const JobId prev_owner = machine.OwnerOf(c);
+      machine.SetOwner(c, kIdleJob);
+      if (handoffs != nullptr) {
+        handoffs->push_back(CpuHandoff{c, prev_owner, kIdleJob});
+      }
+    }
+  }
+
+  const double overcommit =
+      static_cast<double>(nthreads) / static_cast<double>(ncpus);
+  const double contention =
+      1.0 / (1.0 + params_.overcommit_penalty * std::max(0.0, overcommit - 1.0));
+  for (auto& [job, share] : shares) {
+    const int running = running_count.contains(job) ? running_count[job] : 0;
+    share.effective_procs = static_cast<double>(running);
+    double overhead = contention;
+    if (running > 0) {
+      const int migs = migrations.contains(job) ? migrations[job] : 0;
+      overhead *= std::max(0.1, 1.0 - params_.migration_cost * static_cast<double>(migs) /
+                                          static_cast<double>(running));
+    }
+    share.overhead = overhead;
+  }
+  return shares;
+}
+
+}  // namespace pdpa

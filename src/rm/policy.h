@@ -1,0 +1,109 @@
+// SchedulingPolicy: the interface the NANOS Resource Manager drives.
+//
+// Space-sharing policies (PDPA, Equipartition, Equal_efficiency) return
+// per-job processor *counts*; the RM turns counts into concrete CPU sets.
+// Time-sharing policies (the native-IRIX model) bypass partitioning and
+// schedule kernel threads per tick instead.
+#ifndef SRC_RM_POLICY_H_
+#define SRC_RM_POLICY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/logging.h"
+#include "src/common/time_types.h"
+#include "src/machine/machine.h"
+#include "src/runtime/self_analyzer.h"
+
+namespace pdpa {
+
+// Per-tick outcome for one job under a time-sharing policy.
+struct TimeShare {
+  // Average CPUs held by the job's threads over the tick.
+  double effective_procs = 0.0;
+  // Multiplicative progress factor in (0, 1]: migration and contention cost.
+  double overhead = 1.0;
+};
+
+// The RM's view of one running job, passed to policies.
+struct PolicyJobInfo {
+  JobId id = kIdleJob;
+  // Processors the user requested (OMP_NUM_THREADS / MPI process count).
+  int request = 0;
+  // Processors currently allocated.
+  int alloc = 0;
+  SimTime arrival = 0;
+  // Rigid job: the runtime cannot change the process count; allocations
+  // below the request fold processes onto shared CPUs.
+  bool rigid = false;
+  bool has_report = false;
+  PerfReport last_report;
+};
+
+struct PolicyContext {
+  int total_cpus = 0;
+  int free_cpus = 0;
+  SimTime now = 0;
+  // Running jobs in arrival order.
+  std::vector<PolicyJobInfo> jobs;
+};
+
+// A reallocation plan: target processor count per job. Jobs omitted from the
+// plan keep their current allocation.
+using AllocationPlan = std::map<JobId, int>;
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // True for thread-level time-sharing policies (IRIX); the RM then calls
+  // TimeShareTick every tick instead of applying allocation plans.
+  virtual bool is_time_sharing() const { return false; }
+
+  // A new job entered the system (already present in ctx.jobs with alloc 0).
+  // Returns the plan including the newcomer's initial allocation.
+  virtual AllocationPlan OnJobStart(const PolicyContext& ctx, JobId job) = 0;
+
+  // `job` finished; it is no longer in ctx.jobs.
+  virtual AllocationPlan OnJobFinish(const PolicyContext& ctx, JobId job) = 0;
+
+  // A performance report arrived from the runtime of `report.job`.
+  virtual AllocationPlan OnReport(const PolicyContext& ctx, const PerfReport& report) {
+    (void)ctx;
+    (void)report;
+    return AllocationPlan{};
+  }
+
+  // Periodic scheduler quantum.
+  virtual AllocationPlan OnQuantum(const PolicyContext& ctx) {
+    (void)ctx;
+    return AllocationPlan{};
+  }
+
+  // Multiprogramming-level coordination: may the queuing system start one
+  // more job right now? Baseline policies enforce a fixed ML; PDPA applies
+  // its coordinated rule.
+  virtual bool ShouldAdmit(const PolicyContext& ctx) const = 0;
+
+  // Thread-level scheduling step for time-sharing policies. Assigns CPU
+  // owners in `machine` directly, appends the reassignments to `handoffs`,
+  // and returns each job's share of the tick.
+  virtual std::map<JobId, TimeShare> TimeShareTick(Machine& machine, const PolicyContext& ctx,
+                                                   SimDuration dt,
+                                                   std::vector<CpuHandoff>* handoffs) {
+    (void)machine;
+    (void)ctx;
+    (void)dt;
+    (void)handoffs;
+    PDPA_CHECK(false) << "TimeShareTick on a space-sharing policy";
+    return {};
+  }
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_RM_POLICY_H_

@@ -1,0 +1,248 @@
+#include "src/rm/resource_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+ResourceManager::ResourceManager(Params params, std::unique_ptr<SchedulingPolicy> policy,
+                                 Simulation* sim, TraceRecorder* trace, Rng rng)
+    : params_(params),
+      policy_(std::move(policy)),
+      sim_(sim),
+      trace_(trace),
+      rng_(rng),
+      machine_(params.num_cpus) {
+  PDPA_CHECK(policy_ != nullptr);
+  PDPA_CHECK(sim_ != nullptr);
+  PDPA_CHECK_GT(params.tick, 0);
+  PDPA_CHECK_GE(params.quantum, params.tick);
+}
+
+void ResourceManager::Start() {
+  PDPA_CHECK_EQ(tick_task_, -1);
+  tick_task_ = sim_->SchedulePeriodic(sim_->now() + params_.tick, params_.tick,
+                                      [this](SimTime now) { OnTick(now); });
+  quantum_task_ = sim_->SchedulePeriodic(sim_->now() + params_.quantum, params_.quantum,
+                                         [this](SimTime now) { OnQuantum(now); });
+}
+
+void ResourceManager::Stop() {
+  if (tick_task_ >= 0) {
+    sim_->StopPeriodic(tick_task_);
+    tick_task_ = -1;
+  }
+  if (quantum_task_ >= 0) {
+    sim_->StopPeriodic(quantum_task_);
+    quantum_task_ = -1;
+  }
+}
+
+PolicyContext ResourceManager::BuildContext(SimTime now) const {
+  PolicyContext ctx;
+  ctx.total_cpus = machine_.num_cpus();
+  ctx.free_cpus = machine_.FreeCpus();
+  ctx.now = now;
+  ctx.jobs.reserve(jobs_.size());
+  for (JobId job : arrival_order_) {
+    const auto it = jobs_.find(job);
+    if (it == jobs_.end()) {
+      continue;
+    }
+    PolicyJobInfo info;
+    info.id = job;
+    info.request = it->second.request;
+    info.alloc = it->second.binding->app().allocated();
+    info.arrival = it->second.arrival;
+    info.rigid = it->second.rigid;
+    ctx.jobs.push_back(info);
+  }
+  return ctx;
+}
+
+bool ResourceManager::CanStartJob() const {
+  return policy_->ShouldAdmit(BuildContext(sim_->now()));
+}
+
+void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request, SimTime now,
+                               bool rigid) {
+  PDPA_CHECK(!jobs_.contains(job));
+  const int effective_request = request > 0 ? request : profile.default_request;
+  PDPA_CHECK_GT(effective_request, 0);
+
+  auto app = std::make_unique<Application>(job, profile, params_.app_costs);
+  app->set_request(effective_request);
+  app->set_rigid(rigid);
+  auto binding = std::make_unique<NthLibBinding>(std::move(app), params_.analyzer, rng_.Fork());
+  binding->set_report_callback(
+      [this](const PerfReport& report) { pending_reports_.push_back(report); });
+
+  RunningJob running;
+  running.binding = std::move(binding);
+  running.arrival = now;
+  running.request = effective_request;
+  running.rigid = rigid;
+  jobs_[job] = std::move(running);
+  arrival_order_.push_back(job);
+
+  if (policy_->is_time_sharing()) {
+    // Time sharing: the runtime spawns `request` threads and the OS
+    // schedules them; no partition, no SelfAnalyzer coordination.
+    NthLibBinding& b = *jobs_[job].binding;
+    b.app().SetAllocation(effective_request, now);
+    b.app().Start(now);
+    (void)policy_->OnJobStart(BuildContext(now), job);
+    return;
+  }
+
+  const AllocationPlan plan = policy_->OnJobStart(BuildContext(now), job);
+  ApplyPlan(plan, now);
+  NthLibBinding& b = *jobs_[job].binding;
+  PDPA_CHECK_GT(b.app().allocated(), 0)
+      << policy_->name() << " started job " << job << " without processors";
+  if (rigid) {
+    // Rigid jobs are not iterative/malleable from the SelfAnalyzer's point
+    // of view (Sec. 3.1: "requires applications to be iterative and
+    // malleable"); they run without the baseline protocol.
+    b.StartJobWithoutAnalyzer(now);
+  } else {
+    b.StartJob(now);
+  }
+}
+
+int ResourceManager::AllocationOf(JobId job) const {
+  const auto it = jobs_.find(job);
+  return it == jobs_.end() ? 0 : it->second.binding->app().allocated();
+}
+
+void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now) {
+  if (plan.empty()) {
+    return;
+  }
+  // Merge the plan over current allocations, clamping to [1, request] for
+  // running (started) jobs; a plan may include the not-yet-started newcomer
+  // whose current allocation is 0.
+  std::map<JobId, int> target;
+  for (const auto& [job, running] : jobs_) {
+    target[job] = running.binding->app().allocated();
+  }
+  for (const auto& [job, count] : plan) {
+    const auto it = jobs_.find(job);
+    if (it == jobs_.end()) {
+      continue;  // Finished in the meantime.
+    }
+    target[job] = std::clamp(count, 1, it->second.request);
+  }
+  const std::vector<CpuHandoff> handoffs = machine_.ApplyAllocation(target);
+  if (trace_ != nullptr) {
+    trace_->OnHandoffs(now, handoffs);
+  }
+  for (const auto& [job, count] : target) {
+    NthLibBinding& binding = *jobs_[job].binding;
+    if (binding.app().allocated() != count) {
+      // Initial assignment (from zero) is not a reallocation.
+      if (binding.app().allocated() > 0) {
+        ++total_reallocations_;
+      }
+      binding.SetProcessors(count, now);
+    }
+  }
+}
+
+void ResourceManager::DrainReports(SimTime now) {
+  // Reports generated while advancing applications are processed after the
+  // tick completes, mirroring the asynchronous shared-memory communication
+  // between NthLib and the RM in the real system.
+  while (!pending_reports_.empty()) {
+    std::vector<PerfReport> batch;
+    batch.swap(pending_reports_);
+    for (const PerfReport& report : batch) {
+      if (!jobs_.contains(report.job)) {
+        continue;
+      }
+      const AllocationPlan plan = policy_->OnReport(BuildContext(now), report);
+      ApplyPlan(plan, now);
+    }
+  }
+}
+
+void ResourceManager::CheckCompletions(SimTime now) {
+  bool finished_any = false;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (!it->second.binding->app().finished()) {
+      ++it;
+      continue;
+    }
+    const JobId job = it->first;
+    const SimTime finish_time = it->second.binding->app().finish_time();
+    const std::vector<CpuHandoff> handoffs = machine_.ReleaseJob(job);
+    if (trace_ != nullptr) {
+      trace_->OnHandoffs(now, handoffs);
+    }
+    it = jobs_.erase(it);
+    arrival_order_.erase(std::remove(arrival_order_.begin(), arrival_order_.end(), job),
+                         arrival_order_.end());
+    const AllocationPlan plan = policy_->OnJobFinish(BuildContext(now), job);
+    ApplyPlan(plan, now);
+    if (on_finish_) {
+      on_finish_(job, finish_time);
+    }
+    finished_any = true;
+  }
+  if (finished_any && on_state_change_) {
+    on_state_change_(now);
+  }
+}
+
+void ResourceManager::OnTick(SimTime now) {
+  const SimDuration dt = params_.tick;
+  const SimTime tick_start = now - dt;
+
+  if (policy_->is_time_sharing()) {
+    std::vector<CpuHandoff> handoffs;
+    const std::map<JobId, TimeShare> shares =
+        policy_->TimeShareTick(machine_, BuildContext(now), dt, &handoffs);
+    if (trace_ != nullptr) {
+      trace_->OnHandoffs(tick_start, handoffs);
+    }
+    for (const auto& [job, share] : shares) {
+      const auto it = jobs_.find(job);
+      if (it != jobs_.end()) {
+        it->second.binding->app().AdvanceTimeShared(tick_start, dt, share.effective_procs,
+                                                    share.overhead);
+        alloc_integral_us_[job] += share.effective_procs * static_cast<double>(dt);
+      }
+    }
+  } else {
+    for (JobId job : arrival_order_) {
+      const auto it = jobs_.find(job);
+      if (it == jobs_.end()) {
+        continue;
+      }
+      it->second.binding->Tick(tick_start, dt);
+      alloc_integral_us_[job] +=
+          static_cast<double>(it->second.binding->app().allocated()) * static_cast<double>(dt);
+    }
+  }
+
+  CheckCompletions(now);
+  DrainReports(now);
+  if (trace_ != nullptr) {
+    trace_->Tick(now);
+  }
+  if (on_state_change_) {
+    on_state_change_(now);
+  }
+}
+
+void ResourceManager::OnQuantum(SimTime now) {
+  if (policy_->is_time_sharing()) {
+    return;
+  }
+  const AllocationPlan plan = policy_->OnQuantum(BuildContext(now));
+  ApplyPlan(plan, now);
+}
+
+}  // namespace pdpa

@@ -1,0 +1,124 @@
+// NANOS Resource Manager: the user-level processor scheduler.
+//
+// The RM owns the machine and the per-job runtime bindings, drives the
+// scheduling policy at job arrival / completion / performance-report events
+// and at quantum boundaries, enforces its decisions on the machine, and
+// coordinates with the queuing system (admission callbacks).
+#ifndef SRC_RM_RESOURCE_MANAGER_H_
+#define SRC_RM_RESOURCE_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/machine/machine.h"
+#include "src/rm/policy.h"
+#include "src/runtime/nth_lib.h"
+#include "src/sim/simulation.h"
+#include "src/trace/trace_recorder.h"
+
+namespace pdpa {
+
+class ResourceManager {
+ public:
+  struct Params {
+    int num_cpus = 60;
+    // Progress/trace granularity.
+    SimDuration tick = 20 * kMillisecond;
+    // Scheduling quantum (policy OnQuantum cadence).
+    SimDuration quantum = 100 * kMillisecond;
+    SelfAnalyzerParams analyzer;
+    AppCosts app_costs;
+  };
+
+  // (job, finish_time) after the job's processors have been released.
+  using JobFinishCallback = std::function<void(JobId, SimTime)>;
+  // Invoked whenever scheduling state changed in a way that may allow the
+  // queuing system to start more jobs.
+  using StateChangeCallback = std::function<void(SimTime)>;
+
+  ResourceManager(Params params, std::unique_ptr<SchedulingPolicy> policy, Simulation* sim,
+                  TraceRecorder* trace, Rng rng);
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  void set_job_finish_callback(JobFinishCallback callback) { on_finish_ = std::move(callback); }
+  void set_state_change_callback(StateChangeCallback callback) {
+    on_state_change_ = std::move(callback);
+  }
+
+  // Registers the periodic tick and quantum tasks; call once before running.
+  void Start();
+
+  // Stops the periodic tasks (end of experiment drain).
+  void Stop();
+
+  // Queuing-system side: may one more job start now?
+  bool CanStartJob() const;
+
+  // Starts `job` immediately. Requires CanStartJob() for space-sharing
+  // policies. `request` overrides the profile's default when > 0. Rigid
+  // jobs keep a fixed process count and may be folded (see Application).
+  void StartJob(JobId job, const AppProfile& profile, int request, SimTime now,
+                bool rigid = false);
+
+  Machine& machine() { return machine_; }
+  const Machine& machine() const { return machine_; }
+  SchedulingPolicy& policy() { return *policy_; }
+  const SchedulingPolicy& policy() const { return *policy_; }
+
+  int running_jobs() const { return static_cast<int>(jobs_.size()); }
+  bool HasJob(JobId job) const { return jobs_.contains(job); }
+  int AllocationOf(JobId job) const;
+
+  // Integral of per-job allocation over time, for average-allocation
+  // metrics: cpu-microseconds per job.
+  const std::map<JobId, double>& alloc_integral_us() const { return alloc_integral_us_; }
+
+  // Number of times any job's allocation was actually changed (the
+  // "reallocations are not free" count the paper uses against
+  // Equal_efficiency and Dynamic).
+  long long total_reallocations() const { return total_reallocations_; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  struct RunningJob {
+    std::unique_ptr<NthLibBinding> binding;
+    SimTime arrival = 0;
+    int request = 0;
+    bool rigid = false;
+  };
+
+  PolicyContext BuildContext(SimTime now) const;
+  void OnTick(SimTime now);
+  void OnQuantum(SimTime now);
+  void ApplyPlan(const AllocationPlan& plan, SimTime now);
+  void DrainReports(SimTime now);
+  void CheckCompletions(SimTime now);
+
+  Params params_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  Simulation* sim_;
+  TraceRecorder* trace_;  // may be null
+  Rng rng_;
+  Machine machine_;
+
+  std::map<JobId, RunningJob> jobs_;
+  std::vector<JobId> arrival_order_;
+  std::vector<PerfReport> pending_reports_;
+  std::map<JobId, double> alloc_integral_us_;
+  long long total_reallocations_ = 0;
+
+  JobFinishCallback on_finish_;
+  StateChangeCallback on_state_change_;
+  int tick_task_ = -1;
+  int quantum_task_ = -1;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_RM_RESOURCE_MANAGER_H_

@@ -1,0 +1,70 @@
+#include "src/rt/kernels.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+LatencyKernel::LatencyKernel(double work_ms, double serial_fraction, double scalability)
+    : work_ms_(work_ms), serial_fraction_(serial_fraction), scalability_(scalability) {
+  PDPA_CHECK_GT(work_ms, 0.0);
+  PDPA_CHECK_GE(serial_fraction, 0.0);
+  PDPA_CHECK_LE(serial_fraction, 1.0);
+  PDPA_CHECK_GE(scalability, 0.0);
+  PDPA_CHECK_LE(scalability, 1.0);
+}
+
+void LatencyKernel::RunSerialPart() {
+  const double serial_ms = work_ms_ * serial_fraction_;
+  if (serial_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(serial_ms));
+  }
+}
+
+void LatencyKernel::RunChunk(int worker_index, int width) {
+  (void)worker_index;
+  PDPA_CHECK_GE(width, 1);
+  const double parallel_ms = work_ms_ * (1.0 - serial_fraction_);
+  // Ideal share, degraded by the scalability exponent: width^(1-scalability)
+  // models communication/imbalance growing with the team.
+  const double share_ms =
+      parallel_ms / width * std::pow(static_cast<double>(width), 1.0 - scalability_);
+  if (share_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(share_ms));
+  }
+}
+
+BusyKernel::BusyKernel(long long work_units, double serial_fraction)
+    : work_units_(work_units), serial_fraction_(serial_fraction) {
+  PDPA_CHECK_GT(work_units, 0);
+  PDPA_CHECK_GE(serial_fraction, 0.0);
+  PDPA_CHECK_LE(serial_fraction, 1.0);
+}
+
+double BusyKernel::Spin(long long units) {
+  double x = 1.0;
+  for (long long i = 0; i < units; ++i) {
+    x = x * 1.0000001 + 0.0000001;
+  }
+  return x;
+}
+
+void BusyKernel::RunSerialPart() {
+  const long long serial = static_cast<long long>(work_units_ * serial_fraction_);
+  checksum_ += Spin(serial);
+}
+
+void BusyKernel::RunChunk(int worker_index, int width) {
+  const long long parallel = static_cast<long long>(work_units_ * (1.0 - serial_fraction_));
+  const double x = Spin(parallel / width);
+  // Benign data race on checksum_ across workers is acceptable for an
+  // optimizer barrier, but keep it clean anyway: only worker 0 accumulates.
+  if (worker_index == 0) {
+    checksum_ += x;
+  }
+}
+
+}  // namespace pdpa

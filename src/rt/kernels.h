@@ -1,0 +1,78 @@
+// Synthetic iterative kernels for the live runtime.
+//
+// Each kernel models one outer-loop iteration of a scientific code with a
+// configurable scalability profile:
+//   * LatencyKernel — the per-iteration critical path is latency/IO bound
+//     (modelled by sleeping); it parallelizes across workers and shows real
+//     wall-clock speedup even on a single-core host, which is what lets the
+//     examples and tests demonstrate the full PDPA feedback loop anywhere.
+//   * BusyKernel — CPU-bound spinning; exhibits real speedup only with real
+//     cores, and contention when the team is wider than the machine.
+// Both accept a serial fraction (Amdahl) and a synthetic efficiency curve so
+// "swim-like" or "apsi-like" behavior can be reproduced on the host.
+#ifndef SRC_RT_KERNELS_H_
+#define SRC_RT_KERNELS_H_
+
+#include <memory>
+#include <string>
+
+namespace pdpa {
+
+class IterativeKernel {
+ public:
+  virtual ~IterativeKernel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Executes worker `worker_index`'s share of one iteration with `width`
+  // workers. Called concurrently from all workers of the region.
+  virtual void RunChunk(int worker_index, int width) = 0;
+
+  // Serial part of the iteration, run by the leader before the parallel
+  // region.
+  virtual void RunSerialPart() {}
+};
+
+// Latency-bound kernel: an iteration is `work_ms` of waiting, split evenly
+// across workers; `serial_fraction` of it is not parallelizable. An optional
+// efficiency exponent bends the curve: per-worker time is multiplied by
+// (width)^(1 - scalability), so scalability 1.0 is perfectly parallel and
+// 0.0 does not scale at all.
+class LatencyKernel : public IterativeKernel {
+ public:
+  LatencyKernel(double work_ms, double serial_fraction, double scalability = 1.0);
+
+  std::string name() const override { return "latency"; }
+  void RunChunk(int worker_index, int width) override;
+  void RunSerialPart() override;
+
+ private:
+  double work_ms_;
+  double serial_fraction_;
+  double scalability_;
+};
+
+// CPU-bound kernel: spins on arithmetic for `work_units` per iteration,
+// split across workers.
+class BusyKernel : public IterativeKernel {
+ public:
+  BusyKernel(long long work_units, double serial_fraction);
+
+  std::string name() const override { return "busy"; }
+  void RunChunk(int worker_index, int width) override;
+  void RunSerialPart() override;
+
+  // Checksum of all the spinning, to keep the optimizer honest.
+  double checksum() const { return checksum_; }
+
+ private:
+  static double Spin(long long units);
+
+  long long work_units_;
+  double serial_fraction_;
+  double checksum_ = 0.0;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_RT_KERNELS_H_

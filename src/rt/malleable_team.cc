@@ -1,0 +1,73 @@
+#include "src/rt/malleable_team.h"
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+MalleableTeam::MalleableTeam(int max_width) : max_width_(max_width) {
+  PDPA_CHECK_GE(max_width, 1);
+  workers_.reserve(static_cast<std::size_t>(max_width - 1));
+  // Worker 0 is the calling (leader) thread; spawn max_width-1 helpers.
+  for (int i = 1; i < max_width; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+MalleableTeam::~MalleableTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void MalleableTeam::ParallelRegion(int width, const RegionBody& body) {
+  PDPA_CHECK_GE(width, 1);
+  PDPA_CHECK_LE(width, max_width_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_width_ = width;
+    remaining_ = width - 1;  // helpers; the leader runs index 0 itself
+    body_ = &body;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  body(0, width);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+  ++regions_executed_;
+}
+
+void MalleableTeam::WorkerLoop(int worker_index) {
+  long long seen_generation = 0;
+  while (true) {
+    const RegionBody* body = nullptr;
+    int width = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (generation_ != seen_generation && worker_index < active_width_);
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      body = body_;
+      width = active_width_;
+    }
+    (*body)(worker_index, width);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --remaining_;
+    }
+    work_done_.notify_one();
+  }
+}
+
+}  // namespace pdpa

@@ -1,0 +1,61 @@
+// MalleableTeam: a real (pthread-backed) worker team whose width can change
+// between parallel regions — the NthLib malleability contract on a live
+// process.
+//
+// The leader calls ParallelRegion(width, body): `width` workers execute
+// body(worker_index, width) concurrently and the call returns when all are
+// done. Width changes take effect at the next region, exactly like an
+// OpenMP runtime re-forming its team between parallel regions.
+#ifndef SRC_RT_MALLEABLE_TEAM_H_
+#define SRC_RT_MALLEABLE_TEAM_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdpa {
+
+class MalleableTeam {
+ public:
+  using RegionBody = std::function<void(int worker_index, int width)>;
+
+  // Creates `max_width` persistent worker threads (parked until used).
+  explicit MalleableTeam(int max_width);
+  ~MalleableTeam();
+
+  MalleableTeam(const MalleableTeam&) = delete;
+  MalleableTeam& operator=(const MalleableTeam&) = delete;
+
+  int max_width() const { return max_width_; }
+
+  // Executes one parallel region with `width` workers (1 <= width <=
+  // max_width). Blocks until every worker finished the body.
+  void ParallelRegion(int width, const RegionBody& body);
+
+  // Number of regions executed (for tests).
+  long long regions_executed() const { return regions_executed_; }
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  int max_width_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  // Generation counter: workers run the region whose generation they have
+  // not executed yet.
+  long long generation_ = 0;
+  int active_width_ = 0;
+  int remaining_ = 0;
+  const RegionBody* body_ = nullptr;
+  bool shutdown_ = false;
+  long long regions_executed_ = 0;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_RT_MALLEABLE_TEAM_H_

@@ -1,0 +1,64 @@
+#include "src/rt/self_tuner.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+SelfTuner::SelfTuner(JobId job, Params params) : job_(job), params_(params) {
+  PDPA_CHECK_GE(params.baseline_iterations, 1);
+  PDPA_CHECK_GE(params.baseline_width, 1);
+}
+
+int SelfTuner::WidthFor(int allocated) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!baseline_done_) {
+    return std::min(allocated, params_.baseline_width);
+  }
+  return allocated;
+}
+
+void SelfTuner::OnIteration(double wall_seconds, int width) {
+  PDPA_CHECK_GT(wall_seconds, 0.0);
+  PDPA_CHECK_GE(width, 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!baseline_done_) {
+    if (width <= params_.baseline_width) {
+      baseline_sum_s_ += wall_seconds;
+      ++baseline_samples_;
+      if (baseline_samples_ >= params_.baseline_iterations) {
+        baseline_s_ = baseline_sum_s_ / baseline_samples_;
+        baseline_done_ = true;
+      }
+    }
+    return;
+  }
+  const double versus_baseline = baseline_s_ / wall_seconds;
+  const double baseline_speedup =
+      params_.baseline_width <= 1 ? 1.0 : params_.amdahl_factor * params_.baseline_width;
+  PerfReport report;
+  report.job = job_;
+  report.procs = width;
+  report.speedup = std::max(0.05, versus_baseline * baseline_speedup);
+  report.efficiency = report.speedup / width;
+  report.when = 0;
+  latest_ = report;
+}
+
+bool SelfTuner::baseline_done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return baseline_done_;
+}
+
+double SelfTuner::baseline_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return baseline_s_;
+}
+
+std::optional<PerfReport> SelfTuner::LatestReport() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latest_;
+}
+
+}  // namespace pdpa

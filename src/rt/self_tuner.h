@@ -1,0 +1,55 @@
+// SelfTuner: the wall-clock SelfAnalyzer for the live runtime.
+//
+// Same algorithm as src/runtime/self_analyzer, but measuring real iteration
+// times with std::chrono on a running process: baseline iterations with few
+// workers, then time-with-P, Amdahl-factor normalization, and a PerfReport
+// published for the in-process resource manager.
+#ifndef SRC_RT_SELF_TUNER_H_
+#define SRC_RT_SELF_TUNER_H_
+
+#include <chrono>
+#include <mutex>
+#include <optional>
+
+#include "src/runtime/self_analyzer.h"
+
+namespace pdpa {
+
+class SelfTuner {
+ public:
+  struct Params {
+    int baseline_iterations = 2;
+    int baseline_width = 1;
+    double amdahl_factor = 0.95;
+  };
+
+  SelfTuner(JobId job, Params params);
+
+  // Width the application should use for the next iteration: the baseline
+  // width until the baseline is measured, then `allocated`.
+  int WidthFor(int allocated) const;
+
+  // Records one completed iteration executed with `width` workers.
+  void OnIteration(double wall_seconds, int width);
+
+  bool baseline_done() const;
+  double baseline_seconds() const;
+
+  // Latest report, if any; thread-safe (the RM thread polls this).
+  std::optional<PerfReport> LatestReport() const;
+
+ private:
+  JobId job_;
+  Params params_;
+
+  mutable std::mutex mutex_;
+  bool baseline_done_ = false;
+  int baseline_samples_ = 0;
+  double baseline_sum_s_ = 0.0;
+  double baseline_s_ = 0.0;
+  std::optional<PerfReport> latest_;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_RT_SELF_TUNER_H_

@@ -1,0 +1,32 @@
+#include "src/runtime/nth_lib.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+NthLibBinding::NthLibBinding(std::unique_ptr<Application> app, SelfAnalyzerParams analyzer_params,
+                             Rng rng)
+    : app_(std::move(app)) {
+  PDPA_CHECK(app_ != nullptr);
+  analyzer_ = std::make_unique<SelfAnalyzer>(app_.get(), analyzer_params, rng);
+  app_->set_iteration_callback([this](const IterationRecord& record) {
+    analyzer_->OnIteration(record, record.end_time);
+  });
+}
+
+void NthLibBinding::set_report_callback(SelfAnalyzer::ReportCallback callback) {
+  analyzer_->set_report_callback(std::move(callback));
+}
+
+void NthLibBinding::StartJob(SimTime now) {
+  analyzer_->OnJobStart(now);
+  app_->Start(now);
+}
+
+void NthLibBinding::StartJobWithoutAnalyzer(SimTime now) { app_->Start(now); }
+
+void NthLibBinding::SetProcessors(int procs, SimTime now) { app_->SetAllocation(procs, now); }
+
+}  // namespace pdpa

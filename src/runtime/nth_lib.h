@@ -1,0 +1,54 @@
+// NthLib binding: the glue between one application, its SelfAnalyzer and the
+// NANOS Resource Manager.
+//
+// In the real system NthLib is the OpenMP runtime: it requests processors,
+// reacts to allocation changes (re-forming the thread team between parallel
+// regions) and hosts the SelfAnalyzer. In the simulator the Application
+// models the execution; this binding reproduces the *coordination* contract:
+//   RM -> runtime : SetProcessors(n)
+//   runtime -> RM : performance reports (via callback)
+#ifndef SRC_RUNTIME_NTH_LIB_H_
+#define SRC_RUNTIME_NTH_LIB_H_
+
+#include <memory>
+
+#include "src/app/application.h"
+#include "src/common/rng.h"
+#include "src/runtime/self_analyzer.h"
+
+namespace pdpa {
+
+class NthLibBinding {
+ public:
+  NthLibBinding(std::unique_ptr<Application> app, SelfAnalyzerParams analyzer_params, Rng rng);
+
+  NthLibBinding(const NthLibBinding&) = delete;
+  NthLibBinding& operator=(const NthLibBinding&) = delete;
+
+  Application& app() { return *app_; }
+  const Application& app() const { return *app_; }
+  SelfAnalyzer& analyzer() { return *analyzer_; }
+
+  // Forwarded to the scheduler whenever the SelfAnalyzer produces a new
+  // measurement.
+  void set_report_callback(SelfAnalyzer::ReportCallback callback);
+
+  // RM-side entry points.
+  void StartJob(SimTime now);
+  // Starts without engaging the SelfAnalyzer's baseline protocol: used for
+  // rigid (non-malleable) jobs and for time-sharing runtimes that do not
+  // coordinate with the RM.
+  void StartJobWithoutAnalyzer(SimTime now);
+  void SetProcessors(int procs, SimTime now);
+
+  // Drives the application forward; called every simulation tick.
+  void Tick(SimTime now, SimDuration dt) { app_->Advance(now, dt); }
+
+ private:
+  std::unique_ptr<Application> app_;
+  std::unique_ptr<SelfAnalyzer> analyzer_;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_RUNTIME_NTH_LIB_H_

@@ -1,0 +1,77 @@
+#include "src/runtime/periodicity_detector.h"
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+PeriodicityDetector::PeriodicityDetector() : PeriodicityDetector(Params{}) {}
+
+PeriodicityDetector::PeriodicityDetector(Params params) : params_(params) {
+  PDPA_CHECK_GE(params.max_period, 1);
+  PDPA_CHECK_GE(params.confirm_repeats, 1);
+  PDPA_CHECK_GE(params.history, params.max_period * (params.confirm_repeats + 1));
+}
+
+void PeriodicityDetector::Reset() {
+  history_.clear();
+  period_ = 0;
+  since_start_ = 0;
+  periods_seen_ = 0;
+}
+
+bool PeriodicityDetector::PeriodHolds(int candidate) const {
+  // The last `candidate * (confirm_repeats + 1)` events must be periodic
+  // with period `candidate`.
+  const int needed = candidate * (params_.confirm_repeats + 1);
+  if (static_cast<int>(history_.size()) < needed) {
+    return false;
+  }
+  const std::size_t n = history_.size();
+  for (int i = 0; i < needed - candidate; ++i) {
+    if (history_[n - 1 - static_cast<std::size_t>(i)] !=
+        history_[n - 1 - static_cast<std::size_t>(i + candidate)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PeriodicityDetector::OnLoopEvent(std::uint64_t loop_id) {
+  history_.push_back(loop_id);
+  if (static_cast<int>(history_.size()) > params_.history) {
+    history_.pop_front();
+  }
+
+  if (period_ > 0) {
+    // Validate the established period incrementally; fall back to searching
+    // when the application changes phase.
+    const std::size_t n = history_.size();
+    if (n > static_cast<std::size_t>(period_) &&
+        history_[n - 1] != history_[n - 1 - static_cast<std::size_t>(period_)]) {
+      period_ = 0;
+      since_start_ = 0;
+      return false;
+    }
+    ++since_start_;
+    if (since_start_ >= period_) {
+      since_start_ = 0;
+      ++periods_seen_;
+      return true;
+    }
+    return false;
+  }
+
+  // Search for the smallest period that holds over confirm_repeats + 1
+  // occurrences.
+  for (int candidate = 1; candidate <= params_.max_period; ++candidate) {
+    if (PeriodHolds(candidate)) {
+      period_ = candidate;
+      since_start_ = 0;
+      ++periods_seen_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,57 @@
+// Dynamic Periodicity Detector (DPD).
+//
+// When only a binary is available, SelfAnalyzer calls are injected with a
+// dynamic interposition tool, and the iterative structure of the application
+// must be discovered at runtime. The DPD receives the stream of parallel
+// loop identifiers (the address of each encapsulated loop, in the real
+// system) and flags the start of each period of the detected cycle.
+#ifndef SRC_RUNTIME_PERIODICITY_DETECTOR_H_
+#define SRC_RUNTIME_PERIODICITY_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+
+namespace pdpa {
+
+class PeriodicityDetector {
+ public:
+  struct Params {
+    // Longest period (in loop events) the detector searches for.
+    int max_period = 64;
+    // Number of full repetitions required before a period is trusted.
+    int confirm_repeats = 2;
+    // History retained, must be >= max_period * (confirm_repeats + 1).
+    int history = 512;
+  };
+
+  PeriodicityDetector();
+  explicit PeriodicityDetector(Params params);
+
+  // Feeds one parallel-loop event. Returns true when this event starts a new
+  // period of the detected cycle (the signal used to delimit outer-loop
+  // iterations for the SelfAnalyzer).
+  bool OnLoopEvent(std::uint64_t loop_id);
+
+  // Detected period length in loop events; 0 while undetected.
+  int period() const { return period_; }
+  bool detected() const { return period_ > 0; }
+
+  // Number of period starts reported so far.
+  int periods_seen() const { return periods_seen_; }
+
+  void Reset();
+
+ private:
+  bool PeriodHolds(int candidate) const;
+
+  Params params_;
+  std::deque<std::uint64_t> history_;
+  int period_ = 0;
+  // Events since the last reported period start.
+  int since_start_ = 0;
+  int periods_seen_ = 0;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_RUNTIME_PERIODICITY_DETECTOR_H_

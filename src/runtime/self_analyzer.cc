@@ -1,0 +1,93 @@
+#include "src/runtime/self_analyzer.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+SelfAnalyzer::SelfAnalyzer(Application* app, SelfAnalyzerParams params, Rng rng)
+    : app_(app), params_(params), rng_(rng) {
+  PDPA_CHECK(app != nullptr);
+  PDPA_CHECK_GE(params.baseline_iterations, 1);
+  PDPA_CHECK_GE(params.measure_iterations, 1);
+  PDPA_CHECK_GT(params.amdahl_factor, 0.0);
+  PDPA_CHECK_LE(params.amdahl_factor, 1.0);
+  baseline_procs_ = std::max(1, app->profile().baseline_procs);
+}
+
+void SelfAnalyzer::OnJobStart(SimTime now) {
+  // Run the first iterations with few processors to establish the reference
+  // time. ForceProcs is a no-op cap if the allocation is already smaller.
+  app_->ForceProcs(baseline_procs_, now);
+}
+
+double SelfAnalyzer::NoisySeconds(SimDuration wall) {
+  const double seconds = TimeToSeconds(wall);
+  if (params_.noise_sigma <= 0.0) {
+    return seconds;
+  }
+  const double factor = std::max(0.5, rng_.Gaussian(1.0, params_.noise_sigma));
+  return seconds * factor;
+}
+
+void SelfAnalyzer::OnIteration(const IterationRecord& record, SimTime now) {
+  if (!baseline_done_) {
+    // Baseline phase: only clean iterations at the baseline count qualify.
+    if (record.clean && record.procs == std::min(baseline_procs_, app_->allocated())) {
+      baseline_sum_s_ += NoisySeconds(record.wall_time);
+      ++baseline_samples_;
+      if (baseline_samples_ >= params_.baseline_iterations) {
+        baseline_time_s_ = baseline_sum_s_ / baseline_samples_;
+        // The baseline may have run on fewer processors than requested if
+        // the allocation was tiny; normalize with the count actually used.
+        baseline_procs_ = record.procs;
+        baseline_done_ = true;
+        app_->ForceProcs(0, now);  // Release to the full allocation.
+      }
+    }
+    return;
+  }
+
+  if (!record.clean) {
+    // A reallocation happened mid-iteration; discard and restart the window.
+    measure_samples_ = 0;
+    measure_sum_s_ = 0.0;
+    return;
+  }
+  if (measure_samples_ > 0 && record.procs != measure_procs_) {
+    measure_samples_ = 0;
+    measure_sum_s_ = 0.0;
+  }
+  measure_procs_ = record.procs;
+  measure_sum_s_ += NoisySeconds(record.wall_time);
+  ++measure_samples_;
+  if (measure_samples_ < params_.measure_iterations) {
+    return;
+  }
+
+  const double time_with_p = measure_sum_s_ / measure_samples_;
+  measure_samples_ = 0;
+  measure_sum_s_ = 0.0;
+  if (time_with_p <= 0.0 || baseline_time_s_ <= 0.0) {
+    return;
+  }
+
+  // Speedup versus baseline, then normalized to "versus one processor":
+  // the baseline with b processors is assumed to run at AF * b speedup
+  // (Amdahl's factor), except b == 1 which is exact.
+  const double versus_baseline = baseline_time_s_ / time_with_p;
+  const double baseline_speedup =
+      baseline_procs_ <= 1 ? 1.0 : params_.amdahl_factor * baseline_procs_;
+  PerfReport report;
+  report.job = app_->id();
+  report.procs = record.procs;
+  report.speedup = std::max(0.05, versus_baseline * baseline_speedup);
+  report.efficiency = report.speedup / std::max(1, record.procs);
+  report.when = now;
+  if (on_report_) {
+    on_report_(report);
+  }
+}
+
+}  // namespace pdpa

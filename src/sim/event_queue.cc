@@ -1,0 +1,48 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+EventId EventQueue::Schedule(SimTime when, EventCallback callback) {
+  PDPA_CHECK_GE(when, last_popped_);
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(callback)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Exact semantics: only events that are still pending can be cancelled;
+  // cancelling an event that already ran (or was cancelled) returns false.
+  return live_.erase(id) > 0;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->SkipCancelled();
+  PDPA_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+SimTime EventQueue::RunNext() {
+  SkipCancelled();
+  PDPA_CHECK(!heap_.empty());
+  // Move the entry out before running: the callback may schedule new events.
+  Entry entry = heap_.top();
+  heap_.pop();
+  live_.erase(entry.id);
+  last_popped_ = entry.when;
+  entry.callback();
+  return entry.when;
+}
+
+}  // namespace pdpa

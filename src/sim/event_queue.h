@@ -1,0 +1,73 @@
+// Discrete-event core: a time-ordered queue of callbacks with stable
+// tie-breaking and O(log n) cancellation.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time_types.h"
+
+namespace pdpa {
+
+using EventCallback = std::function<void()>;
+using EventId = std::uint64_t;
+
+// A priority queue of (time, callback). Events scheduled for the same time
+// fire in scheduling order (FIFO), which keeps simulations deterministic.
+// Cancellation is lazy: cancelled events stay in the heap but are skipped.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `callback` to run at absolute time `when`. `when` must not be
+  // in the past relative to the last popped event.
+  EventId Schedule(SimTime when, EventCallback callback);
+
+  // Cancels a pending event. Returns false if the event already ran or was
+  // already cancelled.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_.empty(); }
+  std::size_t size() const { return live_.size(); }
+
+  // Time of the earliest pending event; only valid when !empty().
+  SimTime NextTime() const;
+
+  // Pops and runs the earliest pending event. Returns its time.
+  SimTime RunNext();
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    EventCallback callback;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  // Ids scheduled but neither run nor cancelled. The heap may additionally
+  // hold cancelled entries, skipped lazily.
+  std::unordered_set<EventId> live_;
+  EventId next_id_ = 1;
+  SimTime last_popped_ = 0;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,68 @@
+#include "src/sim/simulation.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+EventId Simulation::After(SimDuration delay, EventCallback callback) {
+  PDPA_CHECK_GE(delay, 0);
+  return events_.Schedule(now_ + delay, std::move(callback));
+}
+
+int Simulation::SchedulePeriodic(SimTime start, SimDuration period,
+                                 std::function<void(SimTime)> callback) {
+  PDPA_CHECK_GT(period, 0);
+  const int handle = static_cast<int>(periodic_.size());
+  periodic_.push_back(PeriodicTask{period, std::move(callback), true});
+  events_.Schedule(start, [this, handle, start] { FirePeriodic(handle, start); });
+  return handle;
+}
+
+void Simulation::StopPeriodic(int handle) {
+  PDPA_CHECK_GE(handle, 0);
+  PDPA_CHECK_LT(handle, static_cast<int>(periodic_.size()));
+  periodic_[static_cast<std::size_t>(handle)].active = false;
+}
+
+void Simulation::FirePeriodic(int handle, SimTime when) {
+  PeriodicTask& task = periodic_[static_cast<std::size_t>(handle)];
+  if (!task.active) {
+    return;
+  }
+  task.callback(when);
+  if (task.active) {
+    const SimTime next = when + task.period;
+    events_.Schedule(next, [this, handle, next] { FirePeriodic(handle, next); });
+  }
+}
+
+SimTime Simulation::RunUntil(SimTime until) {
+  stop_requested_ = false;
+  while (!events_.empty() && !stop_requested_) {
+    const SimTime next = events_.NextTime();
+    if (next > until) {
+      break;
+    }
+    // Advance the clock before dispatching so callbacks observing now() (and
+    // scheduling relative work with After) see the event's own time.
+    now_ = next;
+    events_.RunNext();
+  }
+  if (now_ < until && events_.empty()) {
+    now_ = until;
+  }
+  return now_;
+}
+
+SimTime Simulation::RunToCompletion() {
+  stop_requested_ = false;
+  while (!events_.empty() && !stop_requested_) {
+    now_ = events_.NextTime();
+    events_.RunNext();
+  }
+  return now_;
+}
+
+}  // namespace pdpa

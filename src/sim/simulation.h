@@ -1,0 +1,59 @@
+// Simulation driver: owns the clock and the event queue, and provides
+// periodic-task plumbing (ticks, scheduler quanta).
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <functional>
+
+#include "src/common/time_types.h"
+#include "src/sim/event_queue.h"
+
+namespace pdpa {
+
+class Simulation {
+ public:
+  Simulation() = default;
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+  EventQueue& events() { return events_; }
+
+  // Schedules a one-shot callback `delay` from now.
+  EventId After(SimDuration delay, EventCallback callback);
+
+  // Schedules `callback(now)` every `period` starting at `start`. The task
+  // keeps rescheduling itself until Stop() is called or the run ends.
+  // Returns a handle usable with StopPeriodic.
+  int SchedulePeriodic(SimTime start, SimDuration period, std::function<void(SimTime)> callback);
+  void StopPeriodic(int handle);
+
+  // Runs events until the queue is empty or the time of the next event
+  // exceeds `until`. Returns the final simulation time (<= until).
+  SimTime RunUntil(SimTime until);
+
+  // Runs until the queue drains completely.
+  SimTime RunToCompletion();
+
+  // Requests that the run loop stop after the current event.
+  void RequestStop() { stop_requested_ = true; }
+
+ private:
+  struct PeriodicTask {
+    SimDuration period = 0;
+    std::function<void(SimTime)> callback;
+    bool active = false;
+  };
+
+  void FirePeriodic(int handle, SimTime when);
+
+  SimTime now_ = 0;
+  EventQueue events_;
+  std::vector<PeriodicTask> periodic_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_SIM_SIMULATION_H_

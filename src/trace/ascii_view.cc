@@ -1,0 +1,34 @@
+#include "src/trace/ascii_view.h"
+
+#include "src/common/strings.h"
+
+namespace pdpa {
+
+std::string RenderAsciiView(const TraceRecorder& recorder, const AsciiViewOptions& options) {
+  const auto& samples = recorder.samples();
+  if (samples.empty()) {
+    return "(no samples)\n";
+  }
+  const int columns = static_cast<int>(samples.size());
+  const int stride_t = columns <= options.max_columns ? 1 : (columns + options.max_columns - 1) /
+                                                               options.max_columns;
+  std::string out;
+  const double col_seconds = TimeToSeconds(recorder.sample_period()) * stride_t;
+  out += StrFormat("time axis: 1 column = %.1f s, total = %.1f s\n", col_seconds,
+                   TimeToSeconds(recorder.sample_period()) * columns);
+  for (int cpu = 0; cpu < recorder.num_cpus(); cpu += options.cpu_stride) {
+    out += StrFormat("cpu%3d |", cpu);
+    for (int s = 0; s < columns; s += stride_t) {
+      const JobId job = samples[static_cast<std::size_t>(s)][static_cast<std::size_t>(cpu)];
+      if (job == kIdleJob) {
+        out += options.idle_char;
+      } else {
+        out += static_cast<char>('a' + (job % 26));
+      }
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,29 @@
+// ASCII rendering of an execution trace: CPUs on the y-axis, time on the
+// x-axis, one letter per job — the terminal equivalent of the Paraver
+// execution views in Fig. 5 of the paper.
+#ifndef SRC_TRACE_ASCII_VIEW_H_
+#define SRC_TRACE_ASCII_VIEW_H_
+
+#include <string>
+
+#include "src/trace/trace_recorder.h"
+
+namespace pdpa {
+
+struct AsciiViewOptions {
+  // Maximum number of time columns; samples are decimated to fit.
+  int max_columns = 100;
+  // Render every cpu_stride-th CPU row.
+  int cpu_stride = 2;
+  // Character used for idle CPUs.
+  char idle_char = '.';
+};
+
+// Renders the recorder's sampled grid. Jobs are mapped to letters by id
+// (a..z, wrapping); idle CPUs render as `idle_char`.
+std::string RenderAsciiView(const TraceRecorder& recorder,
+                            const AsciiViewOptions& options = AsciiViewOptions{});
+
+}  // namespace pdpa
+
+#endif  // SRC_TRACE_ASCII_VIEW_H_

@@ -1,0 +1,133 @@
+#include "src/trace/paraver_reader.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace pdpa {
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ReadParaverTrace(std::istream& in, ParaverTrace* trace, std::string* error) {
+  PDPA_CHECK(trace != nullptr);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("#Paraver", 0) != 0) {
+    return Fail(error, "missing #Paraver header");
+  }
+  // Header: #Paraver (date):DURATION_ns:1(NCPUS):NJOBS:...
+  const std::size_t close_paren = line.find(')');
+  if (close_paren == std::string::npos) {
+    return Fail(error, "malformed header (no date)");
+  }
+  const std::vector<std::string> head =
+      SplitTokens(std::string_view(line).substr(close_paren + 2), ':');
+  if (head.size() < 3) {
+    return Fail(error, "malformed header fields");
+  }
+  // Field 0: "DURATION_ns", field 1: "1(NCPUS)", field 2: NJOBS.
+  long long duration = 0;
+  const std::string duration_text = head[0].substr(0, head[0].find('_'));
+  if (!ParseInt64(duration_text, &duration)) {
+    return Fail(error, "malformed duration");
+  }
+  trace->duration_ns = duration;
+  const std::size_t open = head[1].find('(');
+  const std::size_t close = head[1].find(')');
+  if (open == std::string::npos || close == std::string::npos || close <= open) {
+    return Fail(error, "malformed node list");
+  }
+  if (!ParseInt(std::string_view(head[1]).substr(open + 1, close - open - 1), &trace->num_cpus)) {
+    return Fail(error, "malformed cpu count");
+  }
+  if (!ParseInt(head[2], &trace->num_jobs)) {
+    return Fail(error, "malformed job count");
+  }
+
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#' || trimmed.front() == 'c') {
+      continue;  // comments / communicator lines
+    }
+    const std::vector<std::string> fields = SplitTokens(trimmed, ':');
+    if (fields.empty() || fields[0] != "1") {
+      continue;  // not a state record
+    }
+    if (fields.size() != 8) {
+      return Fail(error, StrFormat("line %d: state record needs 8 fields", line_number));
+    }
+    ParaverStateRecord record;
+    int cpu1 = 0;
+    int appl1 = 0;
+    long long begin = 0;
+    long long end = 0;
+    int state = 0;
+    if (!ParseInt(fields[1], &cpu1) || !ParseInt(fields[2], &appl1) ||
+        !ParseInt64(fields[5], &begin) || !ParseInt64(fields[6], &end) ||
+        !ParseInt(fields[7], &state)) {
+      return Fail(error, StrFormat("line %d: malformed state record", line_number));
+    }
+    if (state != 1) {
+      continue;  // only "running" intervals carry ownership
+    }
+    record.cpu = cpu1 - 1;
+    record.job = appl1 - 1;
+    record.begin_ns = begin;
+    record.end_ns = end;
+    if (record.cpu < 0 || record.cpu >= trace->num_cpus || record.end_ns < record.begin_ns) {
+      return Fail(error, StrFormat("line %d: out-of-range state record", line_number));
+    }
+    trace->records.push_back(record);
+  }
+  return true;
+}
+
+TraceStats ComputeStatsFromTrace(const ParaverTrace& trace) {
+  TraceStats stats;
+  // Group records per CPU, sorted by begin time.
+  std::vector<std::vector<ParaverStateRecord>> per_cpu(
+      static_cast<std::size_t>(std::max(1, trace.num_cpus)));
+  double busy_ns = 0.0;
+  for (const ParaverStateRecord& record : trace.records) {
+    per_cpu[static_cast<std::size_t>(record.cpu)].push_back(record);
+    busy_ns += static_cast<double>(record.end_ns - record.begin_ns);
+  }
+  double total_burst_ns = 0.0;
+  for (auto& records : per_cpu) {
+    std::sort(records.begin(), records.end(),
+              [](const ParaverStateRecord& a, const ParaverStateRecord& b) {
+                return a.begin_ns < b.begin_ns;
+              });
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      ++stats.total_bursts;
+      total_burst_ns += static_cast<double>(records[i].end_ns - records[i].begin_ns);
+      if (i > 0 && records[i].begin_ns == records[i - 1].end_ns &&
+          records[i].job != records[i - 1].job) {
+        ++stats.migrations;
+      }
+    }
+  }
+  if (stats.total_bursts > 0) {
+    stats.avg_burst_ms = total_burst_ns / static_cast<double>(stats.total_bursts) / 1e6;
+  }
+  if (trace.num_cpus > 0) {
+    stats.avg_bursts_per_cpu = static_cast<double>(stats.total_bursts) / trace.num_cpus;
+    if (trace.duration_ns > 0) {
+      stats.utilization =
+          busy_ns / (static_cast<double>(trace.duration_ns) * trace.num_cpus);
+    }
+  }
+  return stats;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,48 @@
+// Minimal Paraver (.prv) trace reader: the inverse of paraver_writer.
+//
+// Parses the header and CPU state records back into per-CPU busy intervals
+// so archived traces can be re-analyzed (migrations, bursts, utilization)
+// without re-running the simulation — what the paper does offline with the
+// Paraver tool on `scpus` traces.
+#ifndef SRC_TRACE_PARAVER_READER_H_
+#define SRC_TRACE_PARAVER_READER_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/trace/trace_recorder.h"
+
+namespace pdpa {
+
+// One state record: CPU `cpu` ran job `job` over [begin_ns, end_ns).
+struct ParaverStateRecord {
+  int cpu = 0;           // zero-based
+  JobId job = kIdleJob;  // zero-based
+  long long begin_ns = 0;
+  long long end_ns = 0;
+};
+
+struct ParaverTrace {
+  int num_cpus = 0;
+  int num_jobs = 0;
+  long long duration_ns = 0;
+  std::vector<ParaverStateRecord> records;
+};
+
+// Parses a .prv stream. Returns false (with *error set) on malformed input.
+bool ReadParaverTrace(std::istream& in, ParaverTrace* trace, std::string* error = nullptr);
+
+// Recomputes Table-2-style statistics from a parsed trace. Migrations are
+// counted as in TraceRecorder: a CPU passing directly from one job to
+// another (end of one record == begin of the next, different jobs). Note
+// that .prv traces are built from the recorder's *sampled* grid, so a
+// release and an acquisition falling within one sample period appear
+// back-to-back and are counted as a migration — offline stats can therefore
+// over-count migrations relative to the live recorder.
+TraceStats ComputeStatsFromTrace(const ParaverTrace& trace);
+
+}  // namespace pdpa
+
+#endif  // SRC_TRACE_PARAVER_READER_H_

@@ -1,0 +1,99 @@
+#include "src/trace/trace_recorder.h"
+
+#include "src/common/logging.h"
+
+namespace pdpa {
+
+TraceRecorder::TraceRecorder(int num_cpus, SimDuration sample_period)
+    : num_cpus_(num_cpus), sample_period_(sample_period) {
+  PDPA_CHECK_GT(num_cpus, 0);
+  PDPA_CHECK_GT(sample_period, 0);
+  owner_.assign(static_cast<std::size_t>(num_cpus), kIdleJob);
+  burst_start_.assign(static_cast<std::size_t>(num_cpus), 0);
+}
+
+void TraceRecorder::CloseBurst(int cpu, SimTime now) {
+  const std::size_t index = static_cast<std::size_t>(cpu);
+  if (owner_[index] == kIdleJob) {
+    return;
+  }
+  const SimDuration burst = now - burst_start_[index];
+  if (burst > 0) {
+    ++total_bursts_;
+    total_burst_us_ += static_cast<double>(burst);
+  }
+}
+
+void TraceRecorder::OnHandoff(SimTime now, const CpuHandoff& handoff) {
+  PDPA_CHECK(!finalized_);
+  PDPA_CHECK_GE(handoff.cpu, 0);
+  PDPA_CHECK_LT(handoff.cpu, num_cpus_);
+  const std::size_t index = static_cast<std::size_t>(handoff.cpu);
+  // The caller's `from` describes the policy's view; the recorder trusts its
+  // own owner bookkeeping, which must agree.
+  if (owner_[index] == handoff.to) {
+    return;  // No-op handoff.
+  }
+  // Utilization integral segment.
+  busy_integral_us_ += static_cast<double>(busy_cpus_) * static_cast<double>(now - last_busy_update_);
+  last_busy_update_ = now;
+
+  if (owner_[index] != kIdleJob && handoff.to != kIdleJob) {
+    ++migrations_;
+  }
+  CloseBurst(handoff.cpu, now);
+  if (owner_[index] != kIdleJob) {
+    --busy_cpus_;
+  }
+  owner_[index] = handoff.to;
+  if (handoff.to != kIdleJob) {
+    ++busy_cpus_;
+    burst_start_[index] = now;
+  }
+}
+
+void TraceRecorder::OnHandoffs(SimTime now, const std::vector<CpuHandoff>& handoffs) {
+  for (const CpuHandoff& handoff : handoffs) {
+    OnHandoff(now, handoff);
+  }
+}
+
+void TraceRecorder::Tick(SimTime now) {
+  if (finalized_) {
+    return;
+  }
+  while (now >= next_sample_) {
+    samples_.push_back(owner_);
+    next_sample_ += sample_period_;
+  }
+}
+
+void TraceRecorder::Finalize(SimTime now) {
+  if (finalized_) {
+    return;
+  }
+  busy_integral_us_ += static_cast<double>(busy_cpus_) * static_cast<double>(now - last_busy_update_);
+  last_busy_update_ = now;
+  for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+    CloseBurst(cpu, now);
+  }
+  end_time_ = now;
+  finalized_ = true;
+}
+
+TraceStats TraceRecorder::ComputeStats() const {
+  PDPA_CHECK(finalized_) << "call Finalize() first";
+  TraceStats stats;
+  stats.migrations = migrations_;
+  stats.total_bursts = total_bursts_;
+  stats.avg_burst_ms =
+      total_bursts_ == 0 ? 0.0 : total_burst_us_ / static_cast<double>(total_bursts_) / 1000.0;
+  stats.avg_bursts_per_cpu = static_cast<double>(total_bursts_) / num_cpus_;
+  if (end_time_ > 0) {
+    stats.utilization =
+        busy_integral_us_ / (static_cast<double>(end_time_) * static_cast<double>(num_cpus_));
+  }
+  return stats;
+}
+
+}  // namespace pdpa

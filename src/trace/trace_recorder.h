@@ -1,0 +1,80 @@
+// Execution tracing, the simulator's equivalent of the paper's `scpus` tool
+// feeding the Paraver visualizer.
+//
+// The recorder observes every CPU ownership change and derives:
+//   * kernel-thread migration counts (ownership handoffs between two jobs),
+//   * per-CPU burst statistics (how long a CPU keeps executing one job),
+//   * a sampled CPU x time grid for ASCII "execution views" (Fig. 5),
+//   * machine utilization (owned CPU-seconds / capacity).
+#ifndef SRC_TRACE_TRACE_RECORDER_H_
+#define SRC_TRACE_TRACE_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time_types.h"
+#include "src/machine/machine.h"
+
+namespace pdpa {
+
+struct TraceStats {
+  // Ownership handoffs from one job directly to another (a kernel thread of
+  // the new job displaced the previous job's thread on that CPU).
+  long long migrations = 0;
+  // Bursts: maximal intervals during which one CPU continuously executes
+  // the same job.
+  long long total_bursts = 0;
+  double avg_burst_ms = 0.0;
+  double avg_bursts_per_cpu = 0.0;
+  // Owned CPU-time / (capacity * wall time), in [0, 1].
+  double utilization = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder(int num_cpus, SimDuration sample_period = 500 * kMillisecond);
+
+  // One CPU changed owner at `now`.
+  void OnHandoff(SimTime now, const CpuHandoff& handoff);
+  void OnHandoffs(SimTime now, const std::vector<CpuHandoff>& handoffs);
+
+  // Called every simulation tick; samples the grid when a period elapsed.
+  void Tick(SimTime now);
+
+  // Closes open bursts and the utilization integral at `now`.
+  void Finalize(SimTime now);
+
+  TraceStats ComputeStats() const;
+
+  int num_cpus() const { return num_cpus_; }
+  SimDuration sample_period() const { return sample_period_; }
+  // samples()[s][cpu] is the job owning `cpu` at sample instant s.
+  const std::vector<std::vector<JobId>>& samples() const { return samples_; }
+
+ private:
+  void CloseBurst(int cpu, SimTime now);
+
+  int num_cpus_;
+  SimDuration sample_period_;
+
+  std::vector<JobId> owner_;
+  std::vector<SimTime> burst_start_;
+
+  long long migrations_ = 0;
+  long long total_bursts_ = 0;
+  double total_burst_us_ = 0.0;
+
+  SimTime last_busy_update_ = 0;
+  int busy_cpus_ = 0;
+  double busy_integral_us_ = 0.0;
+  SimTime end_time_ = 0;
+
+  SimTime next_sample_ = 0;
+  std::vector<std::vector<JobId>> samples_;
+  bool finalized_ = false;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_TRACE_TRACE_RECORDER_H_

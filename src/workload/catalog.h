@@ -1,0 +1,33 @@
+// The paper's four workloads (Table 1): per-class shares of the generated
+// processor demand.
+#ifndef SRC_WORKLOAD_CATALOG_H_
+#define SRC_WORKLOAD_CATALOG_H_
+
+#include <array>
+#include <vector>
+
+#include "src/qs/job.h"
+#include "src/qs/workload_generator.h"
+
+namespace pdpa {
+
+enum class WorkloadId : int {
+  kW1 = 1,  // 50% swim, 50% bt
+  kW2 = 2,  // 50% bt, 50% hydro2d
+  kW3 = 3,  // 50% bt, 50% apsi
+  kW4 = 4,  // 25% each
+};
+
+const char* WorkloadName(WorkloadId id);
+
+std::array<double, kNumAppClasses> WorkloadShares(WorkloadId id);
+
+// Builds the arrival trace for a workload at the given load. `untuned`
+// overrides every request to 30 processors (the paper's "not tuned"
+// experiments, Tables 3 and 4).
+std::vector<JobSpec> BuildWorkload(WorkloadId id, double load, std::uint64_t seed,
+                                   bool untuned = false, int num_cpus = 60);
+
+}  // namespace pdpa
+
+#endif  // SRC_WORKLOAD_CATALOG_H_

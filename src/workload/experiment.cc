@@ -1,0 +1,122 @@
+#include "src/workload/experiment.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/core/pdpa_policy.h"
+#include "src/qs/queuing_system.h"
+#include "src/rm/equal_efficiency.h"
+#include "src/rm/equipartition.h"
+#include "src/rm/irix.h"
+#include "src/rm/mccann_dynamic.h"
+#include "src/sim/simulation.h"
+#include <sstream>
+
+#include "src/trace/ascii_view.h"
+#include "src/trace/paraver_writer.h"
+
+namespace pdpa {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kIrix:
+      return "IRIX";
+    case PolicyKind::kEquipartition:
+      return "Equip";
+    case PolicyKind::kEqualEfficiency:
+      return "Equal_eff";
+    case PolicyKind::kPdpa:
+      return "PDPA";
+    case PolicyKind::kMcCannDynamic:
+      return "Dynamic";
+  }
+  return "?";
+}
+
+std::unique_ptr<SchedulingPolicy> MakePolicy(const ExperimentConfig& config) {
+  switch (config.policy) {
+    case PolicyKind::kIrix: {
+      IrixTimeShare::Params params;
+      params.fixed_ml = config.multiprogramming_level;
+      return std::make_unique<IrixTimeShare>(params, Rng(config.seed ^ 0x1217ULL));
+    }
+    case PolicyKind::kEquipartition:
+      return std::make_unique<Equipartition>(config.multiprogramming_level);
+    case PolicyKind::kEqualEfficiency: {
+      EqualEfficiency::Params params;
+      params.fixed_ml = config.multiprogramming_level;
+      return std::make_unique<EqualEfficiency>(params);
+    }
+    case PolicyKind::kPdpa: {
+      PdpaMlParams ml;
+      ml.default_ml = config.multiprogramming_level;
+      ml.coordinated = config.pdpa_coordinated_ml;
+      return std::make_unique<PdpaPolicy>(config.pdpa, ml);
+    }
+    case PolicyKind::kMcCannDynamic: {
+      McCannDynamic::Params params;
+      params.fixed_ml = config.multiprogramming_level;
+      return std::make_unique<McCannDynamic>(params);
+    }
+  }
+  PDPA_CHECK(false) << "unknown policy";
+  return nullptr;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  Simulation sim;
+  std::unique_ptr<TraceRecorder> trace;
+  if (config.record_trace) {
+    trace = std::make_unique<TraceRecorder>(config.num_cpus);
+  }
+
+  ResourceManager::Params rm_params = config.rm;
+  rm_params.num_cpus = config.num_cpus;
+
+  ResourceManager rm(rm_params, MakePolicy(config), &sim, trace.get(), Rng(config.seed ^ 0x5EEDULL));
+
+  std::vector<JobSpec> jobs = config.jobs_override;
+  if (jobs.empty()) {
+    jobs = BuildWorkload(config.workload, config.load, config.seed, config.untuned,
+                         config.num_cpus);
+  }
+  QueuingSystem::Options qs_options;
+  qs_options.order = config.queue_order;
+  qs_options.hold_rigid_until_fit = config.hold_rigid_until_fit;
+  QueuingSystem qs(&sim, &rm, jobs, qs_options);
+
+  rm.Start();
+  qs.Start();
+
+  // Run in one-minute slices until the workload drains or the cutoff hits.
+  SimTime horizon = 0;
+  while (!qs.AllJobsDone() && sim.now() < config.max_sim_time) {
+    horizon += 60 * kSecond;
+    sim.RunUntil(horizon);
+  }
+  rm.Stop();
+
+  ExperimentResult result;
+  result.policy_name = rm.policy().name();
+  result.completed = qs.AllJobsDone();
+  result.sim_end_s = TimeToSeconds(sim.now());
+  result.metrics = ComputeMetrics(qs.outcomes(), rm.alloc_integral_us());
+  result.max_ml = qs.max_ml();
+  result.reallocations = rm.total_reallocations();
+  result.ml_timeline_s.reserve(qs.ml_timeline().size());
+  for (const auto& [when, ml] : qs.ml_timeline()) {
+    result.ml_timeline_s.emplace_back(TimeToSeconds(when), ml);
+  }
+  if (trace != nullptr) {
+    trace->Finalize(sim.now());
+    result.trace_stats = trace->ComputeStats();
+    result.utilization = result.trace_stats.utilization;
+    result.ascii_view = RenderAsciiView(*trace);
+    std::ostringstream prv;
+    WriteParaverTrace(*trace, static_cast<int>(jobs.size()), prv);
+    result.paraver_trace = prv.str();
+  }
+  return result;
+}
+
+}  // namespace pdpa

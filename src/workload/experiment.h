@@ -1,0 +1,99 @@
+// ExperimentRunner: the facade that assembles one complete NANOS stack
+// (machine + RM + QS + runtime bindings + trace) and executes a workload
+// under one policy. Every benchmark and the integration tests go through
+// this entry point.
+#ifndef SRC_WORKLOAD_EXPERIMENT_H_
+#define SRC_WORKLOAD_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pdpa.h"
+#include "src/metrics/metrics.h"
+#include "src/qs/queuing_system.h"
+#include "src/rm/policy.h"
+#include "src/rm/resource_manager.h"
+#include "src/trace/trace_recorder.h"
+#include "src/workload/catalog.h"
+
+namespace pdpa {
+
+enum class PolicyKind : int {
+  kIrix = 0,
+  kEquipartition = 1,
+  kEqualEfficiency = 2,
+  kPdpa = 3,
+  // Related-work baseline (McCann et al.), not part of the paper's four.
+  kMcCannDynamic = 4,
+};
+
+const char* PolicyKindName(PolicyKind kind);
+
+struct ExperimentConfig {
+  WorkloadId workload = WorkloadId::kW1;
+  double load = 1.0;
+  PolicyKind policy = PolicyKind::kPdpa;
+  std::uint64_t seed = 42;
+
+  int num_cpus = 60;
+  // Fixed ML for the baselines; default (initial) ML for PDPA.
+  int multiprogramming_level = 4;
+  PdpaParams pdpa;
+  // Ablation: disable PDPA's coordinated ML rule (fixed ML like baselines).
+  bool pdpa_coordinated_ml = true;
+
+  // Overrides every request to 30 CPUs ("not tuned" experiments).
+  bool untuned = false;
+
+  // Record the CPU ownership trace (needed for Fig. 5 / Table 2).
+  bool record_trace = false;
+
+  ResourceManager::Params rm;
+
+  // Safety cutoff; experiments that have not drained by then are reported
+  // with completed = false.
+  SimDuration max_sim_time = 6 * 3600 * kSecond;
+
+  // Job-selection order within the queue (extension; the paper uses FCFS).
+  QueueOrder queue_order = QueueOrder::kFcfs;
+  // Classic rigid regime: rigid jobs wait for their full request instead of
+  // starting folded (see QueuingSystem::Options).
+  bool hold_rigid_until_fit = false;
+
+  // Use a pre-built job trace instead of generating one (SWF replay). When
+  // non-empty, workload/load/seed/untuned are ignored for generation.
+  std::vector<JobSpec> jobs_override;
+};
+
+struct ExperimentResult {
+  std::string policy_name;
+  WorkloadMetrics metrics;
+  bool completed = false;
+  double sim_end_s = 0.0;
+
+  // Only meaningful when record_trace was set.
+  TraceStats trace_stats;
+  std::string ascii_view;
+  // Paraver (.prv) rendering of the trace, ready to write to a file.
+  std::string paraver_trace;
+
+  // Multiprogramming level over time (seconds, running jobs) and its peak.
+  std::vector<std::pair<double, int>> ml_timeline_s;
+  int max_ml = 0;
+
+  // Machine utilization over the run (owned CPU time / capacity).
+  double utilization = 0.0;
+
+  // Allocation changes applied by the RM over the run.
+  long long reallocations = 0;
+};
+
+// Builds the policy instance for `config`.
+std::unique_ptr<SchedulingPolicy> MakePolicy(const ExperimentConfig& config);
+
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+}  // namespace pdpa
+
+#endif  // SRC_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,123 @@
+// Tests for the cluster-of-SMPs extension: per-node RMs, placement, and
+// the cluster queuing system.
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/core/pdpa_policy.h"
+#include "src/rm/equipartition.h"
+
+namespace pdpa {
+namespace {
+
+ResourceManager::Params FastParams() {
+  ResourceManager::Params params;
+  params.analyzer.noise_sigma = 0.0;
+  params.app_costs.reconfig_freeze = 0;
+  params.app_costs.warmup = 0;
+  return params;
+}
+
+std::vector<JobSpec> MakeJobs(int count, AppClass app_class, int request,
+                              SimDuration spacing = kSecond) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < count; ++i) {
+    JobSpec spec;
+    spec.id = i;
+    spec.app_class = app_class;
+    spec.submit = i * spacing;
+    spec.request = request;
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+TEST(ClusterTest, NodesAreIndependentMachines) {
+  Simulation sim;
+  Cluster cluster(&sim, 3, 8, [] { return std::make_unique<Equipartition>(4); }, FastParams(),
+                  Rng(1));
+  EXPECT_EQ(cluster.num_nodes(), 3);
+  for (int i = 0; i < 3; ++i) {
+    const Cluster::NodeStats stats = cluster.StatsOf(i);
+    EXPECT_EQ(stats.free_cpus, 8);
+    EXPECT_EQ(stats.running_jobs, 0);
+    EXPECT_TRUE(stats.can_admit);
+  }
+}
+
+TEST(ClusterTest, RoundRobinSpreadsJobsAcrossNodes) {
+  Simulation sim;
+  Cluster cluster(&sim, 4, 8, [] { return std::make_unique<Equipartition>(4); }, FastParams(),
+                  Rng(1));
+  ClusterQueuingSystem qs(&sim, &cluster, MakeJobs(4, AppClass::kApsi, 2),
+                          PlacementPolicy::kRoundRobin);
+  cluster.Start();
+  qs.Start();
+  sim.RunUntil(5 * kSecond);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.StatsOf(i).running_jobs, 1) << "node " << i;
+  }
+  sim.RunUntil(2 * 3600 * kSecond);
+  ASSERT_TRUE(qs.AllJobsDone());
+  // Each job ran on a distinct node.
+  std::set<int> nodes(qs.outcome_nodes().begin(), qs.outcome_nodes().end());
+  EXPECT_EQ(nodes.size(), 4u);
+}
+
+TEST(ClusterTest, MostFreePlacementPicksEmptiestNode) {
+  Simulation sim;
+  Cluster cluster(&sim, 2, 16, [] { return std::make_unique<PdpaPolicy>(PdpaParams{},
+                                                                        PdpaMlParams{}); },
+                  FastParams(), Rng(1));
+  ClusterQueuingSystem qs(&sim, &cluster, MakeJobs(3, AppClass::kHydro2d, 12, 5 * kSecond),
+                          PlacementPolicy::kMostFreeCpus);
+  cluster.Start();
+  qs.Start();
+  sim.RunUntil(12 * kSecond);
+  // Job 0 -> node with most free (tie: node 0); job 1 -> the other node;
+  // job 2 -> whichever has more free after PDPA trimmed the first two.
+  EXPECT_GE(cluster.StatsOf(0).running_jobs, 1);
+  EXPECT_GE(cluster.StatsOf(1).running_jobs, 1);
+  sim.RunUntil(2 * 3600 * kSecond);
+  EXPECT_TRUE(qs.AllJobsDone());
+}
+
+TEST(ClusterTest, QueueHoldsJobsWhenNoNodeAdmits) {
+  Simulation sim;
+  // Single node, ML 1: the second job must queue until the first finishes.
+  Cluster cluster(&sim, 1, 8, [] { return std::make_unique<Equipartition>(1); }, FastParams(),
+                  Rng(1));
+  ClusterQueuingSystem qs(&sim, &cluster, MakeJobs(2, AppClass::kApsi, 2),
+                          PlacementPolicy::kRoundRobin);
+  cluster.Start();
+  qs.Start();
+  sim.RunUntil(5 * kSecond);
+  EXPECT_EQ(qs.queued(), 1);
+  sim.RunUntil(2 * 3600 * kSecond);
+  ASSERT_TRUE(qs.AllJobsDone());
+  // Strictly sequential: the second start is at/after the first finish.
+  const auto& outcomes = qs.outcomes();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_GE(outcomes[1].start, outcomes[0].finish);
+}
+
+TEST(ClusterTest, PerNodePdpaStillTrimsUnscalableJobs) {
+  Simulation sim;
+  Cluster cluster(&sim, 2, 16, [] { return std::make_unique<PdpaPolicy>(PdpaParams{},
+                                                                        PdpaMlParams{}); },
+                  FastParams(), Rng(1));
+  ClusterQueuingSystem qs(&sim, &cluster, MakeJobs(2, AppClass::kApsi, 16, kSecond),
+                          PlacementPolicy::kLeastLoaded);
+  cluster.Start();
+  qs.Start();
+  sim.RunUntil(60 * kSecond);
+  // Both apsi jobs (placed on different nodes) must have been walked down
+  // toward the floor by their node's PDPA.
+  int total_allocated = 0;
+  for (int node = 0; node < 2; ++node) {
+    total_allocated += 16 - cluster.StatsOf(node).free_cpus;
+  }
+  EXPECT_LE(total_allocated, 6);
+}
+
+}  // namespace
+}  // namespace pdpa

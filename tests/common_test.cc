@@ -1,0 +1,190 @@
+// Unit tests for src/common: rng, stats, strings, time types, logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+#include "src/common/time_types.h"
+
+namespace pdpa {
+namespace {
+
+TEST(TimeTypesTest, Conversions) {
+  EXPECT_EQ(SecondsToTime(1.0), kSecond);
+  EXPECT_EQ(SecondsToTime(0.5), 500 * kMillisecond);
+  EXPECT_EQ(MillisToTime(20), 20 * kMillisecond);
+  EXPECT_DOUBLE_EQ(TimeToSeconds(kSecond * 3), 3.0);
+  EXPECT_DOUBLE_EQ(TimeToMillis(kMillisecond * 7), 7.0);
+  // Round-trip within one microsecond.
+  EXPECT_NEAR(TimeToSeconds(SecondsToTime(123.456789)), 123.456789, 1e-6);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(rng.Gaussian(10.0, 2.0));
+  }
+  EXPECT_NEAR(stat.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(rng.Exponential(0.25));
+  }
+  EXPECT_NEAR(stat.mean(), 4.0, 0.1);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // The child stream should not equal the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == child.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RunningStatTest, Basics) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  stat.Add(2.0);
+  stat.Add(4.0);
+  stat.Add(6.0);
+  EXPECT_EQ(stat.count(), 3u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 6.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 12.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> values = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7}, 99), 7.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+}
+
+TEST(EwmaTest, ConvergesTowardConstantInput) {
+  Ewma ewma(0.5);
+  EXPECT_TRUE(ewma.empty());
+  ewma.Add(10);
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+  ewma.Add(20);
+  EXPECT_DOUBLE_EQ(ewma.value(), 15.0);
+  ewma.Add(20);
+  EXPECT_DOUBLE_EQ(ewma.value(), 17.5);
+}
+
+TEST(StringsTest, SplitTokens) {
+  const auto tokens = SplitTokens("  a  bb   ccc ", ' ');
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "bb");
+  EXPECT_EQ(tokens[2], "ccc");
+  EXPECT_TRUE(SplitTokens("", ' ').empty());
+  EXPECT_TRUE(SplitTokens("   ", ' ').empty());
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("  "), "");
+  EXPECT_EQ(Trim("\ta b\n"), "a b");
+}
+
+TEST(StringsTest, ParseNumbers) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_TRUE(ParseDouble(" -2e3 ", &d));
+  EXPECT_DOUBLE_EQ(d, -2000.0);
+  EXPECT_FALSE(ParseDouble("abc", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("1.5x", &d));
+
+  int i = 0;
+  EXPECT_TRUE(ParseInt("42", &i));
+  EXPECT_EQ(i, 42);
+  EXPECT_TRUE(ParseInt("-1", &i));
+  EXPECT_EQ(i, -1);
+  EXPECT_FALSE(ParseInt("4.2", &i));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");
+}
+
+TEST(LoggingTest, LevelGating) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kNone);
+  PDPA_LOG(Error) << "must not crash and must not print";
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ PDPA_CHECK(1 == 2) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ PDPA_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace pdpa

@@ -1,0 +1,77 @@
+// Tests for the command-line flag parser used by tools/pdpa_sim.
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+
+namespace pdpa {
+namespace {
+
+FlagSet ParseArgs(std::vector<const char*> args) {
+  return FlagSet::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, KeyEqualsValue) {
+  FlagSet flags = ParseArgs({"--load=0.8", "--policy=pdpa"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("load", 0.0), 0.8);
+  EXPECT_EQ(flags.GetString("policy", ""), "pdpa");
+}
+
+TEST(FlagsTest, KeySpaceValue) {
+  FlagSet flags = ParseArgs({"--seed", "77", "--workload", "w3"});
+  EXPECT_EQ(flags.GetInt("seed", 0), 77);
+  EXPECT_EQ(flags.GetString("workload", ""), "w3");
+}
+
+TEST(FlagsTest, BareSwitchIsTrue) {
+  FlagSet flags = ParseArgs({"--untuned", "--view", "--load=1.0"});
+  EXPECT_TRUE(flags.GetBool("untuned", false));
+  EXPECT_TRUE(flags.GetBool("view", false));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+}
+
+TEST(FlagsTest, SwitchFollowedByFlagStaysBoolean) {
+  FlagSet flags = ParseArgs({"--dry-run", "--policy", "equip"});
+  EXPECT_TRUE(flags.GetBool("dry-run", false));
+  EXPECT_EQ(flags.GetString("policy", ""), "equip");
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagSet flags = ParseArgs({"input.swf", "--policy=pdpa", "output.prv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.swf");
+  EXPECT_EQ(flags.positional()[1], "output.prv");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  FlagSet flags = ParseArgs({});
+  EXPECT_EQ(flags.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 1.5), 1.5);
+  EXPECT_EQ(flags.GetString("s", "d"), "d");
+  EXPECT_FALSE(flags.had_parse_error());
+}
+
+TEST(FlagsTest, MalformedNumberFlagsError) {
+  FlagSet flags = ParseArgs({"--seed=abc"});
+  EXPECT_EQ(flags.GetInt("seed", 7), 7);
+  EXPECT_TRUE(flags.had_parse_error());
+}
+
+TEST(FlagsTest, UnconsumedFlagsDetected) {
+  FlagSet flags = ParseArgs({"--known=1", "--typo=2"});
+  (void)flags.GetInt("known", 0);
+  const auto unconsumed = flags.UnconsumedFlags();
+  ASSERT_EQ(unconsumed.size(), 1u);
+  EXPECT_EQ(unconsumed[0], "typo");
+}
+
+TEST(FlagsTest, BoolValueSpellings) {
+  FlagSet flags = ParseArgs({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+}  // namespace
+}  // namespace pdpa

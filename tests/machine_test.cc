@@ -1,0 +1,194 @@
+// Unit and property tests for the machine model: CpuSet and the
+// affinity-preserving allocation engine.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/machine/cpuset.h"
+#include "src/machine/machine.h"
+
+namespace pdpa {
+namespace {
+
+TEST(CpuSetTest, BasicOps) {
+  CpuSet set;
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.First(), -1);
+  set.Add(3);
+  set.Add(5);
+  EXPECT_EQ(set.Count(), 2);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_EQ(set.First(), 3);
+  set.Remove(3);
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_EQ(set.Count(), 1);
+  EXPECT_FALSE(set.Contains(-1));
+  EXPECT_FALSE(set.Contains(kMaxCpus));
+}
+
+TEST(CpuSetTest, RangeAndToVector) {
+  const CpuSet set = CpuSet::Range(4, 3);
+  EXPECT_EQ(set.Count(), 3);
+  EXPECT_EQ(set.ToVector(), (std::vector<int>{4, 5, 6}));
+}
+
+TEST(CpuSetTest, SetAlgebra) {
+  const CpuSet a = CpuSet::Range(0, 4);   // 0-3
+  const CpuSet b = CpuSet::Range(2, 4);   // 2-5
+  EXPECT_EQ(a.Union(b).Count(), 6);
+  EXPECT_EQ(a.Intersect(b).ToVector(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(a.Minus(b).ToVector(), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(a.Intersect(CpuSet{}).Empty());
+}
+
+TEST(CpuSetTest, ToStringCompactsRuns) {
+  CpuSet set;
+  set.Add(0);
+  set.Add(1);
+  set.Add(2);
+  set.Add(8);
+  set.Add(10);
+  set.Add(11);
+  EXPECT_EQ(set.ToString(), "0-2,8,10-11");
+  EXPECT_EQ(CpuSet{}.ToString(), "");
+}
+
+TEST(MachineTest, StartsIdle) {
+  Machine machine(8);
+  EXPECT_EQ(machine.FreeCpus(), 8);
+  EXPECT_EQ(machine.OwnerOf(0), kIdleJob);
+  EXPECT_TRUE(machine.RunningJobs().empty());
+}
+
+TEST(MachineTest, ApplyAllocationAssignsExactCounts) {
+  Machine machine(10);
+  const auto handoffs = machine.ApplyAllocation({{1, 4}, {2, 3}});
+  EXPECT_EQ(machine.CountOf(1), 4);
+  EXPECT_EQ(machine.CountOf(2), 3);
+  EXPECT_EQ(machine.FreeCpus(), 3);
+  EXPECT_EQ(handoffs.size(), 7u);
+  for (const CpuHandoff& h : handoffs) {
+    EXPECT_EQ(h.from, kIdleJob);
+  }
+}
+
+TEST(MachineTest, ShrinkReleasesHighestCpusFirst) {
+  Machine machine(10);
+  machine.ApplyAllocation({{1, 6}});
+  // Job 1 owns cpus 0-5. Shrink to 3: cpus 3-5 released, 0-2 kept (affinity).
+  machine.ApplyAllocation({{1, 3}});
+  EXPECT_EQ(machine.CpusOf(1).ToVector(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(MachineTest, GrowPrefersIdleCpus) {
+  Machine machine(10);
+  machine.ApplyAllocation({{1, 3}, {2, 3}});
+  const CpuSet before = machine.CpusOf(1);
+  machine.ApplyAllocation({{1, 5}, {2, 3}});
+  // Job 1 kept all its CPUs and gained two idle ones; job 2 untouched.
+  EXPECT_EQ(machine.CpusOf(1).Intersect(before).Count(), 3);
+  EXPECT_EQ(machine.CountOf(2), 3);
+}
+
+TEST(MachineTest, DirectHandoffCollapsesReleaseAcquirePairs) {
+  Machine machine(4);
+  machine.ApplyAllocation({{1, 4}});
+  // All CPUs move from job 1 to job 2: each handoff must be 1 -> 2 directly,
+  // not 1 -> idle plus idle -> 2.
+  const auto handoffs = machine.ApplyAllocation({{2, 4}});
+  ASSERT_EQ(handoffs.size(), 4u);
+  for (const CpuHandoff& h : handoffs) {
+    EXPECT_EQ(h.from, 1);
+    EXPECT_EQ(h.to, 2);
+  }
+}
+
+TEST(MachineTest, JobAbsentFromTargetIsReleased) {
+  Machine machine(6);
+  machine.ApplyAllocation({{1, 3}, {2, 3}});
+  machine.ApplyAllocation({{2, 3}});
+  EXPECT_EQ(machine.CountOf(1), 0);
+  EXPECT_EQ(machine.CountOf(2), 3);
+  EXPECT_EQ(machine.FreeCpus(), 3);
+}
+
+TEST(MachineTest, ReleaseJobFreesEverything) {
+  Machine machine(6);
+  machine.ApplyAllocation({{7, 4}});
+  const auto handoffs = machine.ReleaseJob(7);
+  EXPECT_EQ(handoffs.size(), 4u);
+  EXPECT_EQ(machine.FreeCpus(), 6);
+  EXPECT_TRUE(machine.ReleaseJob(7).empty());
+}
+
+TEST(MachineTest, RunningJobsListsOwners) {
+  Machine machine(6);
+  machine.ApplyAllocation({{3, 2}, {9, 2}});
+  const auto jobs = machine.RunningJobs();
+  EXPECT_EQ(jobs.size(), 2u);
+}
+
+TEST(MachineDeathTest, OvercommitRejected) {
+  Machine machine(4);
+  EXPECT_DEATH(machine.ApplyAllocation({{1, 3}, {2, 3}}), "Check failed");
+}
+
+TEST(MachineDeathTest, NegativeCountRejected) {
+  Machine machine(4);
+  EXPECT_DEATH(machine.ApplyAllocation({{1, -1}}), "Check failed");
+}
+
+// Property test: random sequences of allocations maintain exact counts and
+// never move a CPU without reporting a handoff.
+TEST(MachinePropertyTest, RandomAllocationSequencesStayConsistent) {
+  Rng rng(2024);
+  Machine machine(60);
+  std::map<JobId, int> current;
+  for (int round = 0; round < 300; ++round) {
+    // Mutate the target randomly under the capacity constraint.
+    std::map<JobId, int> target = current;
+    const JobId job = rng.UniformInt(0, 7);
+    int others = 0;
+    for (const auto& [j, c] : target) {
+      if (j != job) {
+        others += c;
+      }
+    }
+    target[job] = rng.UniformInt(0, 60 - others);
+    if (target[job] == 0) {
+      target.erase(job);
+    }
+
+    // Snapshot, apply, verify.
+    std::map<JobId, CpuSet> before;
+    for (const auto& [j, c] : current) {
+      before[j] = machine.CpusOf(j);
+    }
+    const auto handoffs = machine.ApplyAllocation(target);
+    int total = 0;
+    for (const auto& [j, c] : target) {
+      ASSERT_EQ(machine.CountOf(j), c) << "round " << round;
+      total += c;
+    }
+    ASSERT_EQ(machine.FreeCpus(), 60 - total);
+    // Affinity: a job whose target did not shrink keeps all previous CPUs.
+    for (const auto& [j, set] : before) {
+      const auto it = target.find(j);
+      const int want = it == target.end() ? 0 : it->second;
+      if (want >= set.Count()) {
+        ASSERT_EQ(machine.CpusOf(j).Intersect(set).Count(), set.Count())
+            << "job " << j << " lost a CPU it should have kept";
+      }
+    }
+    // Every ownership difference is covered by exactly one handoff.
+    for (const CpuHandoff& h : handoffs) {
+      ASSERT_EQ(machine.OwnerOf(h.cpu), h.to);
+    }
+    current = target;
+  }
+}
+
+}  // namespace
+}  // namespace pdpa

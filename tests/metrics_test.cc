@@ -1,0 +1,76 @@
+// Tests for metric aggregation.
+#include <gtest/gtest.h>
+
+#include "src/metrics/metrics.h"
+
+namespace pdpa {
+namespace {
+
+JobOutcome MakeOutcome(JobId id, AppClass app_class, double submit_s, double start_s,
+                       double finish_s) {
+  JobOutcome outcome;
+  outcome.id = id;
+  outcome.app_class = app_class;
+  outcome.submit = SecondsToTime(submit_s);
+  outcome.start = SecondsToTime(start_s);
+  outcome.finish = SecondsToTime(finish_s);
+  return outcome;
+}
+
+TEST(MetricsTest, PerClassAverages) {
+  std::vector<JobOutcome> outcomes = {
+      MakeOutcome(0, AppClass::kBt, 0, 10, 110),    // response 110, exec 100
+      MakeOutcome(1, AppClass::kBt, 0, 50, 250),    // response 250, exec 200
+      MakeOutcome(2, AppClass::kApsi, 5, 5, 55),    // response 50, exec 50
+  };
+  const WorkloadMetrics metrics = ComputeMetrics(outcomes, {});
+  EXPECT_EQ(metrics.jobs, 3);
+  const ClassMetrics& bt = metrics.per_class.at(AppClass::kBt);
+  EXPECT_EQ(bt.count, 2);
+  EXPECT_DOUBLE_EQ(bt.avg_response_s, 180.0);
+  EXPECT_DOUBLE_EQ(bt.avg_exec_s, 150.0);
+  EXPECT_DOUBLE_EQ(bt.avg_wait_s, 30.0);
+  const ClassMetrics& apsi = metrics.per_class.at(AppClass::kApsi);
+  EXPECT_DOUBLE_EQ(apsi.avg_response_s, 50.0);
+  EXPECT_DOUBLE_EQ(metrics.makespan_s, 250.0);
+}
+
+TEST(MetricsTest, AvgAllocFromIntegral) {
+  std::vector<JobOutcome> outcomes = {MakeOutcome(0, AppClass::kBt, 0, 0, 100)};
+  std::map<JobId, double> integral;
+  // 100 s at 12 CPUs.
+  integral[0] = 12.0 * 100.0 * kSecond;
+  const WorkloadMetrics metrics = ComputeMetrics(outcomes, integral);
+  EXPECT_NEAR(metrics.per_class.at(AppClass::kBt).avg_alloc, 12.0, 1e-9);
+}
+
+TEST(MetricsTest, ResponsePercentiles) {
+  std::vector<JobOutcome> outcomes;
+  // Responses 10, 20, ..., 100 for one class.
+  for (int i = 1; i <= 10; ++i) {
+    outcomes.push_back(MakeOutcome(i, AppClass::kBt, 0, 0, i * 10.0));
+  }
+  const WorkloadMetrics metrics = ComputeMetrics(outcomes, {});
+  const ClassMetrics& bt = metrics.per_class.at(AppClass::kBt);
+  EXPECT_DOUBLE_EQ(bt.avg_response_s, 55.0);
+  EXPECT_DOUBLE_EQ(bt.p50_response_s, 55.0);
+  EXPECT_NEAR(bt.p95_response_s, 95.5, 1e-9);
+}
+
+TEST(MetricsTest, SingleJobPercentilesEqualValue) {
+  const WorkloadMetrics metrics =
+      ComputeMetrics({MakeOutcome(0, AppClass::kApsi, 0, 0, 42)}, {});
+  const ClassMetrics& apsi = metrics.per_class.at(AppClass::kApsi);
+  EXPECT_DOUBLE_EQ(apsi.p50_response_s, 42.0);
+  EXPECT_DOUBLE_EQ(apsi.p95_response_s, 42.0);
+}
+
+TEST(MetricsTest, EmptyOutcomes) {
+  const WorkloadMetrics metrics = ComputeMetrics({}, {});
+  EXPECT_EQ(metrics.jobs, 0);
+  EXPECT_TRUE(metrics.per_class.empty());
+  EXPECT_DOUBLE_EQ(metrics.makespan_s, 0.0);
+}
+
+}  // namespace
+}  // namespace pdpa

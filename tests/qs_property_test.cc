@@ -1,0 +1,127 @@
+// Property tests for the queuing-system substrates: SWF round-trip fuzz
+// and statistical validation of the workload generator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+#include "src/qs/swf.h"
+#include "src/qs/workload_generator.h"
+#include "src/workload/catalog.h"
+
+namespace pdpa {
+namespace {
+
+TEST(SwfPropertyTest, RandomJobListsRoundTrip) {
+  Rng rng(321);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<JobSpec> jobs;
+    const int count = rng.UniformInt(0, 50);
+    SimTime t = 0;
+    for (int i = 0; i < count; ++i) {
+      JobSpec spec;
+      spec.id = i;
+      spec.app_class = static_cast<AppClass>(rng.UniformInt(0, kNumAppClasses - 1));
+      t += rng.UniformInt(0, 100) * kSecond;
+      spec.submit = t;
+      spec.request = rng.UniformInt(1, 64);
+      jobs.push_back(spec);
+    }
+    std::ostringstream out;
+    WriteSwf(jobs, out);
+    std::istringstream in(out.str());
+    std::vector<JobSpec> parsed;
+    std::string error;
+    ASSERT_TRUE(ReadSwf(in, &parsed, &error)) << error;
+    ASSERT_EQ(parsed.size(), jobs.size()) << "round " << round;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(parsed[i].id, jobs[i].id);
+      EXPECT_EQ(parsed[i].app_class, jobs[i].app_class);
+      EXPECT_EQ(parsed[i].submit, jobs[i].submit);
+      EXPECT_EQ(parsed[i].request, jobs[i].request);
+    }
+  }
+}
+
+TEST(SwfPropertyTest, TruncatedLinesAlwaysRejected) {
+  // Any SWF line with < 18 fields must be rejected, never misparsed.
+  const std::string full = "0 10 -1 -1 -1 -1 -1 30 -1 -1 -1 -1 -1 2 -1 -1 -1 -1";
+  const std::vector<std::string> fields = SplitTokens(full, ' ');
+  for (std::size_t keep = 1; keep < fields.size(); ++keep) {
+    std::string line;
+    for (std::size_t i = 0; i < keep; ++i) {
+      line += fields[i];
+      line += ' ';
+    }
+    std::istringstream in(line + "\n");
+    std::vector<JobSpec> jobs;
+    EXPECT_FALSE(ReadSwf(in, &jobs, nullptr)) << "kept " << keep << " fields";
+  }
+}
+
+TEST(WorkloadGenPropertyTest, InterarrivalsAreExponential) {
+  WorkloadGenSpec spec;
+  spec.load_share = {0.0, 1.0, 0.0, 0.0};  // all bt
+  spec.load = 1.0;
+  spec.window = 100000 * kSecond;
+  spec.seed = 5;
+  const auto jobs = GenerateWorkload(spec);
+  ASSERT_GT(jobs.size(), 500u);
+  RunningStat gaps;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    gaps.Add(TimeToSeconds(jobs[i].submit - jobs[i - 1].submit));
+  }
+  // Exponential distribution: stddev == mean.
+  EXPECT_NEAR(gaps.stddev() / gaps.mean(), 1.0, 0.1);
+  // Rate matches the demand calibration: mean gap = demand / (load * cpus).
+  const double demand = MakeBtProfile().CpuDemandAtRequest();
+  EXPECT_NEAR(gaps.mean(), demand / 60.0, demand / 60.0 * 0.1);
+}
+
+TEST(WorkloadGenPropertyTest, SubmissionsSortedAndWithinWindow) {
+  for (WorkloadId workload :
+       {WorkloadId::kW1, WorkloadId::kW2, WorkloadId::kW3, WorkloadId::kW4}) {
+    const auto jobs = BuildWorkload(workload, 1.0, 9);
+    SimTime prev = 0;
+    for (const JobSpec& job : jobs) {
+      EXPECT_GE(job.submit, prev);
+      EXPECT_LT(job.submit, 300 * kSecond);
+      EXPECT_GT(job.request, 0);
+      prev = job.submit;
+    }
+  }
+}
+
+TEST(WorkloadGenPropertyTest, LoadScalesArrivalCount) {
+  // Twice the load should produce roughly twice the jobs.
+  const auto low = BuildWorkload(WorkloadId::kW4, 0.5, 1234);
+  const auto high = BuildWorkload(WorkloadId::kW4, 1.0, 1234);
+  ASSERT_GT(low.size(), 0u);
+  const double ratio = static_cast<double>(high.size()) / low.size();
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 2.8);
+}
+
+TEST(WorkloadGenPropertyTest, AllWorkloadsContainOnlyDeclaredClasses) {
+  for (WorkloadId workload :
+       {WorkloadId::kW1, WorkloadId::kW2, WorkloadId::kW3, WorkloadId::kW4}) {
+    const auto shares = WorkloadShares(workload);
+    const auto jobs = BuildWorkload(workload, 1.0, 77);
+    for (const JobSpec& job : jobs) {
+      EXPECT_GT(shares[static_cast<std::size_t>(job.app_class)], 0.0)
+          << WorkloadName(workload) << " produced class " << AppClassName(job.app_class);
+    }
+  }
+}
+
+TEST(WorkloadGenPropertyTest, TunedRequestsMatchProfiles) {
+  const auto jobs = BuildWorkload(WorkloadId::kW4, 1.0, 3);
+  for (const JobSpec& job : jobs) {
+    EXPECT_EQ(job.request, MakeProfile(job.app_class).default_request);
+  }
+}
+
+}  // namespace
+}  // namespace pdpa

@@ -1,0 +1,163 @@
+// Integration tests for the ResourceManager: job lifecycle, policy
+// plumbing, plan application, trace hookup, admission coordination.
+#include <gtest/gtest.h>
+
+#include "src/core/pdpa_policy.h"
+#include "src/rm/equipartition.h"
+#include "src/rm/irix.h"
+#include "src/rm/resource_manager.h"
+
+namespace pdpa {
+namespace {
+
+AppProfile FastLinearProfile(double work_s = 4.0, int iters = 8) {
+  AppProfile profile;
+  profile.name = "fast";
+  profile.speedup = std::make_shared<TableSpeedup>(
+      std::vector<std::pair<double, double>>{{1, 1.0}, {32, 32.0}});
+  profile.sequential_work_s = work_s;
+  profile.iterations = iters;
+  profile.default_request = 8;
+  profile.baseline_procs = 2;
+  return profile;
+}
+
+ResourceManager::Params FastParams() {
+  ResourceManager::Params params;
+  params.num_cpus = 16;
+  params.analyzer.noise_sigma = 0.0;
+  params.analyzer.amdahl_factor = 1.0;
+  params.app_costs.reconfig_freeze = 0;
+  params.app_costs.warmup = 0;
+  return params;
+}
+
+TEST(ResourceManagerTest, StartRunFinishUnderEquipartition) {
+  Simulation sim;
+  ResourceManager rm(FastParams(), std::make_unique<Equipartition>(4), &sim, nullptr, Rng(1));
+  std::vector<JobId> finished;
+  rm.set_job_finish_callback([&](JobId job, SimTime) { finished.push_back(job); });
+  rm.Start();
+  rm.StartJob(0, FastLinearProfile(), 8, 0);
+  EXPECT_EQ(rm.running_jobs(), 1);
+  EXPECT_EQ(rm.AllocationOf(0), 8);
+  EXPECT_EQ(rm.machine().FreeCpus(), 8);
+  sim.RunUntil(60 * kSecond);
+  EXPECT_EQ(finished, std::vector<JobId>{0});
+  EXPECT_EQ(rm.running_jobs(), 0);
+  EXPECT_EQ(rm.machine().FreeCpus(), 16);
+}
+
+TEST(ResourceManagerTest, EquipartitionRepartitionsOnSecondArrival) {
+  Simulation sim;
+  ResourceManager rm(FastParams(), std::make_unique<Equipartition>(4), &sim, nullptr, Rng(1));
+  rm.Start();
+  rm.StartJob(0, FastLinearProfile(40.0, 40), 16, 0);
+  EXPECT_EQ(rm.AllocationOf(0), 16);
+  sim.RunUntil(kSecond);
+  rm.StartJob(1, FastLinearProfile(40.0, 40), 16, sim.now());
+  EXPECT_EQ(rm.AllocationOf(0), 8);
+  EXPECT_EQ(rm.AllocationOf(1), 8);
+}
+
+TEST(ResourceManagerTest, PdpaShrinksUnscalableJob) {
+  Simulation sim;
+  // A job that does not scale: speedup flat at 1.3 beyond 2 procs.
+  AppProfile profile;
+  profile.name = "flat";
+  profile.speedup = std::make_shared<TableSpeedup>(
+      std::vector<std::pair<double, double>>{{1, 1.0}, {2, 1.25}, {32, 1.3}});
+  profile.sequential_work_s = 60.0;
+  profile.iterations = 60;
+  profile.default_request = 16;
+  profile.baseline_procs = 1;
+
+  ResourceManager rm(FastParams(), std::make_unique<PdpaPolicy>(PdpaParams{}, PdpaMlParams{}),
+                     &sim, nullptr, Rng(1));
+  rm.Start();
+  rm.StartJob(0, profile, 16, 0);
+  EXPECT_EQ(rm.AllocationOf(0), 16);
+  sim.RunUntil(30 * kSecond);
+  // PDPA must have walked the allocation down to the floor.
+  EXPECT_LE(rm.AllocationOf(0), 2);
+}
+
+TEST(ResourceManagerTest, PdpaGrowsEfficientJobIntoFreePool) {
+  Simulation sim;
+  ResourceManager rm(FastParams(), std::make_unique<PdpaPolicy>(PdpaParams{}, PdpaMlParams{}),
+                     &sim, nullptr, Rng(1));
+  rm.Start();
+  // Request 16 but only 4 free at start (simulated by a squatter job).
+  rm.StartJob(9, FastLinearProfile(400.0, 100), 12, 0);
+  rm.StartJob(0, FastLinearProfile(100.0, 100), 16, 0);
+  EXPECT_EQ(rm.AllocationOf(0), 4);
+  sim.RunUntil(20 * kSecond);
+  // Linear speedup: efficiency ~1 at every count; PDPA grows it to the pool
+  // limit... the squatter holds 12, so job 0 ends at 4 until the squatter
+  // finishes, then grows. We mainly assert no shrink happened.
+  EXPECT_GE(rm.AllocationOf(0), 4);
+  const int total = rm.AllocationOf(0) + rm.AllocationOf(9);
+  EXPECT_LE(total, 16);
+}
+
+TEST(ResourceManagerTest, AllocIntegralAccumulates) {
+  Simulation sim;
+  ResourceManager rm(FastParams(), std::make_unique<Equipartition>(4), &sim, nullptr, Rng(1));
+  rm.Start();
+  rm.StartJob(0, FastLinearProfile(), 8, 0);
+  sim.RunUntil(60 * kSecond);
+  const auto& integral = rm.alloc_integral_us();
+  ASSERT_TRUE(integral.contains(0));
+  // 4 s of work at 8 procs (after a baseline phase at 2): the integral is
+  // roughly procs * exec_time; just sanity-check the order of magnitude.
+  EXPECT_GT(integral.at(0), 0.5 * 8 * kSecond);
+}
+
+TEST(ResourceManagerTest, TraceReceivesHandoffs) {
+  Simulation sim;
+  TraceRecorder trace(16);
+  ResourceManager rm(FastParams(), std::make_unique<Equipartition>(4), &sim, &trace, Rng(1));
+  rm.Start();
+  rm.StartJob(0, FastLinearProfile(), 8, 0);
+  sim.RunUntil(30 * kSecond);
+  trace.Finalize(sim.now());
+  const TraceStats stats = trace.ComputeStats();
+  EXPECT_GT(stats.total_bursts, 0);
+  EXPECT_GT(stats.utilization, 0.0);
+}
+
+TEST(ResourceManagerTest, IrixTimeSharingRunsJobsWithoutPartitions) {
+  Simulation sim;
+  ResourceManager rm(FastParams(),
+                     std::make_unique<IrixTimeShare>(IrixTimeShare::Params{}, Rng(7)), &sim,
+                     nullptr, Rng(1));
+  std::vector<JobId> finished;
+  rm.set_job_finish_callback([&](JobId job, SimTime) { finished.push_back(job); });
+  rm.Start();
+  rm.StartJob(0, FastLinearProfile(8.0, 8), 8, 0);
+  rm.StartJob(1, FastLinearProfile(8.0, 8), 8, 0);
+  sim.RunUntil(120 * kSecond);
+  EXPECT_EQ(finished.size(), 2u);
+}
+
+TEST(ResourceManagerTest, CanStartJobFollowsPolicyAdmission) {
+  Simulation sim;
+  ResourceManager rm(FastParams(), std::make_unique<Equipartition>(2), &sim, nullptr, Rng(1));
+  rm.Start();
+  EXPECT_TRUE(rm.CanStartJob());
+  rm.StartJob(0, FastLinearProfile(100.0, 50), 8, 0);
+  EXPECT_TRUE(rm.CanStartJob());
+  rm.StartJob(1, FastLinearProfile(100.0, 50), 8, 0);
+  EXPECT_FALSE(rm.CanStartJob());  // fixed ML = 2
+}
+
+TEST(ResourceManagerDeathTest, DuplicateJobIdAborts) {
+  Simulation sim;
+  ResourceManager rm(FastParams(), std::make_unique<Equipartition>(4), &sim, nullptr, Rng(1));
+  rm.Start();
+  rm.StartJob(0, FastLinearProfile(), 8, 0);
+  EXPECT_DEATH(rm.StartJob(0, FastLinearProfile(), 8, 0), "");
+}
+
+}  // namespace
+}  // namespace pdpa

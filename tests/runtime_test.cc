@@ -1,0 +1,250 @@
+// Tests for the runtime substrates: SelfAnalyzer, periodicity detector and
+// the NthLib binding.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/app/application.h"
+#include "src/common/rng.h"
+#include "src/runtime/nth_lib.h"
+#include "src/runtime/periodicity_detector.h"
+#include "src/runtime/self_analyzer.h"
+
+namespace pdpa {
+namespace {
+
+AppProfile LinearProfile() {
+  AppProfile profile;
+  profile.name = "linear";
+  profile.speedup = std::make_shared<TableSpeedup>(
+      std::vector<std::pair<double, double>>{{1, 1.0}, {32, 32.0}});
+  profile.sequential_work_s = 40.0;
+  profile.iterations = 40;
+  profile.default_request = 16;
+  profile.baseline_procs = 4;
+  return profile;
+}
+
+AppCosts NoCosts() {
+  AppCosts costs;
+  costs.reconfig_freeze = 0;
+  costs.warmup = 0;
+  return costs;
+}
+
+SelfAnalyzerParams NoiselessParams() {
+  SelfAnalyzerParams params;
+  params.noise_sigma = 0.0;
+  params.baseline_iterations = 2;
+  params.amdahl_factor = 1.0;  // linear profile: baseline is perfectly efficient
+  return params;
+}
+
+void RunTicks(Application& app, SimTime start, SimTime end, SimDuration dt = 20 * kMillisecond) {
+  for (SimTime t = start; t < end; t += dt) {
+    app.Advance(t, dt);
+  }
+}
+
+TEST(SelfAnalyzerTest, BaselinePhaseForcesFewProcs) {
+  Application app(1, LinearProfile(), NoCosts());
+  SelfAnalyzer analyzer(&app, NoiselessParams(), Rng(1));
+  app.set_iteration_callback(
+      [&](const IterationRecord& r) { analyzer.OnIteration(r, r.end_time); });
+  app.SetAllocation(16, 0);
+  analyzer.OnJobStart(0);
+  app.Start(0);
+  EXPECT_EQ(app.EffectiveProcs(), 4);
+  EXPECT_FALSE(analyzer.baseline_done());
+
+  // Two baseline iterations: 1 s work each at speedup 4 -> 0.25 s each.
+  RunTicks(app, 0, 600 * kMillisecond);
+  EXPECT_TRUE(analyzer.baseline_done());
+  EXPECT_NEAR(analyzer.baseline_time_s(), 0.25, 1e-6);
+  // Released to the full allocation.
+  EXPECT_EQ(app.EffectiveProcs(), 16);
+}
+
+TEST(SelfAnalyzerTest, ReportsAccurateSpeedupWithoutNoise) {
+  Application app(1, LinearProfile(), NoCosts());
+  SelfAnalyzer analyzer(&app, NoiselessParams(), Rng(1));
+  std::vector<PerfReport> reports;
+  analyzer.set_report_callback([&](const PerfReport& r) { reports.push_back(r); });
+  app.set_iteration_callback(
+      [&](const IterationRecord& r) { analyzer.OnIteration(r, r.end_time); });
+  app.SetAllocation(16, 0);
+  analyzer.OnJobStart(0);
+  app.Start(0);
+  RunTicks(app, 0, 2 * kSecond);
+  ASSERT_FALSE(reports.empty());
+  // Linear speedup: reported speedup at 16 procs must be ~16.
+  EXPECT_NEAR(reports.back().speedup, 16.0, 0.2);
+  EXPECT_NEAR(reports.back().efficiency, 1.0, 0.02);
+  EXPECT_EQ(reports.back().procs, 16);
+  EXPECT_EQ(reports.back().job, 1);
+}
+
+TEST(SelfAnalyzerTest, AmdahlFactorScalesEstimate) {
+  Application app(1, LinearProfile(), NoCosts());
+  SelfAnalyzerParams params = NoiselessParams();
+  params.amdahl_factor = 0.9;
+  SelfAnalyzer analyzer(&app, params, Rng(1));
+  std::vector<PerfReport> reports;
+  analyzer.set_report_callback([&](const PerfReport& r) { reports.push_back(r); });
+  app.set_iteration_callback(
+      [&](const IterationRecord& r) { analyzer.OnIteration(r, r.end_time); });
+  app.SetAllocation(16, 0);
+  analyzer.OnJobStart(0);
+  app.Start(0);
+  RunTicks(app, 0, 2 * kSecond);
+  ASSERT_FALSE(reports.empty());
+  // Estimate = (t4 / t16) * 0.9 * 4 = 4 * 0.9 * 4 = 14.4.
+  EXPECT_NEAR(reports.back().speedup, 14.4, 0.2);
+}
+
+TEST(SelfAnalyzerTest, TaintedIterationsProduceNoReport) {
+  Application app(1, LinearProfile(), NoCosts());
+  SelfAnalyzer analyzer(&app, NoiselessParams(), Rng(1));
+  int reports = 0;
+  analyzer.set_report_callback([&](const PerfReport&) { ++reports; });
+  app.set_iteration_callback(
+      [&](const IterationRecord& r) { analyzer.OnIteration(r, r.end_time); });
+  app.SetAllocation(16, 0);
+  analyzer.OnJobStart(0);
+  app.Start(0);
+  // Finish the baseline (2 iterations x 0.25 s).
+  RunTicks(app, 0, 500 * kMillisecond);
+  ASSERT_TRUE(analyzer.baseline_done());
+  const int before = reports;
+  // Change the allocation mid-iteration over and over: every iteration is
+  // tainted, so no new report may appear.
+  SimTime now = 500 * kMillisecond;
+  for (int i = 0; i < 20; ++i) {
+    app.SetAllocation(8 + (i % 2), now);
+    app.Advance(now, 20 * kMillisecond);
+    now += 20 * kMillisecond;
+  }
+  EXPECT_EQ(reports, before);
+}
+
+TEST(SelfAnalyzerTest, NoiseStaysWithinBounds) {
+  Application app(1, LinearProfile(), NoCosts());
+  SelfAnalyzerParams params = NoiselessParams();
+  params.noise_sigma = 0.05;
+  SelfAnalyzer analyzer(&app, params, Rng(99));
+  std::vector<PerfReport> reports;
+  analyzer.set_report_callback([&](const PerfReport& r) { reports.push_back(r); });
+  app.set_iteration_callback(
+      [&](const IterationRecord& r) { analyzer.OnIteration(r, r.end_time); });
+  app.SetAllocation(16, 0);
+  analyzer.OnJobStart(0);
+  app.Start(0);
+  RunTicks(app, 0, 3 * kSecond);
+  ASSERT_GT(reports.size(), 5u);
+  for (const PerfReport& r : reports) {
+    EXPECT_GT(r.speedup, 16.0 * 0.7);
+    EXPECT_LT(r.speedup, 16.0 * 1.4);
+  }
+}
+
+TEST(NthLibBindingTest, WiresAppAnalyzerAndReports) {
+  auto app = std::make_unique<Application>(7, LinearProfile(), NoCosts());
+  NthLibBinding binding(std::move(app), NoiselessParams(), Rng(3));
+  std::vector<PerfReport> reports;
+  binding.set_report_callback([&](const PerfReport& r) { reports.push_back(r); });
+  binding.SetProcessors(16, 0);
+  binding.StartJob(0);
+  EXPECT_EQ(binding.app().EffectiveProcs(), 4);  // baseline engaged
+  for (SimTime t = 0; t < 2 * kSecond; t += 20 * kMillisecond) {
+    binding.Tick(t, 20 * kMillisecond);
+  }
+  ASSERT_FALSE(reports.empty());
+  EXPECT_EQ(reports.back().job, 7);
+  EXPECT_NEAR(reports.back().speedup, 16.0, 0.3);
+}
+
+TEST(PeriodicityDetectorTest, DetectsSimpleCycle) {
+  PeriodicityDetector dpd;
+  // Three parallel loops per outer iteration: addresses A, B, C.
+  const std::uint64_t pattern[] = {0xA, 0xB, 0xC};
+  int starts = 0;
+  for (int iter = 0; iter < 10; ++iter) {
+    for (std::uint64_t loop : pattern) {
+      if (dpd.OnLoopEvent(loop)) {
+        ++starts;
+      }
+    }
+  }
+  EXPECT_TRUE(dpd.detected());
+  EXPECT_EQ(dpd.period(), 3);
+  // Detection needs confirm_repeats+1 = 3 occurrences; starts fire from then
+  // on once per period.
+  EXPECT_GE(starts, 6);
+}
+
+TEST(PeriodicityDetectorTest, SingleLoopPeriodOne) {
+  PeriodicityDetector dpd;
+  int starts = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (dpd.OnLoopEvent(0x42)) {
+      ++starts;
+    }
+  }
+  EXPECT_EQ(dpd.period(), 1);
+  EXPECT_GE(starts, 7);
+}
+
+TEST(PeriodicityDetectorTest, PhaseChangeResetsDetection) {
+  PeriodicityDetector dpd;
+  for (int i = 0; i < 12; ++i) {
+    dpd.OnLoopEvent(i % 3);
+  }
+  ASSERT_EQ(dpd.period(), 3);
+  // The application enters a new phase with a different loop structure.
+  dpd.OnLoopEvent(0x999);
+  EXPECT_FALSE(dpd.detected());
+  // It re-detects the new cycle.
+  for (int i = 0; i < 20; ++i) {
+    dpd.OnLoopEvent(i % 4 + 100);
+  }
+  EXPECT_EQ(dpd.period(), 4);
+}
+
+TEST(PeriodicityDetectorTest, NoFalsePeriodOnRandomStream) {
+  PeriodicityDetector dpd;
+  std::uint64_t x = 1;
+  for (int i = 0; i < 100; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    dpd.OnLoopEvent(x);
+  }
+  EXPECT_FALSE(dpd.detected());
+}
+
+TEST(PeriodicityDetectorTest, NestedIterativeRegions) {
+  // Inner loop D repeats 4 times inside each outer iteration (A B D D D D):
+  // the detector should find the full outer period of 6.
+  PeriodicityDetector dpd;
+  for (int outer = 0; outer < 8; ++outer) {
+    dpd.OnLoopEvent(0xA);
+    dpd.OnLoopEvent(0xB);
+    for (int inner = 0; inner < 4; ++inner) {
+      dpd.OnLoopEvent(0xD);
+    }
+  }
+  EXPECT_TRUE(dpd.detected());
+  EXPECT_EQ(dpd.period(), 6);
+}
+
+TEST(PeriodicityDetectorTest, ResetClearsState) {
+  PeriodicityDetector dpd;
+  for (int i = 0; i < 9; ++i) {
+    dpd.OnLoopEvent(1);
+  }
+  ASSERT_TRUE(dpd.detected());
+  dpd.Reset();
+  EXPECT_FALSE(dpd.detected());
+  EXPECT_EQ(dpd.periods_seen(), 0);
+}
+
+}  // namespace
+}  // namespace pdpa

@@ -1,0 +1,141 @@
+// Unit tests for the discrete-event core: ordering, cancellation, periodic
+// tasks, run-loop semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulation.h"
+
+namespace pdpa {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.Schedule(30, [&] { fired.push_back(3); });
+  queue.Schedule(10, [&] { fired.push_back(1); });
+  queue.Schedule(20, [&] { fired.push_back(2); });
+  while (!queue.empty()) {
+    queue.RunNext();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeFifo) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    queue.Schedule(100, [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.RunNext();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  const EventId id = queue.Schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.Cancel(id));  // double cancel
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelInvalidIdFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.Cancel(0));
+  EXPECT_FALSE(queue.Cancel(12345));
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  EventQueue queue;
+  std::vector<SimTime> times;
+  queue.Schedule(1, [&] {
+    times.push_back(1);
+    queue.Schedule(5, [&] { times.push_back(5); });
+  });
+  while (!queue.empty()) {
+    queue.RunNext();
+  }
+  EXPECT_EQ(times, (std::vector<SimTime>{1, 5}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventId early = queue.Schedule(10, [] {});
+  queue.Schedule(20, [] {});
+  queue.Cancel(early);
+  EXPECT_EQ(queue.NextTime(), 20);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EventQueue queue;
+  queue.Schedule(100, [] {});
+  queue.RunNext();
+  EXPECT_DEATH(queue.Schedule(50, [] {}), "Check failed");
+}
+
+TEST(SimulationTest, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.events().Schedule(10, [&] { ++fired; });
+  sim.events().Schedule(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10);
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, AfterSchedulesRelative) {
+  Simulation sim;
+  SimTime fire_time = -1;
+  sim.events().Schedule(100, [&] { sim.After(50, [&] { fire_time = sim.now(); }); });
+  sim.RunToCompletion();
+  EXPECT_EQ(fire_time, 150);
+}
+
+TEST(SimulationTest, PeriodicTaskFiresRegularly) {
+  Simulation sim;
+  std::vector<SimTime> fires;
+  sim.SchedulePeriodic(10, 10, [&](SimTime now) { fires.push_back(now); });
+  sim.RunUntil(55);
+  EXPECT_EQ(fires, (std::vector<SimTime>{10, 20, 30, 40, 50}));
+}
+
+TEST(SimulationTest, StopPeriodicHalts) {
+  Simulation sim;
+  int count = 0;
+  int handle = -1;
+  handle = sim.SchedulePeriodic(10, 10, [&](SimTime) {
+    if (++count == 3) {
+      sim.StopPeriodic(handle);
+    }
+  });
+  sim.RunUntil(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulationTest, TwoPeriodicTasksInterleaveDeterministically) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.SchedulePeriodic(10, 20, [&](SimTime) { order.push_back(1); });
+  sim.SchedulePeriodic(10, 20, [&](SimTime) { order.push_back(2); });
+  sim.RunUntil(50);
+  // Same-time events fire in scheduling order every period.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(SimulationTest, RunToCompletionAdvancesToLastEvent) {
+  Simulation sim;
+  sim.events().Schedule(77, [] {});
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.now(), 77);
+}
+
+}  // namespace
+}  // namespace pdpa

@@ -1,0 +1,182 @@
+// Tests for the trace recorder, statistics, ASCII views and Paraver output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/ascii_view.h"
+#include "src/trace/paraver_reader.h"
+#include "src/trace/paraver_writer.h"
+#include "src/trace/trace_recorder.h"
+
+namespace pdpa {
+namespace {
+
+TEST(TraceRecorderTest, CountsMigrationsOnlyBetweenJobs) {
+  TraceRecorder recorder(4);
+  recorder.OnHandoff(0, CpuHandoff{0, kIdleJob, 1});    // placement: no migration
+  recorder.OnHandoff(1000, CpuHandoff{0, 1, 2});        // job -> job: migration
+  recorder.OnHandoff(2000, CpuHandoff{0, 2, kIdleJob});  // release: no migration
+  recorder.Finalize(3000);
+  const TraceStats stats = recorder.ComputeStats();
+  EXPECT_EQ(stats.migrations, 1);
+}
+
+TEST(TraceRecorderTest, BurstAccounting) {
+  TraceRecorder recorder(2);
+  recorder.OnHandoff(0, CpuHandoff{0, kIdleJob, 1});
+  recorder.OnHandoff(10 * kMillisecond, CpuHandoff{0, 1, 2});
+  recorder.OnHandoff(40 * kMillisecond, CpuHandoff{0, 2, kIdleJob});
+  recorder.Finalize(100 * kMillisecond);
+  const TraceStats stats = recorder.ComputeStats();
+  // Bursts: job1 for 10 ms, job2 for 30 ms.
+  EXPECT_EQ(stats.total_bursts, 2);
+  EXPECT_NEAR(stats.avg_burst_ms, 20.0, 1e-9);
+  EXPECT_NEAR(stats.avg_bursts_per_cpu, 1.0, 1e-9);
+}
+
+TEST(TraceRecorderTest, FinalizeClosesOpenBursts) {
+  TraceRecorder recorder(1);
+  recorder.OnHandoff(0, CpuHandoff{0, kIdleJob, 5});
+  recorder.Finalize(50 * kMillisecond);
+  const TraceStats stats = recorder.ComputeStats();
+  EXPECT_EQ(stats.total_bursts, 1);
+  EXPECT_NEAR(stats.avg_burst_ms, 50.0, 1e-9);
+}
+
+TEST(TraceRecorderTest, UtilizationIntegral) {
+  TraceRecorder recorder(2);
+  // One of two CPUs busy for the whole run: utilization 0.5.
+  recorder.OnHandoff(0, CpuHandoff{0, kIdleJob, 1});
+  recorder.Finalize(kSecond);
+  EXPECT_NEAR(recorder.ComputeStats().utilization, 0.5, 1e-9);
+}
+
+TEST(TraceRecorderTest, NoOpHandoffIgnored) {
+  TraceRecorder recorder(2);
+  recorder.OnHandoff(0, CpuHandoff{0, kIdleJob, 1});
+  recorder.OnHandoff(100, CpuHandoff{0, 1, 1});  // same owner
+  recorder.Finalize(1000);
+  EXPECT_EQ(recorder.ComputeStats().migrations, 0);
+  EXPECT_EQ(recorder.ComputeStats().total_bursts, 1);
+}
+
+TEST(TraceRecorderTest, SamplesGridAtPeriod) {
+  TraceRecorder recorder(2, /*sample_period=*/100 * kMillisecond);
+  recorder.OnHandoff(0, CpuHandoff{1, kIdleJob, 3});
+  for (SimTime t = 0; t <= kSecond; t += 20 * kMillisecond) {
+    recorder.Tick(t);
+  }
+  const auto& samples = recorder.samples();
+  ASSERT_GE(samples.size(), 10u);
+  EXPECT_EQ(samples[0][1], 3);
+  EXPECT_EQ(samples[0][0], kIdleJob);
+}
+
+TEST(TraceRecorderDeathTest, StatsBeforeFinalizeAbort) {
+  TraceRecorder recorder(1);
+  EXPECT_DEATH(recorder.ComputeStats(), "Finalize");
+}
+
+TEST(AsciiViewTest, RendersJobsAndIdle) {
+  TraceRecorder recorder(2, 100 * kMillisecond);
+  recorder.OnHandoff(0, CpuHandoff{0, kIdleJob, 0});  // job 0 -> 'a'
+  for (SimTime t = 0; t <= 500 * kMillisecond; t += 100 * kMillisecond) {
+    recorder.Tick(t);
+  }
+  AsciiViewOptions options;
+  options.cpu_stride = 1;
+  const std::string view = RenderAsciiView(recorder, options);
+  EXPECT_NE(view.find("cpu  0 |aaaaaa"), std::string::npos) << view;
+  EXPECT_NE(view.find("cpu  1 |......"), std::string::npos) << view;
+}
+
+TEST(AsciiViewTest, EmptyTraceHandled) {
+  TraceRecorder recorder(2);
+  EXPECT_EQ(RenderAsciiView(recorder), "(no samples)\n");
+}
+
+TEST(ParaverWriterTest, EmitsHeaderAndStateRecords) {
+  TraceRecorder recorder(2, 100 * kMillisecond);
+  recorder.OnHandoff(0, CpuHandoff{0, kIdleJob, 1});
+  for (SimTime t = 0; t <= 300 * kMillisecond; t += 100 * kMillisecond) {
+    recorder.Tick(t);
+  }
+  std::ostringstream out;
+  WriteParaverTrace(recorder, /*num_jobs=*/2, out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("#Paraver", 0), 0u) << text;
+  // One state record for cpu 1 (index 0 in our numbering -> "1:" cpu field),
+  // application 2 (job 1 is 1-based 2), state 1.
+  EXPECT_NE(text.find("1:1:2:1:1:0:"), std::string::npos) << text;
+  EXPECT_NE(text.find(":1\n"), std::string::npos);
+}
+
+TEST(ParaverReaderTest, RoundTripsWriterOutput) {
+  TraceRecorder recorder(3, 100 * kMillisecond);
+  recorder.OnHandoff(0, CpuHandoff{0, kIdleJob, 0});
+  recorder.OnHandoff(0, CpuHandoff{1, kIdleJob, 1});
+  for (SimTime t = 0; t <= kSecond; t += 100 * kMillisecond) {
+    if (t == 500 * kMillisecond) {
+      recorder.OnHandoff(t, CpuHandoff{0, 0, 1});  // direct handoff: migration
+    }
+    recorder.Tick(t);
+  }
+  std::ostringstream out;
+  WriteParaverTrace(recorder, /*num_jobs=*/2, out);
+
+  std::istringstream in(out.str());
+  ParaverTrace trace;
+  std::string error;
+  ASSERT_TRUE(ReadParaverTrace(in, &trace, &error)) << error;
+  EXPECT_EQ(trace.num_cpus, 3);
+  EXPECT_EQ(trace.num_jobs, 2);
+  ASSERT_GE(trace.records.size(), 3u);
+
+  const TraceStats stats = ComputeStatsFromTrace(trace);
+  EXPECT_EQ(stats.migrations, 1);   // cpu0: job0 -> job1 back-to-back
+  EXPECT_EQ(stats.total_bursts, 3);  // cpu0 x2 + cpu1 x1
+  // cpu2 idle, cpus 0-1 busy all along: utilization ~2/3.
+  EXPECT_NEAR(stats.utilization, 2.0 / 3.0, 0.05);
+}
+
+TEST(ParaverReaderTest, RejectsMalformedInput) {
+  ParaverTrace trace;
+  std::string error;
+  std::istringstream no_header("hello\n");
+  EXPECT_FALSE(ReadParaverTrace(no_header, &trace, &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+
+  std::istringstream bad_record(
+      "#Paraver (01/01/00 at 00:00):1000_ns:1(2):1:1(1:1)\n"
+      "1:1:1:1:1:0\n");
+  trace = ParaverTrace{};
+  EXPECT_FALSE(ReadParaverTrace(bad_record, &trace, &error));
+}
+
+TEST(ParaverReaderTest, SkipsNonStateRecords) {
+  std::istringstream in(
+      "#Paraver (01/01/00 at 00:00):1000_ns:1(2):1:1(1:1)\n"
+      "# a comment\n"
+      "2:1:1:1:1:500:42\n"  // event record: ignored
+      "1:1:1:1:1:0:1000:1\n");
+  ParaverTrace trace;
+  std::string error;
+  ASSERT_TRUE(ReadParaverTrace(in, &trace, &error)) << error;
+  ASSERT_EQ(trace.records.size(), 1u);
+  EXPECT_EQ(trace.records[0].cpu, 0);
+  EXPECT_EQ(trace.records[0].job, 0);
+  EXPECT_EQ(trace.records[0].end_ns, 1000);
+}
+
+TEST(ParaverWriterTest, ConfigListsAllJobs) {
+  std::ostringstream out;
+  WriteParaverConfig(3, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("STATES"), std::string::npos);
+  EXPECT_NE(text.find("1    job_0"), std::string::npos);
+  EXPECT_NE(text.find("3    job_2"), std::string::npos);
+  EXPECT_NE(text.find("GRADIENT_COLOR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdpa

@@ -1,0 +1,102 @@
+// pdpa_batch — run the full evaluation grid (workloads x loads x policies)
+// and emit one CSV row per (cell, application class), ready for plotting.
+//
+// Usage:
+//   pdpa_batch                          # the paper's full grid to stdout
+//   pdpa_batch --workloads w1,w3 --loads 0.6,1.0 --policies equip,pdpa
+//   pdpa_batch --seed 7 --untuned
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/strings.h"
+#include "src/workload/experiment.h"
+
+namespace pdpa {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+
+  std::vector<WorkloadId> workloads;
+  for (const std::string& token :
+       SplitTokens(flags.GetString("workloads", "w1,w2,w3,w4"), ',')) {
+    if (token == "w1") {
+      workloads.push_back(WorkloadId::kW1);
+    } else if (token == "w2") {
+      workloads.push_back(WorkloadId::kW2);
+    } else if (token == "w3") {
+      workloads.push_back(WorkloadId::kW3);
+    } else if (token == "w4") {
+      workloads.push_back(WorkloadId::kW4);
+    } else {
+      std::fprintf(stderr, "unknown workload %s\n", token.c_str());
+      return 2;
+    }
+  }
+  std::vector<double> loads;
+  for (const std::string& token : SplitTokens(flags.GetString("loads", "0.6,0.8,1.0"), ',')) {
+    double load = 0;
+    if (!ParseDouble(token, &load) || load <= 0) {
+      std::fprintf(stderr, "bad load %s\n", token.c_str());
+      return 2;
+    }
+    loads.push_back(load);
+  }
+  std::vector<PolicyKind> policies;
+  for (const std::string& token :
+       SplitTokens(flags.GetString("policies", "irix,equip,equal_eff,pdpa"), ',')) {
+    if (token == "irix") {
+      policies.push_back(PolicyKind::kIrix);
+    } else if (token == "equip") {
+      policies.push_back(PolicyKind::kEquipartition);
+    } else if (token == "equal_eff") {
+      policies.push_back(PolicyKind::kEqualEfficiency);
+    } else if (token == "pdpa") {
+      policies.push_back(PolicyKind::kPdpa);
+    } else if (token == "dynamic") {
+      policies.push_back(PolicyKind::kMcCannDynamic);
+    } else {
+      std::fprintf(stderr, "unknown policy %s\n", token.c_str());
+      return 2;
+    }
+  }
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const bool untuned = flags.GetBool("untuned", false);
+
+  for (const std::string& unknown : flags.UnconsumedFlags()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+    return 2;
+  }
+
+  std::printf(
+      "workload,load,policy,class,jobs,avg_response_s,p50_response_s,p95_response_s,"
+      "avg_exec_s,avg_wait_s,avg_cpus,makespan_s,max_ml,reallocations,completed\n");
+  for (WorkloadId workload : workloads) {
+    for (double load : loads) {
+      for (PolicyKind policy : policies) {
+        ExperimentConfig config;
+        config.workload = workload;
+        config.load = load;
+        config.policy = policy;
+        config.seed = seed;
+        config.untuned = untuned;
+        const ExperimentResult r = RunExperiment(config);
+        for (const auto& [app_class, m] : r.metrics.per_class) {
+          std::printf("%s,%.2f,%s,%s,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%d,%lld,%d\n",
+                      WorkloadName(workload), load, r.policy_name.c_str(),
+                      AppClassName(app_class), m.count, m.avg_response_s, m.p50_response_s,
+                      m.p95_response_s, m.avg_exec_s, m.avg_wait_s, m.avg_alloc,
+                      r.metrics.makespan_s, r.max_ml, r.reallocations, r.completed ? 1 : 0);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main(int argc, char** argv) { return pdpa::Run(argc, argv); }

@@ -1,0 +1,202 @@
+// pdpa_sim — command-line driver for the NANOS/PDPA simulator.
+//
+// Run any workload under any policy and inspect the paper's metrics, or
+// replay/archive SWF traces and dump Paraver/ASCII execution views.
+//
+// Examples:
+//   pdpa_sim --workload w3 --load 1.0 --policy pdpa
+//   pdpa_sim --workload w4 --policy equip --untuned --ml 4
+//   pdpa_sim --swf-in trace.swf --policy pdpa --view --prv-out run.prv
+//   pdpa_sim --workload w2 --load 0.8 --swf-out w2.swf --dry-run
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/qs/swf.h"
+#include "src/trace/paraver_writer.h"
+#include "src/workload/experiment.h"
+
+namespace pdpa {
+namespace {
+
+constexpr const char* kUsage = R"(usage: pdpa_sim [flags]
+
+workload selection (one of):
+  --workload w1|w2|w3|w4   generated workload (default w1)
+  --swf-in FILE            replay an SWF trace instead
+
+generator flags:
+  --load F                 target machine load fraction (default 1.0)
+  --seed N                 RNG seed (default 42)
+  --untuned                override every request to 30 CPUs
+  --swf-out FILE           archive the generated workload as SWF
+  --dry-run                generate/archive only, do not simulate
+
+scheduler flags:
+  --policy irix|equip|equal_eff|pdpa|dynamic   (default pdpa)
+  --queue-order fcfs|sjf   job selection within the queue (default fcfs)
+  --ml N                   fixed ML (baselines) / default ML (PDPA), default 4
+  --cpus N                 usable processors (default 60)
+  --target-eff F           PDPA target efficiency (default 0.7)
+  --high-eff F             PDPA high efficiency (default 0.9)
+  --step N                 PDPA allocation step (default 4)
+  --no-relative-speedup    disable PDPA's RelativeSpeedup test (ablation)
+  --no-coordination        disable PDPA's coordinated ML rule (ablation)
+  --dynamic-target         load-adaptive target efficiency
+
+output flags:
+  --view                   print the ASCII execution view (Fig. 5 style)
+  --prv-out FILE           write a Paraver trace of the execution
+  --pcf-out FILE           write the companion Paraver config (names/colors)
+  --ml-timeline            print the multiprogramming level over time
+  --help                   this text
+)";
+
+int Run(int argc, char** argv) {
+  FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+
+  ExperimentConfig config;
+  const std::string workload = flags.GetString("workload", "w1");
+  if (workload == "w1") {
+    config.workload = WorkloadId::kW1;
+  } else if (workload == "w2") {
+    config.workload = WorkloadId::kW2;
+  } else if (workload == "w3") {
+    config.workload = WorkloadId::kW3;
+  } else if (workload == "w4") {
+    config.workload = WorkloadId::kW4;
+  } else {
+    std::fprintf(stderr, "unknown --workload %s\n", workload.c_str());
+    return 2;
+  }
+  config.load = flags.GetDouble("load", 1.0);
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  config.untuned = flags.GetBool("untuned", false);
+
+  const std::string policy = flags.GetString("policy", "pdpa");
+  if (policy == "irix") {
+    config.policy = PolicyKind::kIrix;
+  } else if (policy == "equip") {
+    config.policy = PolicyKind::kEquipartition;
+  } else if (policy == "equal_eff") {
+    config.policy = PolicyKind::kEqualEfficiency;
+  } else if (policy == "pdpa") {
+    config.policy = PolicyKind::kPdpa;
+  } else if (policy == "dynamic") {
+    config.policy = PolicyKind::kMcCannDynamic;
+  } else {
+    std::fprintf(stderr, "unknown --policy %s\n", policy.c_str());
+    return 2;
+  }
+  const std::string queue_order = flags.GetString("queue-order", "fcfs");
+  if (queue_order == "sjf") {
+    config.queue_order = QueueOrder::kShortestDemandFirst;
+  } else if (queue_order != "fcfs") {
+    std::fprintf(stderr, "unknown --queue-order %s\n", queue_order.c_str());
+    return 2;
+  }
+  config.multiprogramming_level = flags.GetInt("ml", 4);
+  config.num_cpus = flags.GetInt("cpus", 60);
+  config.pdpa.target_eff = flags.GetDouble("target-eff", 0.7);
+  config.pdpa.high_eff = flags.GetDouble("high-eff", 0.9);
+  config.pdpa.step = flags.GetInt("step", 4);
+  config.pdpa.use_relative_speedup = !flags.GetBool("no-relative-speedup", false);
+  config.pdpa.dynamic_target = flags.GetBool("dynamic-target", false);
+  config.pdpa_coordinated_ml = !flags.GetBool("no-coordination", false);
+
+  const std::string swf_in = flags.GetString("swf-in", "");
+  if (!swf_in.empty()) {
+    std::ifstream in(swf_in);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", swf_in.c_str());
+      return 2;
+    }
+    std::string error;
+    if (!ReadSwf(in, &config.jobs_override, &error)) {
+      std::fprintf(stderr, "SWF parse error in %s: %s\n", swf_in.c_str(), error.c_str());
+      return 2;
+    }
+  }
+
+  const bool want_view = flags.GetBool("view", false);
+  const std::string prv_out = flags.GetString("prv-out", "");
+  const std::string pcf_out = flags.GetString("pcf-out", "");
+  const bool want_ml_timeline = flags.GetBool("ml-timeline", false);
+  config.record_trace = want_view || !prv_out.empty();
+
+  const std::string swf_out = flags.GetString("swf-out", "");
+  const bool dry_run = flags.GetBool("dry-run", false);
+
+  for (const std::string& unknown : flags.UnconsumedFlags()) {
+    std::fprintf(stderr, "unknown flag --%s (see --help)\n", unknown.c_str());
+    return 2;
+  }
+  if (flags.had_parse_error()) {
+    std::fprintf(stderr, "malformed flag value (see --help)\n");
+    return 2;
+  }
+
+  if (!swf_out.empty() || dry_run) {
+    std::vector<JobSpec> jobs = config.jobs_override;
+    if (jobs.empty()) {
+      jobs = BuildWorkload(config.workload, config.load, config.seed, config.untuned,
+                           config.num_cpus);
+    }
+    if (!swf_out.empty()) {
+      std::ofstream out(swf_out);
+      WriteSwf(jobs, out, WorkloadName(config.workload));
+      std::printf("wrote %zu jobs to %s\n", jobs.size(), swf_out.c_str());
+    }
+    if (dry_run) {
+      return 0;
+    }
+    config.jobs_override = jobs;
+  }
+
+  const ExperimentResult result = RunExperiment(config);
+  std::printf("policy %s, %d jobs, makespan %.1f s, peak ML %d%s\n",
+              result.policy_name.c_str(), result.metrics.jobs, result.metrics.makespan_s,
+              result.max_ml, result.completed ? "" : "  [CUTOFF HIT]");
+  if (config.record_trace) {
+    std::printf("migrations %lld, avg burst %.0f ms, utilization %.0f%%\n",
+                result.trace_stats.migrations, result.trace_stats.avg_burst_ms,
+                result.utilization * 100.0);
+  }
+  std::printf("%-10s %6s %12s %12s %10s %10s\n", "class", "jobs", "response(s)", "exec(s)",
+              "wait(s)", "avg cpus");
+  for (const auto& [app_class, metrics] : result.metrics.per_class) {
+    std::printf("%-10s %6d %12.1f %12.1f %10.1f %10.1f\n", AppClassName(app_class),
+                metrics.count, metrics.avg_response_s, metrics.avg_exec_s, metrics.avg_wait_s,
+                metrics.avg_alloc);
+  }
+  if (want_view) {
+    std::printf("\n%s", result.ascii_view.c_str());
+  }
+  if (want_ml_timeline) {
+    std::printf("\nmultiprogramming level timeline (s, jobs):\n");
+    for (const auto& [when, ml] : result.ml_timeline_s) {
+      std::printf("  %8.1f %d\n", when, ml);
+    }
+  }
+  if (!prv_out.empty()) {
+    std::ofstream out(prv_out);
+    out << result.paraver_trace;
+    std::printf("\nParaver trace written to %s\n", prv_out.c_str());
+  }
+  if (!pcf_out.empty()) {
+    std::ofstream out(pcf_out);
+    WriteParaverConfig(result.metrics.jobs, out);
+    std::printf("Paraver config written to %s\n", pcf_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main(int argc, char** argv) { return pdpa::Run(argc, argv); }

@@ -1,0 +1,35 @@
+// prv_stats — offline analysis of archived Paraver traces, the equivalent
+// of the measurements the paper extracts with the Paraver tool (Table 2):
+// kernel-thread migrations, burst statistics and machine utilization.
+//
+// Usage: prv_stats trace.prv [trace2.prv ...]
+#include <cstdio>
+#include <fstream>
+
+#include "src/trace/paraver_reader.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: prv_stats trace.prv [more.prv ...]\n");
+    return 2;
+  }
+  std::printf("%-32s %12s %14s %14s %6s\n", "trace", "migrations", "avg burst(ms)",
+              "bursts/cpu", "util");
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      return 2;
+    }
+    pdpa::ParaverTrace trace;
+    std::string error;
+    if (!pdpa::ReadParaverTrace(in, &trace, &error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());
+      return 2;
+    }
+    const pdpa::TraceStats stats = pdpa::ComputeStatsFromTrace(trace);
+    std::printf("%-32s %12lld %14.0f %14.0f %5.0f%%\n", argv[i], stats.migrations,
+                stats.avg_burst_ms, stats.avg_bursts_per_cpu, stats.utilization * 100.0);
+  }
+  return 0;
+}
