@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coordination.dir/bench/ablation_coordination.cc.o"
+  "CMakeFiles/ablation_coordination.dir/bench/ablation_coordination.cc.o.d"
+  "bench/ablation_coordination"
+  "bench/ablation_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_robustness.dir/bench/ablation_robustness.cc.o"
+  "CMakeFiles/ablation_robustness.dir/bench/ablation_robustness.cc.o.d"
+  "bench/ablation_robustness"
+  "bench/ablation_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_target_eff.dir/bench/ablation_target_eff.cc.o"
+  "CMakeFiles/ablation_target_eff.dir/bench/ablation_target_eff.cc.o.d"
+  "bench/ablation_target_eff"
+  "bench/ablation_target_eff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_target_eff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_cluster.dir/bench/extra_cluster.cc.o"
+  "CMakeFiles/extra_cluster.dir/bench/extra_cluster.cc.o.d"
+  "bench/extra_cluster"
+  "bench/extra_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

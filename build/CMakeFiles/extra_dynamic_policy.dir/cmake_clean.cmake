@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_dynamic_policy.dir/bench/extra_dynamic_policy.cc.o"
+  "CMakeFiles/extra_dynamic_policy.dir/bench/extra_dynamic_policy.cc.o.d"
+  "bench/extra_dynamic_policy"
+  "bench/extra_dynamic_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_dynamic_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_rigid_folding.dir/bench/extra_rigid_folding.cc.o"
+  "CMakeFiles/extra_rigid_folding.dir/bench/extra_rigid_folding.cc.o.d"
+  "bench/extra_rigid_folding"
+  "bench/extra_rigid_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_rigid_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_speedup_curves.dir/bench/fig03_speedup_curves.cc.o"
+  "CMakeFiles/fig03_speedup_curves.dir/bench/fig03_speedup_curves.cc.o.d"
+  "bench/fig03_speedup_curves"
+  "bench/fig03_speedup_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_speedup_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_workload1.dir/bench/fig04_workload1.cc.o"
+  "CMakeFiles/fig04_workload1.dir/bench/fig04_workload1.cc.o.d"
+  "bench/fig04_workload1"
+  "bench/fig04_workload1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_workload1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

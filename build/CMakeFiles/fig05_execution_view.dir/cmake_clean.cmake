@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_execution_view.dir/bench/fig05_execution_view.cc.o"
+  "CMakeFiles/fig05_execution_view.dir/bench/fig05_execution_view.cc.o.d"
+  "bench/fig05_execution_view"
+  "bench/fig05_execution_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_execution_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_execution_view.
+# This may be replaced when dependencies are built.

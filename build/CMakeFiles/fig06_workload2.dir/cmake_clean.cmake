@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_workload2.dir/bench/fig06_workload2.cc.o"
+  "CMakeFiles/fig06_workload2.dir/bench/fig06_workload2.cc.o.d"
+  "bench/fig06_workload2"
+  "bench/fig06_workload2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_workload2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_multiprogramming.dir/bench/fig07_multiprogramming.cc.o"
+  "CMakeFiles/fig07_multiprogramming.dir/bench/fig07_multiprogramming.cc.o.d"
+  "bench/fig07_multiprogramming"
+  "bench/fig07_multiprogramming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_multiprogramming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

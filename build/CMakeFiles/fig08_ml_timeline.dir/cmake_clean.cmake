@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ml_timeline.dir/bench/fig08_ml_timeline.cc.o"
+  "CMakeFiles/fig08_ml_timeline.dir/bench/fig08_ml_timeline.cc.o.d"
+  "bench/fig08_ml_timeline"
+  "bench/fig08_ml_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ml_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_workload3.dir/bench/fig09_workload3.cc.o"
+  "CMakeFiles/fig09_workload3.dir/bench/fig09_workload3.cc.o.d"
+  "bench/fig09_workload3"
+  "bench/fig09_workload3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_workload3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_workload4.dir/bench/fig10_workload4.cc.o"
+  "CMakeFiles/fig10_workload4.dir/bench/fig10_workload4.cc.o.d"
+  "bench/fig10_workload4"
+  "bench/fig10_workload4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_workload4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_policies.dir/bench/micro_policies.cc.o"
+  "CMakeFiles/micro_policies.dir/bench/micro_policies.cc.o.d"
+  "bench/micro_policies"
+  "bench/micro_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_simcore.cc" "CMakeFiles/micro_simcore.dir/bench/micro_simcore.cc.o" "gcc" "CMakeFiles/micro_simcore.dir/bench/micro_simcore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pdpa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pdpa_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/pdpa_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qs/CMakeFiles/pdpa_qs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pdpa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pdpa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pdpa_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/pdpa_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pdpa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/pdpa_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

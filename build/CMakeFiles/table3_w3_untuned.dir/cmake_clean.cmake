@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_w3_untuned.dir/bench/table3_w3_untuned.cc.o"
+  "CMakeFiles/table3_w3_untuned.dir/bench/table3_w3_untuned.cc.o.d"
+  "bench/table3_w3_untuned"
+  "bench/table3_w3_untuned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_w3_untuned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

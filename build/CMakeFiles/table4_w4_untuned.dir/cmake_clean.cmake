@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_w4_untuned.dir/bench/table4_w4_untuned.cc.o"
+  "CMakeFiles/table4_w4_untuned.dir/bench/table4_w4_untuned.cc.o.d"
+  "bench/table4_w4_untuned"
+  "bench/table4_w4_untuned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_w4_untuned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

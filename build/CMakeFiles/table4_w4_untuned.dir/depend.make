@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_w4_untuned.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_only_app.dir/binary_only_app.cpp.o"
+  "CMakeFiles/binary_only_app.dir/binary_only_app.cpp.o.d"
+  "binary_only_app"
+  "binary_only_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_only_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_tuning_app.dir/self_tuning_app.cpp.o"
+  "CMakeFiles/self_tuning_app.dir/self_tuning_app.cpp.o.d"
+  "self_tuning_app"
+  "self_tuning_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_tuning_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

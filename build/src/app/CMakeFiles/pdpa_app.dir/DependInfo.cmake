@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/app_profile.cc" "src/app/CMakeFiles/pdpa_app.dir/app_profile.cc.o" "gcc" "src/app/CMakeFiles/pdpa_app.dir/app_profile.cc.o.d"
+  "/root/repo/src/app/application.cc" "src/app/CMakeFiles/pdpa_app.dir/application.cc.o" "gcc" "src/app/CMakeFiles/pdpa_app.dir/application.cc.o.d"
+  "/root/repo/src/app/speedup_model.cc" "src/app/CMakeFiles/pdpa_app.dir/speedup_model.cc.o" "gcc" "src/app/CMakeFiles/pdpa_app.dir/speedup_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_app.dir/app_profile.cc.o"
+  "CMakeFiles/pdpa_app.dir/app_profile.cc.o.d"
+  "CMakeFiles/pdpa_app.dir/application.cc.o"
+  "CMakeFiles/pdpa_app.dir/application.cc.o.d"
+  "CMakeFiles/pdpa_app.dir/speedup_model.cc.o"
+  "CMakeFiles/pdpa_app.dir/speedup_model.cc.o.d"
+  "libpdpa_app.a"
+  "libpdpa_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdpa_app.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_cluster.dir/cluster.cc.o"
+  "CMakeFiles/pdpa_cluster.dir/cluster.cc.o.d"
+  "libpdpa_cluster.a"
+  "libpdpa_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pdpa_cluster.
+# This may be replaced when dependencies are built.

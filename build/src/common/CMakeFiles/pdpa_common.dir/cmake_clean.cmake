@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_common.dir/flags.cc.o"
+  "CMakeFiles/pdpa_common.dir/flags.cc.o.d"
+  "CMakeFiles/pdpa_common.dir/logging.cc.o"
+  "CMakeFiles/pdpa_common.dir/logging.cc.o.d"
+  "CMakeFiles/pdpa_common.dir/rng.cc.o"
+  "CMakeFiles/pdpa_common.dir/rng.cc.o.d"
+  "CMakeFiles/pdpa_common.dir/stats.cc.o"
+  "CMakeFiles/pdpa_common.dir/stats.cc.o.d"
+  "CMakeFiles/pdpa_common.dir/strings.cc.o"
+  "CMakeFiles/pdpa_common.dir/strings.cc.o.d"
+  "libpdpa_common.a"
+  "libpdpa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pdpa.cc" "src/core/CMakeFiles/pdpa_core.dir/pdpa.cc.o" "gcc" "src/core/CMakeFiles/pdpa_core.dir/pdpa.cc.o.d"
+  "/root/repo/src/core/pdpa_policy.cc" "src/core/CMakeFiles/pdpa_core.dir/pdpa_policy.cc.o" "gcc" "src/core/CMakeFiles/pdpa_core.dir/pdpa_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pdpa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pdpa_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/pdpa_app.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

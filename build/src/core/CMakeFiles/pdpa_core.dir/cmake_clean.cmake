@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_core.dir/pdpa.cc.o"
+  "CMakeFiles/pdpa_core.dir/pdpa.cc.o.d"
+  "CMakeFiles/pdpa_core.dir/pdpa_policy.cc.o"
+  "CMakeFiles/pdpa_core.dir/pdpa_policy.cc.o.d"
+  "libpdpa_core.a"
+  "libpdpa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

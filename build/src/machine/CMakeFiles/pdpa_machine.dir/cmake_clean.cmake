@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_machine.dir/cpuset.cc.o"
+  "CMakeFiles/pdpa_machine.dir/cpuset.cc.o.d"
+  "CMakeFiles/pdpa_machine.dir/machine.cc.o"
+  "CMakeFiles/pdpa_machine.dir/machine.cc.o.d"
+  "libpdpa_machine.a"
+  "libpdpa_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_metrics.dir/metrics.cc.o"
+  "CMakeFiles/pdpa_metrics.dir/metrics.cc.o.d"
+  "libpdpa_metrics.a"
+  "libpdpa_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

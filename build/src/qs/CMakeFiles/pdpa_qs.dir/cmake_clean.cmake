@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_qs.dir/queuing_system.cc.o"
+  "CMakeFiles/pdpa_qs.dir/queuing_system.cc.o.d"
+  "CMakeFiles/pdpa_qs.dir/swf.cc.o"
+  "CMakeFiles/pdpa_qs.dir/swf.cc.o.d"
+  "CMakeFiles/pdpa_qs.dir/workload_generator.cc.o"
+  "CMakeFiles/pdpa_qs.dir/workload_generator.cc.o.d"
+  "libpdpa_qs.a"
+  "libpdpa_qs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_qs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

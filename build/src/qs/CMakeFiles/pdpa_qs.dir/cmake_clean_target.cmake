@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdpa_qs.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rm/equal_efficiency.cc" "src/rm/CMakeFiles/pdpa_rm.dir/equal_efficiency.cc.o" "gcc" "src/rm/CMakeFiles/pdpa_rm.dir/equal_efficiency.cc.o.d"
+  "/root/repo/src/rm/equipartition.cc" "src/rm/CMakeFiles/pdpa_rm.dir/equipartition.cc.o" "gcc" "src/rm/CMakeFiles/pdpa_rm.dir/equipartition.cc.o.d"
+  "/root/repo/src/rm/irix.cc" "src/rm/CMakeFiles/pdpa_rm.dir/irix.cc.o" "gcc" "src/rm/CMakeFiles/pdpa_rm.dir/irix.cc.o.d"
+  "/root/repo/src/rm/mccann_dynamic.cc" "src/rm/CMakeFiles/pdpa_rm.dir/mccann_dynamic.cc.o" "gcc" "src/rm/CMakeFiles/pdpa_rm.dir/mccann_dynamic.cc.o.d"
+  "/root/repo/src/rm/resource_manager.cc" "src/rm/CMakeFiles/pdpa_rm.dir/resource_manager.cc.o" "gcc" "src/rm/CMakeFiles/pdpa_rm.dir/resource_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/pdpa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pdpa_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pdpa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/pdpa_app.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_rm.dir/equal_efficiency.cc.o"
+  "CMakeFiles/pdpa_rm.dir/equal_efficiency.cc.o.d"
+  "CMakeFiles/pdpa_rm.dir/equipartition.cc.o"
+  "CMakeFiles/pdpa_rm.dir/equipartition.cc.o.d"
+  "CMakeFiles/pdpa_rm.dir/irix.cc.o"
+  "CMakeFiles/pdpa_rm.dir/irix.cc.o.d"
+  "CMakeFiles/pdpa_rm.dir/mccann_dynamic.cc.o"
+  "CMakeFiles/pdpa_rm.dir/mccann_dynamic.cc.o.d"
+  "CMakeFiles/pdpa_rm.dir/resource_manager.cc.o"
+  "CMakeFiles/pdpa_rm.dir/resource_manager.cc.o.d"
+  "libpdpa_rm.a"
+  "libpdpa_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdpa_rm.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for pdpa_rm.
+# This may be replaced when dependencies are built.

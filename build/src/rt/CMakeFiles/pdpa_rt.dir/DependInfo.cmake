@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/kernels.cc" "src/rt/CMakeFiles/pdpa_rt.dir/kernels.cc.o" "gcc" "src/rt/CMakeFiles/pdpa_rt.dir/kernels.cc.o.d"
+  "/root/repo/src/rt/malleable_team.cc" "src/rt/CMakeFiles/pdpa_rt.dir/malleable_team.cc.o" "gcc" "src/rt/CMakeFiles/pdpa_rt.dir/malleable_team.cc.o.d"
+  "/root/repo/src/rt/process_rm.cc" "src/rt/CMakeFiles/pdpa_rt.dir/process_rm.cc.o" "gcc" "src/rt/CMakeFiles/pdpa_rt.dir/process_rm.cc.o.d"
+  "/root/repo/src/rt/self_tuner.cc" "src/rt/CMakeFiles/pdpa_rt.dir/self_tuner.cc.o" "gcc" "src/rt/CMakeFiles/pdpa_rt.dir/self_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pdpa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pdpa_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/pdpa_app.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

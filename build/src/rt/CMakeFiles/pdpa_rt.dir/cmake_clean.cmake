@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_rt.dir/kernels.cc.o"
+  "CMakeFiles/pdpa_rt.dir/kernels.cc.o.d"
+  "CMakeFiles/pdpa_rt.dir/malleable_team.cc.o"
+  "CMakeFiles/pdpa_rt.dir/malleable_team.cc.o.d"
+  "CMakeFiles/pdpa_rt.dir/process_rm.cc.o"
+  "CMakeFiles/pdpa_rt.dir/process_rm.cc.o.d"
+  "CMakeFiles/pdpa_rt.dir/self_tuner.cc.o"
+  "CMakeFiles/pdpa_rt.dir/self_tuner.cc.o.d"
+  "libpdpa_rt.a"
+  "libpdpa_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/nth_lib.cc" "src/runtime/CMakeFiles/pdpa_runtime.dir/nth_lib.cc.o" "gcc" "src/runtime/CMakeFiles/pdpa_runtime.dir/nth_lib.cc.o.d"
+  "/root/repo/src/runtime/periodicity_detector.cc" "src/runtime/CMakeFiles/pdpa_runtime.dir/periodicity_detector.cc.o" "gcc" "src/runtime/CMakeFiles/pdpa_runtime.dir/periodicity_detector.cc.o.d"
+  "/root/repo/src/runtime/self_analyzer.cc" "src/runtime/CMakeFiles/pdpa_runtime.dir/self_analyzer.cc.o" "gcc" "src/runtime/CMakeFiles/pdpa_runtime.dir/self_analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/pdpa_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

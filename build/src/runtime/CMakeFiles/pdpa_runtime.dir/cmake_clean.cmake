@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_runtime.dir/nth_lib.cc.o"
+  "CMakeFiles/pdpa_runtime.dir/nth_lib.cc.o.d"
+  "CMakeFiles/pdpa_runtime.dir/periodicity_detector.cc.o"
+  "CMakeFiles/pdpa_runtime.dir/periodicity_detector.cc.o.d"
+  "CMakeFiles/pdpa_runtime.dir/self_analyzer.cc.o"
+  "CMakeFiles/pdpa_runtime.dir/self_analyzer.cc.o.d"
+  "libpdpa_runtime.a"
+  "libpdpa_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

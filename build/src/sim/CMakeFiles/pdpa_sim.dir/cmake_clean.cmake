@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pdpa_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pdpa_sim.dir/simulation.cc.o"
+  "CMakeFiles/pdpa_sim.dir/simulation.cc.o.d"
+  "libpdpa_sim.a"
+  "libpdpa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/ascii_view.cc" "src/trace/CMakeFiles/pdpa_trace.dir/ascii_view.cc.o" "gcc" "src/trace/CMakeFiles/pdpa_trace.dir/ascii_view.cc.o.d"
+  "/root/repo/src/trace/paraver_reader.cc" "src/trace/CMakeFiles/pdpa_trace.dir/paraver_reader.cc.o" "gcc" "src/trace/CMakeFiles/pdpa_trace.dir/paraver_reader.cc.o.d"
+  "/root/repo/src/trace/paraver_writer.cc" "src/trace/CMakeFiles/pdpa_trace.dir/paraver_writer.cc.o" "gcc" "src/trace/CMakeFiles/pdpa_trace.dir/paraver_writer.cc.o.d"
+  "/root/repo/src/trace/trace_recorder.cc" "src/trace/CMakeFiles/pdpa_trace.dir/trace_recorder.cc.o" "gcc" "src/trace/CMakeFiles/pdpa_trace.dir/trace_recorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/pdpa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_trace.dir/ascii_view.cc.o"
+  "CMakeFiles/pdpa_trace.dir/ascii_view.cc.o.d"
+  "CMakeFiles/pdpa_trace.dir/paraver_reader.cc.o"
+  "CMakeFiles/pdpa_trace.dir/paraver_reader.cc.o.d"
+  "CMakeFiles/pdpa_trace.dir/paraver_writer.cc.o"
+  "CMakeFiles/pdpa_trace.dir/paraver_writer.cc.o.d"
+  "CMakeFiles/pdpa_trace.dir/trace_recorder.cc.o"
+  "CMakeFiles/pdpa_trace.dir/trace_recorder.cc.o.d"
+  "libpdpa_trace.a"
+  "libpdpa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

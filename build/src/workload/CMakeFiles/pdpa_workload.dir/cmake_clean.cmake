@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_workload.dir/catalog.cc.o"
+  "CMakeFiles/pdpa_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/pdpa_workload.dir/experiment.cc.o"
+  "CMakeFiles/pdpa_workload.dir/experiment.cc.o.d"
+  "libpdpa_workload.a"
+  "libpdpa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_core_test.dir/pdpa_core_test.cc.o"
+  "CMakeFiles/pdpa_core_test.dir/pdpa_core_test.cc.o.d"
+  "pdpa_core_test"
+  "pdpa_core_test.pdb"
+  "pdpa_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_transition_table_test.dir/pdpa_transition_table_test.cc.o"
+  "CMakeFiles/pdpa_transition_table_test.dir/pdpa_transition_table_test.cc.o.d"
+  "pdpa_transition_table_test"
+  "pdpa_transition_table_test.pdb"
+  "pdpa_transition_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_transition_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

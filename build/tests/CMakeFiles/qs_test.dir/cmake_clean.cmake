@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_test.dir/qs_test.cc.o"
+  "CMakeFiles/qs_test.dir/qs_test.cc.o.d"
+  "qs_test"
+  "qs_test.pdb"
+  "qs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_batch.dir/pdpa_batch.cc.o"
+  "CMakeFiles/pdpa_batch.dir/pdpa_batch.cc.o.d"
+  "pdpa_batch"
+  "pdpa_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

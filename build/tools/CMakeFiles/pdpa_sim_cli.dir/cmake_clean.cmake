@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpa_sim_cli.dir/pdpa_sim.cc.o"
+  "CMakeFiles/pdpa_sim_cli.dir/pdpa_sim.cc.o.d"
+  "pdpa_sim"
+  "pdpa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpa_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prv_stats.dir/prv_stats.cc.o"
+  "CMakeFiles/prv_stats.dir/prv_stats.cc.o.d"
+  "prv_stats"
+  "prv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
