@@ -8,6 +8,10 @@ namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
+// Sentinel: no simulation clock published.
+constexpr std::int64_t kNoSimTime = INT64_MIN;
+std::atomic<std::int64_t> g_log_sim_time_us{kNoSimTime};
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -41,11 +45,39 @@ void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warning") {
+    *out = LogLevel::kWarning;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else if (name == "none") {
+    *out = LogLevel::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogSimTimeUs(std::int64_t t_us) { g_log_sim_time_us.store(t_us); }
+
+void ClearLogSimTime() { g_log_sim_time_us.store(kNoSimTime); }
+
 void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
   if (static_cast<int>(level) < g_log_level.load()) {
     return;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line, message.c_str());
+  const std::int64_t t_us = g_log_sim_time_us.load();
+  if (t_us == kNoSimTime) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s t=%.3fs %s:%d] %s\n", LevelName(level),
+                 static_cast<double>(t_us) / 1e6, Basename(file), line, message.c_str());
+  }
 }
 
 FatalLine::FatalLine(const char* file, int line, const char* condition)

@@ -6,6 +6,7 @@
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -24,6 +25,17 @@ enum class LogLevel : int {
 // Sets the process-wide minimum level that will be emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses "debug|info|warning|error|none" (the --log_level flag values).
+// Returns false on an unknown name and leaves `out` untouched.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+// Simulation-time log prefix: while a simulation is running it publishes its
+// clock here (integer microseconds) and every log line gets a "t=12.345s"
+// prefix, so PDPA_LOG output correlates with the structured event log.
+// Cleared (no prefix) outside simulation runs.
+void SetLogSimTimeUs(std::int64_t t_us);
+void ClearLogSimTime();
 
 // Emits one formatted log line to stderr. Prefer the PDPA_LOG macro.
 void LogMessage(LogLevel level, const char* file, int line, const std::string& message);

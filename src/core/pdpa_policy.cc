@@ -3,11 +3,76 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/counters.h"
 
 namespace pdpa {
 
+namespace {
+
+Counter* TransitionCounter(PdpaState to) {
+  static Counter* to_no_ref = Registry::Default().counter("pdpa.transitions.to_no_ref");
+  static Counter* to_inc = Registry::Default().counter("pdpa.transitions.to_inc");
+  static Counter* to_dec = Registry::Default().counter("pdpa.transitions.to_dec");
+  static Counter* to_stable = Registry::Default().counter("pdpa.transitions.to_stable");
+  switch (to) {
+    case PdpaState::kNoRef:
+      return to_no_ref;
+    case PdpaState::kInc:
+      return to_inc;
+    case PdpaState::kDec:
+      return to_dec;
+    case PdpaState::kStable:
+      return to_stable;
+  }
+  return to_stable;
+}
+
+Counter* EvaluationsCounter() {
+  static Counter* counter = Registry::Default().counter("pdpa.evaluations");
+  return counter;
+}
+
+Counter* StaleReportsCounter() {
+  static Counter* counter = Registry::Default().counter("pdpa.stale_reports");
+  return counter;
+}
+
+Counter* AdmitGrantedCounter() {
+  static Counter* counter = Registry::Default().counter("pdpa.admit.granted");
+  return counter;
+}
+
+Counter* AdmitDeniedCounter() {
+  static Counter* counter = Registry::Default().counter("pdpa.admit.denied");
+  return counter;
+}
+
+}  // namespace
+
 PdpaPolicy::PdpaPolicy(PdpaParams params, PdpaMlParams ml_params)
     : params_(params), ml_params_(ml_params) {}
+
+void PdpaPolicy::RecordTransition(SimTime now, JobId job, PdpaState from, int from_alloc,
+                                  const PdpaAutomaton& automaton, double speedup,
+                                  const char* trigger) {
+  EvaluationsCounter()->Increment();
+  if (automaton.state() != from) {
+    TransitionCounter(automaton.state())->Increment();
+  }
+  if (event_log_ != nullptr) {
+    const int procs = from_alloc > 0 ? from_alloc : automaton.current_alloc();
+    const double efficiency = procs > 0 ? speedup / procs : 0.0;
+    event_log_->PdpaTransition(now, job, from_alloc > 0 ? PdpaStateName(from) : "-",
+                               PdpaStateName(automaton.state()), from_alloc,
+                               automaton.current_alloc(), speedup, efficiency,
+                               automaton.target_eff(), trigger);
+  }
+  if (automaton.state() != from || automaton.current_alloc() != from_alloc) {
+    PDPA_LOG(Debug) << "job " << job << " " << PdpaStateName(from) << "->"
+                    << PdpaStateName(automaton.state()) << " alloc " << from_alloc << "->"
+                    << automaton.current_alloc() << " S=" << speedup << " (" << trigger << ")";
+  }
+}
 
 AllocationPlan PdpaPolicy::OnJobStart(const PolicyContext& ctx, JobId job) {
   int request = 0;
@@ -30,6 +95,8 @@ AllocationPlan PdpaPolicy::OnJobStart(const PolicyContext& ctx, JobId job) {
   }
   auto automaton = std::make_unique<PdpaAutomaton>(params_, request);
   const int initial = automaton->OnJobStart(ctx.free_cpus);
+  RecordTransition(ctx.now, job, PdpaState::kNoRef, /*from_alloc=*/0, *automaton,
+                   /*speedup=*/0.0, "start");
   automatons_[job] = std::move(automaton);
   plan[job] = initial;
   return plan;
@@ -58,9 +125,12 @@ AllocationPlan PdpaPolicy::OnJobFinish(const PolicyContext& ctx, JobId job) {
     if (it == automatons_.end()) {
       continue;
     }
+    const PdpaState before_state = it->second->state();
     const int before = it->second->current_alloc();
     const PdpaDecision decision = it->second->OnFreeCapacity(free);
     if (decision.changed) {
+      RecordTransition(ctx.now, info.id, before_state, before, *it->second,
+                       it->second->last_speedup(), "free_capacity");
       plan[info.id] = decision.next_alloc;
       free -= decision.next_alloc - before;
     }
@@ -81,7 +151,16 @@ AllocationPlan PdpaPolicy::OnReport(const PolicyContext& ctx, const PerfReport& 
         params_.min_target_eff + (params_.max_target_eff - params_.min_target_eff) * load;
     it->second->SetTargetEff(std::min(target, params_.high_eff));
   }
+  const PdpaState before_state = it->second->state();
+  const int before_alloc = it->second->current_alloc();
   const PdpaDecision decision = it->second->OnReport(report.speedup, report.procs, ctx.free_cpus);
+  if (report.procs != before_alloc) {
+    // The measurement raced a reallocation; the automaton ignored it.
+    StaleReportsCounter()->Increment();
+    return AllocationPlan{};
+  }
+  RecordTransition(ctx.now, report.job, before_state, before_alloc, *it->second, report.speedup,
+                   "report");
   AllocationPlan plan;
   if (decision.changed) {
     plan[report.job] = decision.next_alloc;
@@ -93,6 +172,7 @@ bool PdpaPolicy::ShouldAdmit(const PolicyContext& ctx) const {
   // Run-to-completion with at least one processor: admission always needs a
   // free processor, even within the default-ML credit.
   if (ctx.free_cpus < 1) {
+    AdmitDeniedCounter()->Increment();
     return false;
   }
   std::vector<PdpaAppStatus> statuses;
@@ -100,7 +180,15 @@ bool PdpaPolicy::ShouldAdmit(const PolicyContext& ctx) const {
   for (const auto& [job, automaton] : automatons_) {
     statuses.push_back(PdpaAppStatus{automaton->Settled(), automaton->BadPerformance()});
   }
-  return PdpaShouldAdmit(ml_params_, ctx.free_cpus, static_cast<int>(ctx.jobs.size()), statuses);
+  const bool admit =
+      PdpaShouldAdmit(ml_params_, ctx.free_cpus, static_cast<int>(ctx.jobs.size()), statuses);
+  (admit ? AdmitGrantedCounter() : AdmitDeniedCounter())->Increment();
+  return admit;
+}
+
+const char* PdpaPolicy::AppStateName(JobId job) const {
+  const auto it = automatons_.find(job);
+  return it == automatons_.end() ? "" : PdpaStateName(it->second->state());
 }
 
 const PdpaAutomaton* PdpaPolicy::AutomatonFor(JobId job) const {

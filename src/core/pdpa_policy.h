@@ -21,11 +21,17 @@ class PdpaPolicy : public SchedulingPolicy {
   AllocationPlan OnJobFinish(const PolicyContext& ctx, JobId job) override;
   AllocationPlan OnReport(const PolicyContext& ctx, const PerfReport& report) override;
   bool ShouldAdmit(const PolicyContext& ctx) const override;
+  const char* AppStateName(JobId job) const override;
 
   // State of one job's automaton, for tests and introspection.
   const PdpaAutomaton* AutomatonFor(JobId job) const;
 
  private:
+  // Records one automaton evaluation in the flight recorder and the
+  // transition counters.
+  void RecordTransition(SimTime now, JobId job, PdpaState from, int from_alloc,
+                        const PdpaAutomaton& automaton, double speedup, const char* trigger);
+
   PdpaParams params_;
   PdpaMlParams ml_params_;
   std::map<JobId, std::unique_ptr<PdpaAutomaton>> automatons_;

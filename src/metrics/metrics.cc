@@ -30,6 +30,11 @@ WorkloadMetrics ComputeMetrics(const std::vector<JobOutcome>& outcomes,
     }
   }
   for (auto& [app_class, cm] : metrics.per_class) {
+    if (cm.count <= 0) {
+      // Defensive: per_class entries are only created by counting a job, but
+      // a zero count must never become a division by zero here.
+      continue;
+    }
     cm.avg_response_s = response_sum[app_class] / cm.count;
     cm.avg_exec_s = exec_sum[app_class] / cm.count;
     cm.avg_wait_s = wait_sum[app_class] / cm.count;

@@ -1,0 +1,114 @@
+#include "src/obs/counters.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace pdpa {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  PDPA_CHECK(!upper_bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+    PDPA_CHECK(upper_bounds_[i - 1] < upper_bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  counts_.assign(upper_bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double sample) {
+  std::size_t bucket = upper_bounds_.size();  // overflow bucket
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (sample <= upper_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += sample;
+}
+
+void Histogram::Reset() {
+  counts_.assign(counts_.size(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::histogram(const std::string& name, std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(std::move(upper_bounds))).first;
+  }
+  return it->second.get();
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back(CounterSnapshot{name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back(GaugeSnapshot{name, gauge->value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back(HistogramSnapshot{name, histogram->upper_bounds(),
+                                                    histogram->bucket_counts(),
+                                                    histogram->count(), histogram->sum()});
+  }
+  return snapshot;
+}
+
+void Registry::ResetAll() {
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::string RegistrySnapshot::ToString() const {
+  std::string out;
+  for (const CounterSnapshot& c : counters) {
+    out += StrFormat("%-40s %lld\n", c.name.c_str(), c.value);
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    out += StrFormat("%-40s %g\n", g.name.c_str(), g.value);
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    out += StrFormat("%-40s count=%lld sum=%g\n", h.name.c_str(), h.count, h.sum);
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      out += StrFormat("  le %-10g %lld\n", h.upper_bounds[i], h.bucket_counts[i]);
+    }
+    out += StrFormat("  le +inf     %lld\n", h.bucket_counts.back());
+  }
+  return out;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,136 @@
+// Process-wide observability registry: named monotonic counters, gauges and
+// fixed-bucket histograms.
+//
+// The simulator is single-threaded by design, so instruments are plain
+// (non-atomic) slots: a hot-path increment is one load/add/store. Call sites
+// resolve the named instrument once (the registry hands out stable pointers)
+// and then only touch the slot. Snapshot() and ResetAll() give tests and the
+// --counters CLI flag a deterministic, name-sorted view of everything the
+// stack recorded.
+//
+// Naming convention: lowercase dotted paths grouped by layer, e.g.
+// "rm.reallocations", "pdpa.transitions.to_stable", "analyzer.reports".
+#ifndef SRC_OBS_COUNTERS_H_
+#define SRC_OBS_COUNTERS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdpa {
+
+// Monotonically increasing count (events, decisions, errors).
+class Counter {
+ public:
+  void Increment(long long delta = 1) { value_ += delta; }
+  long long value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  long long value_ = 0;
+};
+
+// Last-write-wins instantaneous value (free CPUs, queue depth).
+class Gauge {
+ public:
+  void Set(double value) {
+    value_ = value;
+    has_value_ = true;
+  }
+  double value() const { return value_; }
+  bool has_value() const { return has_value_; }
+  void Reset() {
+    value_ = 0.0;
+    has_value_ = false;
+  }
+
+ private:
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+// Fixed-bucket histogram. A sample lands in the first bucket whose upper
+// bound is >= the sample ("le" semantics); samples above every bound land in
+// the implicit overflow bucket. Bounds are fixed at registration so the
+// hot path is a linear scan over a handful of doubles.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double sample);
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  // One count per bound plus the trailing overflow bucket.
+  const std::vector<long long>& bucket_counts() const { return counts_; }
+  long long count() const { return count_; }
+  double sum() const { return sum_; }
+  void Reset();
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<long long> counts_;
+  long long count_ = 0;
+  double sum_ = 0.0;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  long long value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<long long> bucket_counts;
+  long long count = 0;
+  double sum = 0.0;
+};
+
+// A point-in-time copy of every registered instrument, name-sorted.
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  // Human-readable multi-line dump (the --counters output).
+  std::string ToString() const;
+};
+
+// Owns the instruments. Registration is idempotent: asking for an existing
+// name returns the same pointer, so independent modules can share an
+// instrument by name. Pointers stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  // `upper_bounds` must be non-empty and strictly increasing; ignored (the
+  // original bounds win) when `name` already exists.
+  Histogram* histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  RegistrySnapshot Snapshot() const;
+
+  // Zeroes every instrument's value; registrations (and pointers) survive.
+  void ResetAll();
+
+  // The process-wide registry every layer of the stack records into.
+  static Registry& Default();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_OBS_COUNTERS_H_

@@ -1,0 +1,390 @@
+#include "src/obs/event_log.h"
+
+#include <cctype>
+#include <ostream>
+
+#include "src/common/strings.h"
+
+namespace pdpa {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonObjectWriter::Key(std::string_view key) {
+  if (!first_) {
+    body_.push_back(',');
+  }
+  first_ = false;
+  body_ += JsonEscape(key);
+  body_.push_back(':');
+}
+
+JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  body_ += JsonEscape(value);
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, const char* value) {
+  return Field(key, std::string_view(value));
+}
+
+JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, long long value) {
+  Key(key);
+  body_ += StrFormat("%lld", value);
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, unsigned long long value) {
+  Key(key);
+  body_ += StrFormat("%llu", value);
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, int value) {
+  return Field(key, static_cast<long long>(value));
+}
+
+JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, double value) {
+  Key(key);
+  body_ += StrFormat("%.10g", value);
+  return *this;
+}
+
+std::string JsonObjectWriter::Finish() {
+  body_.push_back('}');
+  return std::move(body_);
+}
+
+namespace {
+
+// Consumes a JSON string literal starting at `pos` (which must point at the
+// opening quote); appends the unescaped content to `out`.
+bool ParseJsonString(std::string_view line, std::size_t* pos, std::string* out) {
+  if (*pos >= line.size() || line[*pos] != '"') {
+    return false;
+  }
+  ++*pos;
+  while (*pos < line.size()) {
+    const char c = line[*pos];
+    if (c == '"') {
+      ++*pos;
+      return true;
+    }
+    if (c == '\\') {
+      if (*pos + 1 >= line.size()) {
+        return false;
+      }
+      const char escaped = line[*pos + 1];
+      switch (escaped) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (*pos + 5 >= line.size()) {
+            return false;
+          }
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = line[*pos + 2 + i];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              code |= h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code |= h - 'A' + 10;
+            } else {
+              return false;
+            }
+          }
+          // The writer only escapes control characters, so a single byte
+          // suffices here.
+          out->push_back(static_cast<char>(code));
+          *pos += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+      *pos += 2;
+      continue;
+    }
+    out->push_back(c);
+    ++*pos;
+  }
+  return false;  // Unterminated string.
+}
+
+void SkipSpace(std::string_view line, std::size_t* pos) {
+  while (*pos < line.size() && std::isspace(static_cast<unsigned char>(line[*pos])) != 0) {
+    ++*pos;
+  }
+}
+
+}  // namespace
+
+bool ParseFlatJson(std::string_view line, std::map<std::string, std::string>* fields) {
+  fields->clear();
+  std::size_t pos = 0;
+  SkipSpace(line, &pos);
+  if (pos >= line.size() || line[pos] != '{') {
+    return false;
+  }
+  ++pos;
+  SkipSpace(line, &pos);
+  if (pos < line.size() && line[pos] == '}') {
+    ++pos;
+    SkipSpace(line, &pos);
+    return pos == line.size();
+  }
+  while (true) {
+    SkipSpace(line, &pos);
+    std::string key;
+    if (!ParseJsonString(line, &pos, &key)) {
+      return false;
+    }
+    SkipSpace(line, &pos);
+    if (pos >= line.size() || line[pos] != ':') {
+      return false;
+    }
+    ++pos;
+    SkipSpace(line, &pos);
+    std::string value;
+    if (pos < line.size() && line[pos] == '"') {
+      if (!ParseJsonString(line, &pos, &value)) {
+        return false;
+      }
+    } else {
+      // Bare token: number, true/false/null. Runs to the next ',' or '}'.
+      const std::size_t start = pos;
+      while (pos < line.size() && line[pos] != ',' && line[pos] != '}') {
+        ++pos;
+      }
+      value = std::string(Trim(line.substr(start, pos - start)));
+      if (value.empty()) {
+        return false;
+      }
+    }
+    (*fields)[key] = value;
+    SkipSpace(line, &pos);
+    if (pos >= line.size()) {
+      return false;
+    }
+    if (line[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (line[pos] == '}') {
+      ++pos;
+      SkipSpace(line, &pos);
+      return pos == line.size();
+    }
+    return false;
+  }
+}
+
+void EventLog::Emit(const std::string& json_line) {
+  if (out_ == nullptr) {
+    return;
+  }
+  *out_ << json_line << '\n';
+  ++lines_;
+}
+
+void EventLog::RunStart(std::string_view policy, std::string_view workload, double load,
+                        unsigned long long seed, int cpus) {
+  if (out_ == nullptr) {
+    return;
+  }
+  Emit(JsonObjectWriter()
+           .Field("type", "run_start")
+           .Field("policy", policy)
+           .Field("workload", workload)
+           .Field("load", load)
+           .Field("seed", seed)
+           .Field("cpus", cpus)
+           .Finish());
+}
+
+void EventLog::RunEnd(SimTime t, int jobs, bool completed) {
+  if (out_ == nullptr) {
+    return;
+  }
+  Emit(JsonObjectWriter()
+           .Field("type", "run_end")
+           .Field("t_us", static_cast<long long>(t))
+           .Field("jobs", jobs)
+           .Field("completed", completed)
+           .Finish());
+}
+
+void EventLog::JobSubmit(SimTime t, JobId job, std::string_view app_class, int request,
+                         bool rigid) {
+  if (out_ == nullptr) {
+    return;
+  }
+  Emit(JsonObjectWriter()
+           .Field("type", "job_submit")
+           .Field("t_us", static_cast<long long>(t))
+           .Field("job", job)
+           .Field("class", app_class)
+           .Field("request", request)
+           .Field("rigid", rigid)
+           .Finish());
+}
+
+void EventLog::JobStart(SimTime t, JobId job, std::string_view app_class, int request, int alloc,
+                        int running, int queued) {
+  if (out_ == nullptr) {
+    return;
+  }
+  Emit(JsonObjectWriter()
+           .Field("type", "job_start")
+           .Field("t_us", static_cast<long long>(t))
+           .Field("job", job)
+           .Field("class", app_class)
+           .Field("request", request)
+           .Field("alloc", alloc)
+           .Field("running", running)
+           .Field("queued", queued)
+           .Finish());
+}
+
+void EventLog::JobFinish(SimTime t, JobId job, SimTime submit, SimTime start) {
+  if (out_ == nullptr) {
+    return;
+  }
+  Emit(JsonObjectWriter()
+           .Field("type", "job_finish")
+           .Field("t_us", static_cast<long long>(t))
+           .Field("job", job)
+           .Field("submit_us", static_cast<long long>(submit))
+           .Field("start_us", static_cast<long long>(start))
+           .Finish());
+}
+
+void EventLog::AdmitHold(SimTime t, int running, int queued, int free_cpus) {
+  if (out_ == nullptr) {
+    return;
+  }
+  Emit(JsonObjectWriter()
+           .Field("type", "admit_hold")
+           .Field("t_us", static_cast<long long>(t))
+           .Field("running", running)
+           .Field("queued", queued)
+           .Field("free_cpus", free_cpus)
+           .Finish());
+}
+
+void EventLog::PerfSample(SimTime t, JobId job, int procs, double speedup, double efficiency) {
+  if (out_ == nullptr) {
+    return;
+  }
+  Emit(JsonObjectWriter()
+           .Field("type", "perf_sample")
+           .Field("t_us", static_cast<long long>(t))
+           .Field("job", job)
+           .Field("procs", procs)
+           .Field("speedup", speedup)
+           .Field("eff", efficiency)
+           .Finish());
+}
+
+void EventLog::PdpaTransition(SimTime t, JobId job, const char* from, const char* to,
+                              int from_alloc, int to_alloc, double speedup, double efficiency,
+                              double target_eff, const char* trigger) {
+  if (out_ == nullptr) {
+    return;
+  }
+  Emit(JsonObjectWriter()
+           .Field("type", "pdpa_transition")
+           .Field("t_us", static_cast<long long>(t))
+           .Field("job", job)
+           .Field("from", from)
+           .Field("to", to)
+           .Field("from_alloc", from_alloc)
+           .Field("to_alloc", to_alloc)
+           .Field("speedup", speedup)
+           .Field("eff", efficiency)
+           .Field("target", target_eff)
+           .Field("trigger", trigger)
+           .Finish());
+}
+
+void EventLog::AllocDecision(SimTime t, const char* trigger, const std::string& plan) {
+  if (out_ == nullptr) {
+    return;
+  }
+  Emit(JsonObjectWriter()
+           .Field("type", "alloc_decision")
+           .Field("t_us", static_cast<long long>(t))
+           .Field("trigger", trigger)
+           .Field("plan", plan)
+           .Finish());
+}
+
+void EventLog::CpuHandoffs(SimTime t, int moved, int migrations) {
+  if (out_ == nullptr) {
+    return;
+  }
+  Emit(JsonObjectWriter()
+           .Field("type", "cpu_handoffs")
+           .Field("t_us", static_cast<long long>(t))
+           .Field("moved", moved)
+           .Field("migrations", migrations)
+           .Finish());
+}
+
+}  // namespace pdpa

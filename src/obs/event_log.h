@@ -1,0 +1,113 @@
+// Structured scheduler event log — the "flight recorder" half of src/obs/.
+//
+// Every interesting decision in the stack (job lifecycle, PDPA automaton
+// transitions with their measured efficiency, per-quantum allocation plans,
+// ML admission holds, CPU handoffs, runtime performance reports) is emitted
+// as one flat JSON object per line (JSONL). Records are stamped exclusively
+// with *simulation* time (integer microseconds, field "t_us"), never wall
+// clock, so two identical runs produce byte-identical logs — the property
+// the determinism golden test asserts.
+//
+// The log is an optional, non-owning sink: a null/absent EventLog makes
+// every emitter a no-op, so instrumented hot paths cost one pointer test
+// when recording is off.
+#ifndef SRC_OBS_EVENT_LOG_H_
+#define SRC_OBS_EVENT_LOG_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/ids.h"
+#include "src/common/time_types.h"
+
+namespace pdpa {
+
+// Builds one flat JSON object ({"key":value,...}). Keys are emitted in call
+// order; values are escaped strings or numbers formatted deterministically.
+class JsonObjectWriter {
+ public:
+  JsonObjectWriter& Field(std::string_view key, std::string_view value);
+  JsonObjectWriter& Field(std::string_view key, const char* value);
+  JsonObjectWriter& Field(std::string_view key, long long value);
+  JsonObjectWriter& Field(std::string_view key, unsigned long long value);
+  JsonObjectWriter& Field(std::string_view key, int value);
+  JsonObjectWriter& Field(std::string_view key, bool value);
+  // Doubles use "%.10g": enough digits to round-trip the values we record,
+  // and bit-deterministic for a given binary.
+  JsonObjectWriter& Field(std::string_view key, double value);
+
+  // Returns the closed object. The writer is single-use.
+  std::string Finish();
+
+ private:
+  void Key(std::string_view key);
+
+  std::string body_ = "{";
+  bool first_ = true;
+};
+
+// Escapes `text` as a JSON string literal (with surrounding quotes).
+std::string JsonEscape(std::string_view text);
+
+// Parses one flat JSON object line (as produced by EventLog) into
+// field -> raw value. String values are unescaped; numbers/bools keep their
+// textual form. Returns false on malformed input. Nested objects/arrays are
+// not supported — the event schema is deliberately flat.
+bool ParseFlatJson(std::string_view line, std::map<std::string, std::string>* fields);
+
+class EventLog {
+ public:
+  // `out` is borrowed and must outlive the log; null disables recording.
+  explicit EventLog(std::ostream* out) : out_(out) {}
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  bool enabled() const { return out_ != nullptr; }
+  long long lines_written() const { return lines_; }
+
+  // --- Typed emitters -----------------------------------------------------
+  // One experiment begins; no timestamp on purpose (always t=0).
+  void RunStart(std::string_view policy, std::string_view workload, double load,
+                unsigned long long seed, int cpus);
+  void RunEnd(SimTime t, int jobs, bool completed);
+
+  void JobSubmit(SimTime t, JobId job, std::string_view app_class, int request, bool rigid);
+  void JobStart(SimTime t, JobId job, std::string_view app_class, int request, int alloc,
+                int running, int queued);
+  void JobFinish(SimTime t, JobId job, SimTime submit, SimTime start);
+
+  // The queuing system wanted to start a job but the policy (or a rigid
+  // hold) refused: the ML coordination said no.
+  void AdmitHold(SimTime t, int running, int queued, int free_cpus);
+
+  // A SelfAnalyzer measurement reached the resource manager.
+  void PerfSample(SimTime t, JobId job, int procs, double speedup, double efficiency);
+
+  // One PDPA automaton evaluation: `from`/`to` are state names, `trigger`
+  // is "start" | "report" | "free_capacity". Self-transitions are recorded
+  // too (changed=false) so timelines show every evaluation.
+  void PdpaTransition(SimTime t, JobId job, const char* from, const char* to, int from_alloc,
+                      int to_alloc, double speedup, double efficiency, double target_eff,
+                      const char* trigger);
+
+  // The RM applied an allocation plan. `plan` is "job:cpus job:cpus ...".
+  void AllocDecision(SimTime t, const char* trigger, const std::string& plan);
+
+  // Concrete CPU ownership changes from one ApplyAllocation/ReleaseJob.
+  void CpuHandoffs(SimTime t, int moved, int migrations);
+
+  // Escape hatch for events without a dedicated emitter; `json_line` must be
+  // one complete flat JSON object (no trailing newline).
+  void Emit(const std::string& json_line);
+
+ private:
+  std::ostream* out_;
+  long long lines_ = 0;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_OBS_EVENT_LOG_H_

@@ -1,0 +1,46 @@
+#include "src/obs/timeseries.h"
+
+#include <ostream>
+
+#include "src/common/strings.h"
+
+namespace pdpa {
+
+std::map<JobId, double> TimeSeriesSampler::AllocIntegralUs() const {
+  std::map<JobId, double> integral;
+  for (const AppPoint& point : apps_) {
+    integral[point.job] += point.alloc * static_cast<double>(point.t_end - point.t_start);
+  }
+  return integral;
+}
+
+void TimeSeriesSampler::WriteCsv(std::ostream& out) const {
+  out << "kind,t_s,t_end_s,job,alloc,speedup,efficiency,state,free_cpus,running,queued,"
+         "utilization\n";
+  // Both vectors are appended in simulation order; merge by timestamp so the
+  // CSV reads chronologically (app windows before the machine sample taken
+  // at the same instant).
+  std::size_t a = 0;
+  std::size_t m = 0;
+  while (a < apps_.size() || m < machine_.size()) {
+    const bool take_app =
+        m >= machine_.size() || (a < apps_.size() && apps_[a].t_end <= machine_[m].t);
+    if (take_app) {
+      const AppPoint& p = apps_[a++];
+      out << StrFormat("app,%.6f,%.6f,%d,%.10g,%.10g,%.10g,%s,,,,\n", TimeToSeconds(p.t_start),
+                       TimeToSeconds(p.t_end), p.job, p.alloc, p.speedup, p.efficiency,
+                       p.state.c_str());
+    } else {
+      const MachinePoint& p = machine_[m++];
+      out << StrFormat("machine,%.6f,,,,,,,%d,%d,%d,%.10g\n", TimeToSeconds(p.t),
+                       p.free_cpus, p.running, p.queued, p.utilization);
+    }
+  }
+}
+
+void TimeSeriesSampler::Clear() {
+  apps_.clear();
+  machine_.clear();
+}
+
+}  // namespace pdpa

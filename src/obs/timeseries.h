@@ -1,0 +1,75 @@
+// Per-quantum allocation time-series — the third leg of the flight recorder.
+//
+// The resource manager pushes two kinds of points on the scheduler quantum:
+//   * one app point per running job: the *time-weighted* processor
+//     allocation over the elapsed window plus the latest measured speedup /
+//     efficiency and automaton state, and
+//   * one machine point: free CPUs, running jobs, queue depth, utilization.
+//
+// App windows partition each job's lifetime exactly (a final partial window
+// is flushed at job completion), so summing alloc * (t_end - t_start) over a
+// job's rows reproduces the RM's allocation integral — and therefore the
+// avg_alloc reported by ComputeMetrics — to floating-point precision. That
+// invariant is what makes the CSV trustworthy for Fig. 5/8-style plots.
+#ifndef SRC_OBS_TIMESERIES_H_
+#define SRC_OBS_TIMESERIES_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time_types.h"
+
+namespace pdpa {
+
+class TimeSeriesSampler {
+ public:
+  struct AppPoint {
+    SimTime t_start = 0;
+    SimTime t_end = 0;
+    JobId job = kIdleJob;
+    // Time-weighted mean allocation over [t_start, t_end).
+    double alloc = 0.0;
+    // Latest SelfAnalyzer measurement (0 before the first report).
+    double speedup = 0.0;
+    double efficiency = 0.0;
+    // PDPA automaton state name; empty for policies without one.
+    std::string state;
+  };
+
+  struct MachinePoint {
+    SimTime t = 0;
+    int free_cpus = 0;
+    int running = 0;
+    int queued = 0;
+    // Instantaneous (owned CPUs / total CPUs).
+    double utilization = 0.0;
+  };
+
+  void AddApp(AppPoint point) { apps_.push_back(std::move(point)); }
+  void AddMachine(MachinePoint point) { machine_.push_back(point); }
+
+  const std::vector<AppPoint>& apps() const { return apps_; }
+  const std::vector<MachinePoint>& machine() const { return machine_; }
+  bool empty() const { return apps_.empty() && machine_.empty(); }
+
+  // Integral of allocation over time per job, in cpu-microseconds —
+  // comparable with ResourceManager::alloc_integral_us().
+  std::map<JobId, double> AllocIntegralUs() const;
+
+  // Long-format CSV, one row per point, app and machine rows interleaved in
+  // recording order under a shared header.
+  void WriteCsv(std::ostream& out) const;
+
+  void Clear();
+
+ private:
+  std::vector<AppPoint> apps_;
+  std::vector<MachinePoint> machine_;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_OBS_TIMESERIES_H_

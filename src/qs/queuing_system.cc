@@ -4,8 +4,40 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/counters.h"
 
 namespace pdpa {
+
+namespace {
+
+Counter* SubmitsCounter() {
+  static Counter* counter = Registry::Default().counter("qs.submits");
+  return counter;
+}
+
+Counter* StartsCounter() {
+  static Counter* counter = Registry::Default().counter("qs.starts");
+  return counter;
+}
+
+Counter* FinishesCounter() {
+  static Counter* counter = Registry::Default().counter("qs.finishes");
+  return counter;
+}
+
+Counter* HoldsCounter() {
+  static Counter* counter = Registry::Default().counter("qs.holds");
+  return counter;
+}
+
+Histogram* WaitHistogram() {
+  // Queue wait in seconds.
+  static Histogram* histogram = Registry::Default().histogram(
+      "qs.wait_seconds", {0.0, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0});
+  return histogram;
+}
+
+}  // namespace
 
 QueuingSystem::QueuingSystem(Simulation* sim, ResourceManager* rm, std::vector<JobSpec> workload,
                              QueueOrder order)
@@ -51,14 +83,34 @@ void QueuingSystem::Start() {
 
 void QueuingSystem::OnArrival(const JobSpec& spec) {
   queue_.push_back(spec);
+  SubmitsCounter()->Increment();
+  if (events_ != nullptr) {
+    events_->JobSubmit(sim_->now(), spec.id, AppClassName(spec.app_class), spec.request,
+                       spec.rigid);
+  }
   TryStartJobs(sim_->now());
 }
 
 void QueuingSystem::TryStartJobs(SimTime now) {
-  while (!queue_.empty() && rm_->CanStartJob()) {
-    if (options_.hold_rigid_until_fit && queue_.front().rigid &&
-        rm_->machine().FreeCpus() < queue_.front().request) {
-      break;  // classic rigid regime: wait for the full request
+  while (!queue_.empty()) {
+    const bool admit = rm_->CanStartJob();
+    const bool fits = !(options_.hold_rigid_until_fit && queue_.front().rigid &&
+                        rm_->machine().FreeCpus() < queue_.front().request);
+    if (!admit || !fits) {
+      // Record the coordination decision to hold the queue, once per
+      // (running, queued) state, so Fig. 8-style ML analysis can see when
+      // the policy said "no".
+      const std::pair<int, int> key{running_, queued()};
+      if (key != last_hold_) {
+        last_hold_ = key;
+        HoldsCounter()->Increment();
+        if (events_ != nullptr) {
+          events_->AdmitHold(now, running_, queued(), rm_->machine().FreeCpus());
+        }
+        PDPA_LOG(Debug) << "queue held: running=" << running_ << " queued=" << queued()
+                        << " free_cpus=" << rm_->machine().FreeCpus();
+      }
+      break;
     }
     const JobSpec spec = PopNext();
 
@@ -72,8 +124,15 @@ void QueuingSystem::TryStartJobs(SimTime now) {
 
     ++running_;
     max_ml_ = std::max(max_ml_, running_);
+    last_hold_ = {-1, -1};
     RecordMl(now);
+    StartsCounter()->Increment();
+    WaitHistogram()->Observe(TimeToSeconds(now - spec.submit));
     rm_->StartJob(spec.id, MakeProfile(spec.app_class), spec.request, now, spec.rigid);
+    if (events_ != nullptr) {
+      events_->JobStart(now, spec.id, AppClassName(spec.app_class), spec.request,
+                        rm_->AllocationOf(spec.id), running_, queued());
+    }
   }
 }
 
@@ -85,6 +144,10 @@ void QueuingSystem::OnJobFinish(JobId job, SimTime finish_time) {
   outcome.finish = finish_time;
   outcomes_.push_back(outcome);
   --running_;
+  FinishesCounter()->Increment();
+  if (events_ != nullptr) {
+    events_->JobFinish(finish_time, job, outcome.submit, outcome.start);
+  }
   RecordMl(finish_time);
   // The RM's state-change callback fires after this, starting queued jobs.
 }

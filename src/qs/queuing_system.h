@@ -46,6 +46,9 @@ class QueuingSystem {
   QueuingSystem(const QueuingSystem&) = delete;
   QueuingSystem& operator=(const QueuingSystem&) = delete;
 
+  // Flight-recorder sink (borrowed, optional); wire before Start().
+  void set_event_log(EventLog* log) { events_ = log; }
+
   // Schedules the arrival events and hooks the RM callbacks; call once.
   void Start();
 
@@ -81,6 +84,11 @@ class QueuingSystem {
   int running_ = 0;
   int max_ml_ = 0;
   bool started_ = false;
+
+  EventLog* events_ = nullptr;  // may be null
+  // Deduplication key for admit_hold events: last (running, queued) pair a
+  // hold was reported at, so repeated probes in one state emit one event.
+  std::pair<int, int> last_hold_{-1, -1};
 };
 
 }  // namespace pdpa

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/obs/counters.h"
 
 namespace pdpa {
 
@@ -71,10 +72,12 @@ double EqualEfficiency::ExtrapolatedSpeedup(JobId job, double p) const {
 }
 
 AllocationPlan EqualEfficiency::Reallocate(const PolicyContext& ctx) const {
+  static Counter* reallocations = Registry::Default().counter("policy.equal_eff.reallocations");
   AllocationPlan plan;
   if (ctx.jobs.empty()) {
     return plan;
   }
+  reallocations->Increment();
   // Everyone gets one processor (run-to-completion floor), then processors
   // go one at a time to the job whose *extrapolated* efficiency at its next
   // allocation is highest.

@@ -3,16 +3,19 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/counters.h"
 
 namespace pdpa {
 
 Equipartition::Equipartition(int fixed_ml) : fixed_ml_(fixed_ml) { PDPA_CHECK_GE(fixed_ml, 1); }
 
 AllocationPlan Equipartition::EqualSplit(const PolicyContext& ctx) {
+  static Counter* rebalances = Registry::Default().counter("policy.equip.rebalances");
   AllocationPlan plan;
   if (ctx.jobs.empty()) {
     return plan;
   }
+  rebalances->Increment();
   // Start everyone at zero, then hand out processors one by one to the job
   // with the smallest current share that is still below its request. This
   // is the classic water-filling formulation: equal shares, with small

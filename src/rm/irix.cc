@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "src/common/logging.h"
+#include "src/obs/counters.h"
 
 namespace pdpa {
 
@@ -80,6 +81,8 @@ void IrixTimeShare::AdjustThreadCounts(const PolicyContext& ctx, int ncpus) {
 std::map<JobId, TimeShare> IrixTimeShare::TimeShareTick(Machine& machine,
                                                         const PolicyContext& ctx, SimDuration dt,
                                                         std::vector<CpuHandoff>* handoffs) {
+  static Counter* ticks = Registry::Default().counter("policy.irix.dispatch_ticks");
+  ticks->Increment();
   std::map<JobId, TimeShare> shares;
   for (const PolicyJobInfo& info : ctx.jobs) {
     shares[info.id] = TimeShare{0.0, 1.0};

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/obs/counters.h"
 
 namespace pdpa {
 
@@ -40,10 +41,12 @@ bool McCannDynamic::ShouldAdmit(const PolicyContext& ctx) const {
 }
 
 AllocationPlan McCannDynamic::Redistribute(const PolicyContext& ctx) const {
+  static Counter* redistributions = Registry::Default().counter("policy.dynamic.redistributions");
   AllocationPlan plan;
   if (ctx.jobs.empty()) {
     return plan;
   }
+  redistributions->Increment();
   // Equal redistribution capped by min(request, useful parallelism):
   // water-filling, like Equipartition, but with the dynamic caps — this is
   // what moves processors away from applications with reported idleness the

@@ -15,6 +15,7 @@
 #include "src/common/logging.h"
 #include "src/common/time_types.h"
 #include "src/machine/machine.h"
+#include "src/obs/event_log.h"
 #include "src/runtime/self_analyzer.h"
 
 namespace pdpa {
@@ -60,6 +61,18 @@ class SchedulingPolicy {
 
   virtual std::string name() const = 0;
 
+  // Flight-recorder sink for policy-internal decisions (PDPA automaton
+  // transitions). Borrowed; null (the default) disables recording.
+  void set_event_log(EventLog* log) { event_log_ = log; }
+
+  // Human-readable per-application search state for the time-series sampler
+  // ("NO_REF"/"INC"/"DEC"/"STABLE" under PDPA). Empty when the policy keeps
+  // no such state.
+  virtual const char* AppStateName(JobId job) const {
+    (void)job;
+    return "";
+  }
+
   // True for thread-level time-sharing policies (IRIX); the RM then calls
   // TimeShareTick every tick instead of applying allocation plans.
   virtual bool is_time_sharing() const { return false; }
@@ -102,6 +115,9 @@ class SchedulingPolicy {
     PDPA_CHECK(false) << "TimeShareTick on a space-sharing policy";
     return {};
   }
+
+ protected:
+  EventLog* event_log_ = nullptr;
 };
 
 }  // namespace pdpa

@@ -4,8 +4,59 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/strings.h"
 
 namespace pdpa {
+
+namespace {
+
+Counter* JobsStartedCounter() {
+  static Counter* counter = Registry::Default().counter("rm.jobs_started");
+  return counter;
+}
+
+Counter* JobsFinishedCounter() {
+  static Counter* counter = Registry::Default().counter("rm.jobs_finished");
+  return counter;
+}
+
+Counter* ReallocationsCounter() {
+  static Counter* counter = Registry::Default().counter("rm.reallocations");
+  return counter;
+}
+
+Counter* PlansAppliedCounter() {
+  static Counter* counter = Registry::Default().counter("rm.plans_applied");
+  return counter;
+}
+
+Counter* HandoffsCounter() {
+  static Counter* counter = Registry::Default().counter("rm.cpu_handoffs");
+  return counter;
+}
+
+Counter* MigrationsCounter() {
+  static Counter* counter = Registry::Default().counter("rm.cpu_migrations");
+  return counter;
+}
+
+Counter* ReportsCounter() {
+  static Counter* counter = Registry::Default().counter("rm.perf_reports");
+  return counter;
+}
+
+Gauge* FreeCpusGauge() {
+  static Gauge* gauge = Registry::Default().gauge("machine.free_cpus");
+  return gauge;
+}
+
+Histogram* ReportEfficiencyHistogram() {
+  static Histogram* histogram = Registry::Default().histogram(
+      "rm.report_efficiency", {0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2});
+  return histogram;
+}
+
+}  // namespace
 
 ResourceManager::ResourceManager(Params params, std::unique_ptr<SchedulingPolicy> policy,
                                  Simulation* sim, TraceRecorder* trace, Rng rng)
@@ -23,6 +74,7 @@ ResourceManager::ResourceManager(Params params, std::unique_ptr<SchedulingPolicy
 
 void ResourceManager::Start() {
   PDPA_CHECK_EQ(tick_task_, -1);
+  next_ts_sample_ = sim_->now() + params_.quantum;
   tick_task_ = sim_->SchedulePeriodic(sim_->now() + params_.tick, params_.tick,
                                       [this](SimTime now) { OnTick(now); });
   quantum_task_ = sim_->SchedulePeriodic(sim_->now() + params_.quantum, params_.quantum,
@@ -37,6 +89,17 @@ void ResourceManager::Stop() {
   if (quantum_task_ >= 0) {
     sim_->StopPeriodic(quantum_task_);
     quantum_task_ = -1;
+  }
+  // Flush the tail windows of jobs still running (incomplete runs), so the
+  // time-series integral matches alloc_integral_us() even on cutoffs.
+  if (timeseries_ != nullptr) {
+    const SimTime now = sim_->now();
+    for (JobId job : arrival_order_) {
+      const auto it = jobs_.find(job);
+      if (it != jobs_.end()) {
+        FlushAppSample(job, it->second, now);
+      }
+    }
   }
 }
 
@@ -84,8 +147,10 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
   running.arrival = now;
   running.request = effective_request;
   running.rigid = rigid;
+  running.last_sample = now;
   jobs_[job] = std::move(running);
   arrival_order_.push_back(job);
+  JobsStartedCounter()->Increment();
 
   if (policy_->is_time_sharing()) {
     // Time sharing: the runtime spawns `request` threads and the OS
@@ -94,14 +159,18 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
     b.app().SetAllocation(effective_request, now);
     b.app().Start(now);
     (void)policy_->OnJobStart(BuildContext(now), job);
+    PDPA_LOG(Info) << "job " << job << " started (time-sharing, " << effective_request
+                   << " threads)";
     return;
   }
 
   const AllocationPlan plan = policy_->OnJobStart(BuildContext(now), job);
-  ApplyPlan(plan, now);
+  ApplyPlan(plan, now, "start");
   NthLibBinding& b = *jobs_[job].binding;
   PDPA_CHECK_GT(b.app().allocated(), 0)
       << policy_->name() << " started job " << job << " without processors";
+  PDPA_LOG(Info) << "job " << job << " started with " << b.app().allocated() << "/"
+                 << effective_request << " cpus";
   if (rigid) {
     // Rigid jobs are not iterative/malleable from the SelfAnalyzer's point
     // of view (Sec. 3.1: "requires applications to be iterative and
@@ -117,7 +186,7 @@ int ResourceManager::AllocationOf(JobId job) const {
   return it == jobs_.end() ? 0 : it->second.binding->app().allocated();
 }
 
-void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now) {
+void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now, const char* trigger) {
   if (plan.empty()) {
     return;
   }
@@ -128,16 +197,40 @@ void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now) {
   for (const auto& [job, running] : jobs_) {
     target[job] = running.binding->app().allocated();
   }
+  std::string plan_text;
   for (const auto& [job, count] : plan) {
     const auto it = jobs_.find(job);
     if (it == jobs_.end()) {
       continue;  // Finished in the meantime.
     }
     target[job] = std::clamp(count, 1, it->second.request);
+    if (events_ != nullptr) {
+      if (!plan_text.empty()) {
+        plan_text.push_back(' ');
+      }
+      plan_text += StrFormat("%d:%d", job, target[job]);
+    }
+  }
+  PlansAppliedCounter()->Increment();
+  if (events_ != nullptr && !plan_text.empty()) {
+    events_->AllocDecision(now, trigger, plan_text);
   }
   const std::vector<CpuHandoff> handoffs = machine_.ApplyAllocation(target);
   if (trace_ != nullptr) {
     trace_->OnHandoffs(now, handoffs);
+  }
+  if (!handoffs.empty()) {
+    int migrations = 0;
+    for (const CpuHandoff& handoff : handoffs) {
+      if (handoff.from != kIdleJob && handoff.to != kIdleJob) {
+        ++migrations;
+      }
+    }
+    HandoffsCounter()->Increment(static_cast<long long>(handoffs.size()));
+    MigrationsCounter()->Increment(migrations);
+    if (events_ != nullptr) {
+      events_->CpuHandoffs(now, static_cast<int>(handoffs.size()), migrations);
+    }
   }
   for (const auto& [job, count] : target) {
     NthLibBinding& binding = *jobs_[job].binding;
@@ -145,6 +238,7 @@ void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now) {
       // Initial assignment (from zero) is not a reallocation.
       if (binding.app().allocated() > 0) {
         ++total_reallocations_;
+        ReallocationsCounter()->Increment();
       }
       binding.SetProcessors(count, now);
     }
@@ -159,13 +253,72 @@ void ResourceManager::DrainReports(SimTime now) {
     std::vector<PerfReport> batch;
     batch.swap(pending_reports_);
     for (const PerfReport& report : batch) {
-      if (!jobs_.contains(report.job)) {
+      const auto it = jobs_.find(report.job);
+      if (it == jobs_.end()) {
         continue;
       }
+      it->second.last_speedup = report.speedup;
+      it->second.last_efficiency = report.efficiency;
+      ReportsCounter()->Increment();
+      ReportEfficiencyHistogram()->Observe(report.efficiency);
+      if (events_ != nullptr) {
+        events_->PerfSample(now, report.job, report.procs, report.speedup, report.efficiency);
+      }
       const AllocationPlan plan = policy_->OnReport(BuildContext(now), report);
-      ApplyPlan(plan, now);
+      ApplyPlan(plan, now, "report");
     }
   }
+}
+
+void ResourceManager::FlushAppSample(JobId job, RunningJob& running, SimTime now) {
+  if (timeseries_ == nullptr) {
+    return;
+  }
+  const auto it = alloc_integral_us_.find(job);
+  const double integral = it == alloc_integral_us_.end() ? 0.0 : it->second;
+  const double delta = integral - running.sampled_integral_us;
+  // Windows must have positive width for the alloc column to integrate back
+  // to the delta; clamp the degenerate zero-width case (job finished at the
+  // exact instant of the previous sample) to one microsecond.
+  const SimTime t_end = now > running.last_sample ? now : running.last_sample + 1;
+  if (delta <= 0.0 && now <= running.last_sample) {
+    return;  // Nothing accrued and no time elapsed.
+  }
+  TimeSeriesSampler::AppPoint point;
+  point.t_start = running.last_sample;
+  point.t_end = t_end;
+  point.job = job;
+  point.alloc = delta / static_cast<double>(t_end - running.last_sample);
+  point.speedup = running.last_speedup;
+  point.efficiency = running.last_efficiency;
+  point.state = policy_->AppStateName(job);
+  timeseries_->AddApp(std::move(point));
+  running.sampled_integral_us = integral;
+  running.last_sample = t_end;
+}
+
+void ResourceManager::SampleTimeseries(SimTime now) {
+  const int free = machine_.FreeCpus();
+  FreeCpusGauge()->Set(free);
+  if (timeseries_ == nullptr) {
+    return;
+  }
+  for (JobId job : arrival_order_) {
+    const auto it = jobs_.find(job);
+    if (it != jobs_.end()) {
+      FlushAppSample(job, it->second, now);
+    }
+  }
+  TimeSeriesSampler::MachinePoint point;
+  point.t = now;
+  point.free_cpus = free;
+  point.running = static_cast<int>(jobs_.size());
+  point.queued = queue_depth_ ? queue_depth_() : 0;
+  point.utilization = machine_.num_cpus() > 0
+                          ? static_cast<double>(machine_.num_cpus() - free) /
+                                static_cast<double>(machine_.num_cpus())
+                          : 0.0;
+  timeseries_->AddMachine(point);
 }
 
 void ResourceManager::CheckCompletions(SimTime now) {
@@ -177,15 +330,20 @@ void ResourceManager::CheckCompletions(SimTime now) {
     }
     const JobId job = it->first;
     const SimTime finish_time = it->second.binding->app().finish_time();
+    // Final partial window, so per-job time-series integrals are exact.
+    FlushAppSample(job, it->second, finish_time);
     const std::vector<CpuHandoff> handoffs = machine_.ReleaseJob(job);
     if (trace_ != nullptr) {
       trace_->OnHandoffs(now, handoffs);
     }
+    HandoffsCounter()->Increment(static_cast<long long>(handoffs.size()));
+    JobsFinishedCounter()->Increment();
+    PDPA_LOG(Info) << "job " << job << " finished";
     it = jobs_.erase(it);
     arrival_order_.erase(std::remove(arrival_order_.begin(), arrival_order_.end(), job),
                          arrival_order_.end());
     const AllocationPlan plan = policy_->OnJobFinish(BuildContext(now), job);
-    ApplyPlan(plan, now);
+    ApplyPlan(plan, now, "finish");
     if (on_finish_) {
       on_finish_(job, finish_time);
     }
@@ -232,6 +390,14 @@ void ResourceManager::OnTick(SimTime now) {
   if (trace_ != nullptr) {
     trace_->Tick(now);
   }
+  // Sample on the scheduler quantum, after completions and reports of this
+  // tick have settled, so windows end on post-decision state.
+  if (now >= next_ts_sample_) {
+    SampleTimeseries(now);
+    while (next_ts_sample_ <= now) {
+      next_ts_sample_ += params_.quantum;
+    }
+  }
   if (on_state_change_) {
     on_state_change_(now);
   }
@@ -242,7 +408,7 @@ void ResourceManager::OnQuantum(SimTime now) {
     return;
   }
   const AllocationPlan plan = policy_->OnQuantum(BuildContext(now));
-  ApplyPlan(plan, now);
+  ApplyPlan(plan, now, "quantum");
 }
 
 }  // namespace pdpa

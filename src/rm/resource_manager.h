@@ -14,6 +14,9 @@
 
 #include "src/common/rng.h"
 #include "src/machine/machine.h"
+#include "src/obs/counters.h"
+#include "src/obs/event_log.h"
+#include "src/obs/timeseries.h"
 #include "src/rm/policy.h"
 #include "src/runtime/nth_lib.h"
 #include "src/sim/simulation.h"
@@ -48,6 +51,16 @@ class ResourceManager {
   void set_job_finish_callback(JobFinishCallback callback) { on_finish_ = std::move(callback); }
   void set_state_change_callback(StateChangeCallback callback) {
     on_state_change_ = std::move(callback);
+  }
+
+  // Flight-recorder sinks (all borrowed, all optional). The event log also
+  // reaches the policy through SchedulingPolicy::set_event_log; wire both
+  // before Start().
+  void set_event_log(EventLog* log) { events_ = log; }
+  void set_timeseries(TimeSeriesSampler* sampler) { timeseries_ = sampler; }
+  // Lets machine samples include the queuing system's backlog.
+  void set_queue_depth_provider(std::function<int()> provider) {
+    queue_depth_ = std::move(provider);
   }
 
   // Registers the periodic tick and quantum tasks; call once before running.
@@ -91,14 +104,24 @@ class ResourceManager {
     SimTime arrival = 0;
     int request = 0;
     bool rigid = false;
+    // Latest SelfAnalyzer measurement, for the time-series sampler.
+    double last_speedup = 0.0;
+    double last_efficiency = 0.0;
+    // Allocation-integral watermark of the last emitted time-series window.
+    double sampled_integral_us = 0.0;
+    SimTime last_sample = 0;
   };
 
   PolicyContext BuildContext(SimTime now) const;
   void OnTick(SimTime now);
   void OnQuantum(SimTime now);
-  void ApplyPlan(const AllocationPlan& plan, SimTime now);
+  void ApplyPlan(const AllocationPlan& plan, SimTime now, const char* trigger);
   void DrainReports(SimTime now);
   void CheckCompletions(SimTime now);
+  // Emits the [last_sample, now) time-series window for one job.
+  void FlushAppSample(JobId job, RunningJob& running, SimTime now);
+  // Emits app windows for every running job plus one machine point.
+  void SampleTimeseries(SimTime now);
 
   Params params_;
   std::unique_ptr<SchedulingPolicy> policy_;
@@ -117,6 +140,11 @@ class ResourceManager {
   StateChangeCallback on_state_change_;
   int tick_task_ = -1;
   int quantum_task_ = -1;
+
+  EventLog* events_ = nullptr;           // may be null
+  TimeSeriesSampler* timeseries_ = nullptr;  // may be null
+  std::function<int()> queue_depth_;
+  SimTime next_ts_sample_ = 0;
 };
 
 }  // namespace pdpa

@@ -3,8 +3,28 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/counters.h"
 
 namespace pdpa {
+
+namespace {
+
+Counter* ReportsEmittedCounter() {
+  static Counter* counter = Registry::Default().counter("analyzer.reports");
+  return counter;
+}
+
+Counter* DirtyIterationsCounter() {
+  static Counter* counter = Registry::Default().counter("analyzer.dirty_iterations");
+  return counter;
+}
+
+Counter* BaselinesDoneCounter() {
+  static Counter* counter = Registry::Default().counter("analyzer.baselines_done");
+  return counter;
+}
+
+}  // namespace
 
 SelfAnalyzer::SelfAnalyzer(Application* app, SelfAnalyzerParams params, Rng rng)
     : app_(app), params_(params), rng_(rng) {
@@ -43,6 +63,7 @@ void SelfAnalyzer::OnIteration(const IterationRecord& record, SimTime now) {
         // the allocation was tiny; normalize with the count actually used.
         baseline_procs_ = record.procs;
         baseline_done_ = true;
+        BaselinesDoneCounter()->Increment();
         app_->ForceProcs(0, now);  // Release to the full allocation.
       }
     }
@@ -51,6 +72,7 @@ void SelfAnalyzer::OnIteration(const IterationRecord& record, SimTime now) {
 
   if (!record.clean) {
     // A reallocation happened mid-iteration; discard and restart the window.
+    DirtyIterationsCounter()->Increment();
     measure_samples_ = 0;
     measure_sum_s_ = 0.0;
     return;
@@ -85,6 +107,7 @@ void SelfAnalyzer::OnIteration(const IterationRecord& record, SimTime now) {
   report.speedup = std::max(0.05, versus_baseline * baseline_speedup);
   report.efficiency = report.speedup / std::max(1, record.procs);
   report.when = now;
+  ReportsEmittedCounter()->Increment();
   if (on_report_) {
     on_report_(report);
   }

@@ -3,8 +3,25 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/counters.h"
 
 namespace pdpa {
+
+namespace {
+
+Counter* EventsDispatchedCounter() {
+  static Counter* counter = Registry::Default().counter("sim.events_dispatched");
+  return counter;
+}
+
+Counter* PeriodicFiresCounter() {
+  static Counter* counter = Registry::Default().counter("sim.periodic_fires");
+  return counter;
+}
+
+}  // namespace
+
+Simulation::~Simulation() { ClearLogSimTime(); }
 
 EventId Simulation::After(SimDuration delay, EventCallback callback) {
   PDPA_CHECK_GE(delay, 0);
@@ -31,6 +48,7 @@ void Simulation::FirePeriodic(int handle, SimTime when) {
   if (!task.active) {
     return;
   }
+  PeriodicFiresCounter()->Increment();
   task.callback(when);
   if (task.active) {
     const SimTime next = when + task.period;
@@ -48,6 +66,8 @@ SimTime Simulation::RunUntil(SimTime until) {
     // Advance the clock before dispatching so callbacks observing now() (and
     // scheduling relative work with After) see the event's own time.
     now_ = next;
+    SetLogSimTimeUs(now_);
+    EventsDispatchedCounter()->Increment();
     events_.RunNext();
   }
   if (now_ < until && events_.empty()) {
@@ -60,6 +80,8 @@ SimTime Simulation::RunToCompletion() {
   stop_requested_ = false;
   while (!events_.empty() && !stop_requested_) {
     now_ = events_.NextTime();
+    SetLogSimTimeUs(now_);
+    EventsDispatchedCounter()->Increment();
     events_.RunNext();
   }
   return now_;

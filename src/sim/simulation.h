@@ -13,6 +13,8 @@ namespace pdpa {
 class Simulation {
  public:
   Simulation() = default;
+  // Retires this simulation's clock from the log-line time prefix.
+  ~Simulation();
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;

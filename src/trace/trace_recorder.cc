@@ -1,5 +1,7 @@
 #include "src/trace/trace_recorder.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace pdpa {
@@ -88,10 +90,14 @@ TraceStats TraceRecorder::ComputeStats() const {
   stats.total_bursts = total_bursts_;
   stats.avg_burst_ms =
       total_bursts_ == 0 ? 0.0 : total_burst_us_ / static_cast<double>(total_bursts_) / 1000.0;
+  // num_cpus_ > 0 is a constructor invariant; end_time_ == 0 (Finalize(0),
+  // empty run) must report zero utilization, not NaN/inf. Rounding in the
+  // busy integral must not push utilization outside [0, 1].
   stats.avg_bursts_per_cpu = static_cast<double>(total_bursts_) / num_cpus_;
   if (end_time_ > 0) {
     stats.utilization =
         busy_integral_us_ / (static_cast<double>(end_time_) * static_cast<double>(num_cpus_));
+    stats.utilization = std::clamp(stats.utilization, 0.0, 1.0);
   }
   return stats;
 }

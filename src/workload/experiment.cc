@@ -73,7 +73,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   ResourceManager::Params rm_params = config.rm;
   rm_params.num_cpus = config.num_cpus;
 
-  ResourceManager rm(rm_params, MakePolicy(config), &sim, trace.get(), Rng(config.seed ^ 0x5EEDULL));
+  std::unique_ptr<SchedulingPolicy> policy = MakePolicy(config);
+  policy->set_event_log(config.event_log);
+  ResourceManager rm(rm_params, std::move(policy), &sim, trace.get(),
+                     Rng(config.seed ^ 0x5EEDULL));
+  rm.set_event_log(config.event_log);
+  rm.set_timeseries(config.timeseries);
 
   std::vector<JobSpec> jobs = config.jobs_override;
   if (jobs.empty()) {
@@ -84,6 +89,13 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   qs_options.order = config.queue_order;
   qs_options.hold_rigid_until_fit = config.hold_rigid_until_fit;
   QueuingSystem qs(&sim, &rm, jobs, qs_options);
+  qs.set_event_log(config.event_log);
+  rm.set_queue_depth_provider([&qs] { return qs.queued(); });
+
+  if (config.event_log != nullptr) {
+    config.event_log->RunStart(rm.policy().name(), WorkloadName(config.workload), config.load,
+                               config.seed, config.num_cpus);
+  }
 
   rm.Start();
   qs.Start();
@@ -95,6 +107,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     sim.RunUntil(horizon);
   }
   rm.Stop();
+  if (config.event_log != nullptr) {
+    config.event_log->RunEnd(sim.now(), static_cast<int>(jobs.size()), qs.AllJobsDone());
+  }
 
   ExperimentResult result;
   result.policy_name = rm.policy().name();
@@ -103,6 +118,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.metrics = ComputeMetrics(qs.outcomes(), rm.alloc_integral_us());
   result.max_ml = qs.max_ml();
   result.reallocations = rm.total_reallocations();
+  result.outcomes = qs.outcomes();
   result.ml_timeline_s.reserve(qs.ml_timeline().size());
   for (const auto& [when, ml] : qs.ml_timeline()) {
     result.ml_timeline_s.emplace_back(TimeToSeconds(when), ml);

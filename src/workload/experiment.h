@@ -64,6 +64,11 @@ struct ExperimentConfig {
   // Use a pre-built job trace instead of generating one (SWF replay). When
   // non-empty, workload/load/seed/untuned are ignored for generation.
   std::vector<JobSpec> jobs_override;
+
+  // Flight-recorder sinks (borrowed, optional). When set, the runner wires
+  // them through the QS, RM, and policy for the duration of the experiment.
+  EventLog* event_log = nullptr;
+  TimeSeriesSampler* timeseries = nullptr;
 };
 
 struct ExperimentResult {
@@ -87,6 +92,9 @@ struct ExperimentResult {
 
   // Allocation changes applied by the RM over the run.
   long long reallocations = 0;
+
+  // Per-job outcomes (submit/start/finish), for observability cross-checks.
+  std::vector<JobOutcome> outcomes;
 };
 
 // Builds the policy instance for `config`.

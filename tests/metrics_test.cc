@@ -1,6 +1,8 @@
 // Tests for metric aggregation.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/metrics/metrics.h"
 
 namespace pdpa {
@@ -70,6 +72,30 @@ TEST(MetricsTest, EmptyOutcomes) {
   EXPECT_EQ(metrics.jobs, 0);
   EXPECT_TRUE(metrics.per_class.empty());
   EXPECT_DOUBLE_EQ(metrics.makespan_s, 0.0);
+}
+
+TEST(MetricsTest, ZeroWallTimeJobDoesNotDivideByZero) {
+  // finish == start: the allocation integral cannot be normalized by wall
+  // time, so the job contributes zero avg_alloc instead of NaN/inf.
+  std::map<JobId, double> integrals;
+  integrals[0] = 1e6;
+  const WorkloadMetrics metrics =
+      ComputeMetrics({MakeOutcome(0, AppClass::kBt, 0, 10, 10)}, integrals);
+  const ClassMetrics& bt = metrics.per_class.at(AppClass::kBt);
+  EXPECT_EQ(bt.count, 1);
+  EXPECT_DOUBLE_EQ(bt.avg_alloc, 0.0);
+  EXPECT_DOUBLE_EQ(bt.avg_exec_s, 0.0);
+  EXPECT_TRUE(std::isfinite(bt.avg_response_s));
+}
+
+TEST(MetricsTest, MissingIntegralYieldsZeroAvgAlloc) {
+  // A job with no allocation-integral entry (e.g. pure time-sharing runs
+  // that bypassed the RM accounting) must not blow up the per-class average.
+  const WorkloadMetrics metrics =
+      ComputeMetrics({MakeOutcome(3, AppClass::kHydro2d, 0, 0, 100)}, {});
+  const ClassMetrics& hydro = metrics.per_class.at(AppClass::kHydro2d);
+  EXPECT_DOUBLE_EQ(hydro.avg_alloc, 0.0);
+  EXPECT_DOUBLE_EQ(hydro.avg_exec_s, 100.0);
 }
 
 }  // namespace

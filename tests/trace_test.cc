@@ -168,6 +168,29 @@ TEST(ParaverReaderTest, SkipsNonStateRecords) {
   EXPECT_EQ(trace.records[0].end_ns, 1000);
 }
 
+TEST(TraceRecorderTest, FinalizeAtZeroYieldsAllZeroStats) {
+  // Empty run, Finalize(0): every denominator (bursts, end_time) is zero and
+  // every stat must come back zero-and-finite, not NaN/inf.
+  TraceRecorder recorder(4);
+  recorder.Finalize(0);
+  const TraceStats stats = recorder.ComputeStats();
+  EXPECT_EQ(stats.migrations, 0);
+  EXPECT_EQ(stats.total_bursts, 0);
+  EXPECT_DOUBLE_EQ(stats.avg_burst_ms, 0.0);
+  EXPECT_DOUBLE_EQ(stats.avg_bursts_per_cpu, 0.0);
+  EXPECT_DOUBLE_EQ(stats.utilization, 0.0);
+}
+
+TEST(TraceRecorderTest, UtilizationIsClampedToOne) {
+  TraceRecorder recorder(1);
+  recorder.OnHandoff(0, CpuHandoff{0, kIdleJob, 1});
+  recorder.Finalize(kSecond);
+  const TraceStats stats = recorder.ComputeStats();
+  EXPECT_GE(stats.utilization, 0.0);
+  EXPECT_LE(stats.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(stats.utilization, 1.0);
+}
+
 TEST(ParaverWriterTest, ConfigListsAllJobs) {
   std::ostringstream out;
   WriteParaverConfig(3, out);

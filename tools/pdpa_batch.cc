@@ -5,19 +5,49 @@
 //   pdpa_batch                          # the paper's full grid to stdout
 //   pdpa_batch --workloads w1,w3 --loads 0.6,1.0 --policies equip,pdpa
 //   pdpa_batch --seed 7 --untuned
+//   pdpa_batch --events_out ev_ --timeseries_out ts_   # per-cell recordings
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/common/flags.h"
+#include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/counters.h"
+#include "src/obs/event_log.h"
+#include "src/obs/timeseries.h"
 #include "src/workload/experiment.h"
 
 namespace pdpa {
 namespace {
 
+// Short id for filenames ("w1"), without the descriptive suffix that
+// WorkloadName adds ("w1(swim+bt)" would put parentheses in paths).
+const char* ShortWorkloadName(WorkloadId id) {
+  switch (id) {
+    case WorkloadId::kW1:
+      return "w1";
+    case WorkloadId::kW2:
+      return "w2";
+    case WorkloadId::kW3:
+      return "w3";
+    case WorkloadId::kW4:
+      return "w4";
+  }
+  return "w";
+}
+
 int Run(int argc, char** argv) {
   FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+
+  const std::string log_level = flags.GetString("log_level", "warning");
+  LogLevel level = LogLevel::kWarning;
+  if (!ParseLogLevel(log_level, &level)) {
+    std::fprintf(stderr, "unknown --log_level %s\n", log_level.c_str());
+    return 2;
+  }
+  SetLogLevel(level);
 
   std::vector<WorkloadId> workloads;
   for (const std::string& token :
@@ -65,6 +95,12 @@ int Run(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const bool untuned = flags.GetBool("untuned", false);
 
+  // Flight-recorder prefixes: each grid cell writes
+  // <prefix><workload>_<load>_<policy>.jsonl / .csv.
+  const std::string events_prefix = flags.GetString("events_out", "");
+  const std::string timeseries_prefix = flags.GetString("timeseries_out", "");
+  const bool want_counters = flags.GetBool("counters", false);
+
   for (const std::string& unknown : flags.UnconsumedFlags()) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     return 2;
@@ -82,6 +118,27 @@ int Run(int argc, char** argv) {
         config.policy = policy;
         config.seed = seed;
         config.untuned = untuned;
+
+        const std::string cell = StrFormat("%s_%.2f_%s", ShortWorkloadName(workload), load,
+                                           PolicyKindName(policy));
+        std::ofstream events_stream;
+        if (!events_prefix.empty()) {
+          const std::string path = events_prefix + cell + ".jsonl";
+          events_stream.open(path);
+          if (!events_stream) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            return 2;
+          }
+        }
+        EventLog events(events_prefix.empty() ? nullptr : &events_stream);
+        if (events.enabled()) {
+          config.event_log = &events;
+        }
+        TimeSeriesSampler timeseries;
+        if (!timeseries_prefix.empty()) {
+          config.timeseries = &timeseries;
+        }
+
         const ExperimentResult r = RunExperiment(config);
         for (const auto& [app_class, m] : r.metrics.per_class) {
           std::printf("%s,%.2f,%s,%s,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%d,%lld,%d\n",
@@ -90,8 +147,21 @@ int Run(int argc, char** argv) {
                       m.p95_response_s, m.avg_exec_s, m.avg_wait_s, m.avg_alloc,
                       r.metrics.makespan_s, r.max_ml, r.reallocations, r.completed ? 1 : 0);
         }
+        if (!timeseries_prefix.empty()) {
+          const std::string path = timeseries_prefix + cell + ".csv";
+          std::ofstream out(path);
+          if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            return 2;
+          }
+          timeseries.WriteCsv(out);
+        }
       }
     }
+  }
+  if (want_counters) {
+    std::fprintf(stderr, "\ncounters (whole grid):\n%s",
+                 Registry::Default().Snapshot().ToString().c_str());
   }
   return 0;
 }

@@ -1,0 +1,209 @@
+// pdpa_report — render a flight-recorder event log (JSONL, produced by
+// pdpa_sim --events_out) as a human-readable report: one timeline per
+// application plus event-type and PDPA-transition summaries.
+//
+// Examples:
+//   pdpa_sim --workload w1 --events_out ev.jsonl
+//   pdpa_report ev.jsonl
+//   pdpa_report ev.jsonl --jobs 3,7 --no-timeline
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/strings.h"
+#include "src/obs/event_log.h"
+
+namespace pdpa {
+namespace {
+
+constexpr const char* kUsage = R"(usage: pdpa_report FILE [flags]
+
+Renders a pdpa_sim/pdpa_batch event log (JSONL) as per-application
+timelines plus event and PDPA-transition summaries.
+
+flags:
+  --jobs N,M,...   only show the timelines of these job ids
+  --no-timeline    summaries only
+  --help           this text
+)";
+
+using Fields = std::map<std::string, std::string>;
+
+std::string Get(const Fields& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+double Seconds(const Fields& fields, const std::string& key) {
+  double us = 0.0;
+  (void)ParseDouble(Get(fields, key), &us);
+  return us / 1e6;
+}
+
+// One timeline entry: formatted text, keyed by (time, input order) so each
+// app's events stay chronological even across run segments.
+struct TimelineEntry {
+  double t_s = 0.0;
+  long long order = 0;
+  std::string text;
+};
+
+int Run(int argc, char** argv) {
+  FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  const std::string jobs_filter_text = flags.GetString("jobs", "");
+  const bool no_timeline = flags.GetBool("no-timeline", false);
+  const std::vector<std::string> inputs = flags.positional();
+  for (const std::string& unknown : flags.UnconsumedFlags()) {
+    std::fprintf(stderr, "unknown flag --%s (see --help)\n", unknown.c_str());
+    return 2;
+  }
+  if (inputs.size() != 1) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  std::set<long long> jobs_filter;
+  for (const std::string& token : SplitTokens(jobs_filter_text, ',')) {
+    jobs_filter.insert(std::atoll(token.c_str()));
+  }
+
+  std::ifstream in(inputs[0]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", inputs[0].c_str());
+    return 2;
+  }
+
+  std::map<std::string, long long> type_counts;
+  std::map<std::string, long long> transition_targets;
+  std::map<std::string, std::string> job_class;
+  std::map<std::string, std::vector<TimelineEntry>> timelines;
+  long long moved_total = 0;
+  long long migrations_total = 0;
+  long long holds = 0;
+  long long bad_lines = 0;
+  long long order = 0;
+  int segment = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    Fields fields;
+    if (!ParseFlatJson(line, &fields)) {
+      ++bad_lines;
+      continue;
+    }
+    const std::string type = Get(fields, "type");
+    ++type_counts[type];
+    ++order;
+    const double t_s = Seconds(fields, "t_us");
+    const std::string job = Get(fields, "job");
+
+    if (type == "run_start") {
+      ++segment;
+      std::printf("run %d: policy %s, workload %s, load %s, seed %s, %s cpus\n", segment,
+                  Get(fields, "policy").c_str(), Get(fields, "workload").c_str(),
+                  Get(fields, "load").c_str(), Get(fields, "seed").c_str(),
+                  Get(fields, "cpus").c_str());
+      continue;
+    }
+    if (type == "run_end") {
+      std::printf("run %d: ended at %.3f s, %s jobs, completed=%s\n", segment, t_s,
+                  Get(fields, "jobs").c_str(), Get(fields, "completed").c_str());
+      continue;
+    }
+    if (type == "cpu_handoffs") {
+      moved_total += std::atoll(Get(fields, "moved").c_str());
+      migrations_total += std::atoll(Get(fields, "migrations").c_str());
+      continue;
+    }
+    if (type == "admit_hold") {
+      ++holds;
+      continue;
+    }
+    if (job.empty()) {
+      continue;
+    }
+
+    TimelineEntry entry;
+    entry.t_s = t_s;
+    entry.order = order;
+    if (type == "job_submit") {
+      job_class[job] = Get(fields, "class");
+      entry.text = StrFormat("submitted (class %s, request %s%s)", Get(fields, "class").c_str(),
+                             Get(fields, "request").c_str(),
+                             Get(fields, "rigid") == "true" ? ", rigid" : "");
+    } else if (type == "job_start") {
+      entry.text = StrFormat("started with %s cpus (running %s, queued %s)",
+                             Get(fields, "alloc").c_str(), Get(fields, "running").c_str(),
+                             Get(fields, "queued").c_str());
+    } else if (type == "job_finish") {
+      const double wait_s = Seconds(fields, "start_us") - Seconds(fields, "submit_us");
+      const double exec_s = t_s - Seconds(fields, "start_us");
+      entry.text = StrFormat("finished (wait %.1f s, exec %.1f s)", wait_s, exec_s);
+    } else if (type == "pdpa_transition") {
+      ++transition_targets[Get(fields, "to")];
+      entry.text = StrFormat("%s -> %s, alloc %s -> %s (S=%s, eff=%s, target=%s, %s)",
+                             Get(fields, "from").c_str(), Get(fields, "to").c_str(),
+                             Get(fields, "from_alloc").c_str(), Get(fields, "to_alloc").c_str(),
+                             Get(fields, "speedup").c_str(), Get(fields, "eff").c_str(),
+                             Get(fields, "target").c_str(), Get(fields, "trigger").c_str());
+    } else if (type == "perf_sample") {
+      entry.text = StrFormat("measured S=%s on %s cpus (eff %s)", Get(fields, "speedup").c_str(),
+                             Get(fields, "procs").c_str(), Get(fields, "eff").c_str());
+    } else {
+      entry.text = type;
+    }
+    timelines[job].push_back(std::move(entry));
+  }
+
+  if (!no_timeline) {
+    for (const auto& [job, entries] : timelines) {
+      const long long id = std::atoll(job.c_str());
+      if (!jobs_filter.empty() && !jobs_filter.contains(id)) {
+        continue;
+      }
+      const auto cls = job_class.find(job);
+      std::printf("\njob %s%s%s:\n", job.c_str(), cls == job_class.end() ? "" : " class ",
+                  cls == job_class.end() ? "" : cls->second.c_str());
+      for (const TimelineEntry& entry : entries) {
+        std::printf("  %10.3f s  %s\n", entry.t_s, entry.text.c_str());
+      }
+    }
+  }
+
+  std::printf("\nevent counts:\n");
+  for (const auto& [type, count] : type_counts) {
+    std::printf("  %-20s %lld\n", type.c_str(), count);
+  }
+  if (!transition_targets.empty()) {
+    std::printf("\npdpa transitions by target state:\n");
+    for (const auto& [state, count] : transition_targets) {
+      std::printf("  %-10s %lld\n", state.c_str(), count);
+    }
+  }
+  if (moved_total > 0 || migrations_total > 0) {
+    std::printf("\ncpu handoffs: %lld moved, %lld job-to-job migrations\n", moved_total,
+                migrations_total);
+  }
+  if (holds > 0) {
+    std::printf("admission holds: %lld\n", holds);
+  }
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "warning: %lld malformed lines skipped\n", bad_lines);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main(int argc, char** argv) { return pdpa::Run(argc, argv); }

@@ -13,6 +13,10 @@
 #include <string>
 
 #include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/obs/counters.h"
+#include "src/obs/event_log.h"
+#include "src/obs/timeseries.h"
 #include "src/qs/swf.h"
 #include "src/trace/paraver_writer.h"
 #include "src/workload/experiment.h"
@@ -51,6 +55,14 @@ output flags:
   --pcf-out FILE           write the companion Paraver config (names/colors)
   --ml-timeline            print the multiprogramming level over time
   --help                   this text
+
+flight recorder (observability):
+  --events_out FILE        write the structured event log (JSONL; feed to
+                           pdpa_report for per-app timelines)
+  --timeseries_out FILE    write the per-quantum allocation time-series (CSV)
+  --counters               print the counters-registry snapshot after the run
+  --log_level LEVEL        debug|info|warning|error|none (default warning);
+                           log lines are stamped with simulation time
 )";
 
 int Run(int argc, char** argv) {
@@ -59,6 +71,14 @@ int Run(int argc, char** argv) {
     std::printf("%s", kUsage);
     return 0;
   }
+
+  const std::string log_level = flags.GetString("log_level", "warning");
+  LogLevel level = LogLevel::kWarning;
+  if (!ParseLogLevel(log_level, &level)) {
+    std::fprintf(stderr, "unknown --log_level %s\n", log_level.c_str());
+    return 2;
+  }
+  SetLogLevel(level);
 
   ExperimentConfig config;
   const std::string workload = flags.GetString("workload", "w1");
@@ -132,6 +152,10 @@ int Run(int argc, char** argv) {
   const std::string swf_out = flags.GetString("swf-out", "");
   const bool dry_run = flags.GetBool("dry-run", false);
 
+  const std::string events_out = flags.GetString("events_out", "");
+  const std::string timeseries_out = flags.GetString("timeseries_out", "");
+  const bool want_counters = flags.GetBool("counters", false);
+
   for (const std::string& unknown : flags.UnconsumedFlags()) {
     std::fprintf(stderr, "unknown flag --%s (see --help)\n", unknown.c_str());
     return 2;
@@ -156,6 +180,23 @@ int Run(int argc, char** argv) {
       return 0;
     }
     config.jobs_override = jobs;
+  }
+
+  std::ofstream events_stream;
+  if (!events_out.empty()) {
+    events_stream.open(events_out);
+    if (!events_stream) {
+      std::fprintf(stderr, "cannot open %s\n", events_out.c_str());
+      return 2;
+    }
+  }
+  EventLog events(events_out.empty() ? nullptr : &events_stream);
+  if (events.enabled()) {
+    config.event_log = &events;
+  }
+  TimeSeriesSampler timeseries;
+  if (!timeseries_out.empty()) {
+    config.timeseries = &timeseries;
   }
 
   const ExperimentResult result = RunExperiment(config);
@@ -192,6 +233,23 @@ int Run(int argc, char** argv) {
     std::ofstream out(pcf_out);
     WriteParaverConfig(result.metrics.jobs, out);
     std::printf("Paraver config written to %s\n", pcf_out.c_str());
+  }
+  if (events.enabled()) {
+    std::printf("event log: %lld events written to %s\n", events.lines_written(),
+                events_out.c_str());
+  }
+  if (!timeseries_out.empty()) {
+    std::ofstream out(timeseries_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", timeseries_out.c_str());
+      return 2;
+    }
+    timeseries.WriteCsv(out);
+    std::printf("time-series: %zu app windows, %zu machine samples written to %s\n",
+                timeseries.apps().size(), timeseries.machine().size(), timeseries_out.c_str());
+  }
+  if (want_counters) {
+    std::printf("\ncounters:\n%s", Registry::Default().Snapshot().ToString().c_str());
   }
   return 0;
 }
