@@ -3,7 +3,10 @@
 // and trace recording. These bound the cost of a full workload simulation.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "src/app/application.h"
+#include "src/machine/cpuset.h"
 #include "src/machine/machine.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/trace_recorder.h"
@@ -22,6 +25,56 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+// Schedule/cancel churn: the pattern the RM's quantum timer and the QS's
+// admission probes generate. This is the path the generation-stamped slot
+// design removed the per-event unordered_set hashing from.
+void BM_EventQueueScheduleCancelChurn(benchmark::State& state) {
+  EventQueue queue;
+  SimTime now = 0;
+  const int depth = static_cast<int>(state.range(0));
+  std::vector<EventId> pending;
+  pending.reserve(depth);
+  for (int i = 0; i < depth; ++i) {
+    pending.push_back(queue.Schedule(now + 1000 + i, [] {}));
+  }
+  std::size_t victim = 0;
+  for (auto _ : state) {
+    now += 1;
+    benchmark::DoNotOptimize(queue.Cancel(pending[victim]));
+    pending[victim] = queue.Schedule(now + 1000 + depth, [] {});
+    victim = (victim + 1) % pending.size();
+  }
+}
+BENCHMARK(BM_EventQueueScheduleCancelChurn)->Arg(16)->Arg(256);
+
+void BM_CpuSetScan(benchmark::State& state) {
+  // A realistically fragmented set: every third CPU across both words.
+  CpuSet set;
+  for (int cpu = 0; cpu < kMaxCpus; cpu += 3) {
+    set.Add(cpu);
+  }
+  for (auto _ : state) {
+    int sum = 0;
+    for (int cpu = set.First(); cpu >= 0; cpu = set.Next(cpu)) {
+      sum += cpu;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CpuSetScan);
+
+void BM_CpuSetCountToVector(benchmark::State& state) {
+  CpuSet set;
+  for (int cpu = 0; cpu < 60; cpu += 2) {
+    set.Add(cpu);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.Count());
+    benchmark::DoNotOptimize(set.ToVector());
+  }
+}
+BENCHMARK(BM_CpuSetCountToVector);
 
 void BM_ApplicationAdvanceTick(benchmark::State& state) {
   Application app(0, MakeBtProfile());

@@ -1,0 +1,91 @@
+// Sweep-engine throughput benchmark: runs one replicated grid serially and
+// on the worker pool, verifies the outputs are byte-identical, and writes
+// BENCH_sweep.json with cells/sec for both plus the speedup.
+//
+// Usage: sweep_bench [--jobs N] [--seeds N] [--out BENCH_sweep.json]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/workload/sweep.h"
+
+namespace pdpa {
+namespace {
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+  int jobs = flags.GetInt("jobs", 0);
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) {
+      jobs = 1;
+    }
+  }
+  const int num_seeds = flags.GetInt("seeds", 8);
+  const std::string out_path = flags.GetString("out", "BENCH_sweep.json");
+
+  SweepGrid grid;
+  grid.workloads = {WorkloadId::kW1, WorkloadId::kW2};
+  grid.loads = {0.6, 1.0};
+  grid.policies = {PolicyKind::kEquipartition, PolicyKind::kPdpa};
+  grid.seeds.clear();
+  for (int i = 0; i < num_seeds; ++i) {
+    grid.seeds.push_back(42 + static_cast<std::uint64_t>(i));
+  }
+  const std::size_t cells = ExpandGrid(grid).size();
+  std::fprintf(stderr, "sweep_bench: %zu cells, --jobs %d, hardware_concurrency %u\n", cells,
+               jobs, std::thread::hardware_concurrency());
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<SweepCellResult> serial_results = RunSweep(grid, serial);
+  const auto t1 = std::chrono::steady_clock::now();
+  SweepOptions parallel;
+  parallel.jobs = jobs;
+  const std::vector<SweepCellResult> parallel_results = RunSweep(grid, parallel);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  std::ostringstream csv_serial, csv_parallel;
+  SweepCsv(serial_results, grid.seeds.size(), csv_serial);
+  SweepCsv(parallel_results, grid.seeds.size(), csv_parallel);
+  const bool identical = csv_serial.str() == csv_parallel.str();
+
+  const double serial_s = Seconds(t1 - t0);
+  const double parallel_s = Seconds(t2 - t1);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  out << "{\n"
+      << "  \"cells\": " << cells << ",\n"
+      << "  \"seeds\": " << num_seeds << ",\n"
+      << "  \"jobs\": " << jobs << ",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"serial_wall_s\": " << serial_s << ",\n"
+      << "  \"parallel_wall_s\": " << parallel_s << ",\n"
+      << "  \"serial_cells_per_s\": " << (serial_s > 0 ? cells / serial_s : 0) << ",\n"
+      << "  \"parallel_cells_per_s\": " << (parallel_s > 0 ? cells / parallel_s : 0) << ",\n"
+      << "  \"speedup\": " << (parallel_s > 0 ? serial_s / parallel_s : 0) << ",\n"
+      << "  \"csv_identical\": " << (identical ? "true" : "false") << "\n"
+      << "}\n";
+  std::fprintf(stderr, "serial %.2fs, parallel %.2fs (%.2fx), csv %s, wrote %s\n", serial_s,
+               parallel_s, parallel_s > 0 ? serial_s / parallel_s : 0.0,
+               identical ? "identical" : "DIFFERS", out_path.c_str());
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main(int argc, char** argv) { return pdpa::Run(argc, argv); }

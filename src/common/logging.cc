@@ -10,7 +10,8 @@ std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
 // Sentinel: no simulation clock published.
 constexpr std::int64_t kNoSimTime = INT64_MIN;
-std::atomic<std::int64_t> g_log_sim_time_us{kNoSimTime};
+// Thread-local so concurrent sweep workers each prefix their own sim clock.
+thread_local std::int64_t t_log_sim_time_us = kNoSimTime;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -62,15 +63,15 @@ bool ParseLogLevel(const std::string& name, LogLevel* out) {
   return true;
 }
 
-void SetLogSimTimeUs(std::int64_t t_us) { g_log_sim_time_us.store(t_us); }
+void SetLogSimTimeUs(std::int64_t t_us) { t_log_sim_time_us = t_us; }
 
-void ClearLogSimTime() { g_log_sim_time_us.store(kNoSimTime); }
+void ClearLogSimTime() { t_log_sim_time_us = kNoSimTime; }
 
 void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
   if (static_cast<int>(level) < g_log_level.load()) {
     return;
   }
-  const std::int64_t t_us = g_log_sim_time_us.load();
+  const std::int64_t t_us = t_log_sim_time_us;
   if (t_us == kNoSimTime) {
     std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
                  message.c_str());

@@ -34,6 +34,10 @@ bool ParseLogLevel(const std::string& name, LogLevel* out);
 // clock here (integer microseconds) and every log line gets a "t=12.345s"
 // prefix, so PDPA_LOG output correlates with the structured event log.
 // Cleared (no prefix) outside simulation runs.
+//
+// The published clock is thread-local: the sweep engine runs N simulations
+// concurrently, and each worker thread's log lines carry the clock of the
+// simulation *that thread* is driving, never a neighbour's.
 void SetLogSimTimeUs(std::int64_t t_us);
 void ClearLogSimTime();
 

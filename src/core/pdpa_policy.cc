@@ -7,55 +7,40 @@
 
 namespace pdpa {
 
-namespace {
+PdpaPolicy::PdpaPolicy(PdpaParams params, PdpaMlParams ml_params)
+    : params_(params), ml_params_(ml_params) {
+  BindInstruments(Registry::Default());
+}
 
-Counter* TransitionCounter(PdpaState to) {
-  static Counter* to_no_ref = Registry::Default().counter("pdpa.transitions.to_no_ref");
-  static Counter* to_inc = Registry::Default().counter("pdpa.transitions.to_inc");
-  static Counter* to_dec = Registry::Default().counter("pdpa.transitions.to_dec");
-  static Counter* to_stable = Registry::Default().counter("pdpa.transitions.to_stable");
+void PdpaPolicy::BindInstruments(Registry& registry) {
+  to_no_ref_ = registry.counter("pdpa.transitions.to_no_ref");
+  to_inc_ = registry.counter("pdpa.transitions.to_inc");
+  to_dec_ = registry.counter("pdpa.transitions.to_dec");
+  to_stable_ = registry.counter("pdpa.transitions.to_stable");
+  evaluations_ = registry.counter("pdpa.evaluations");
+  stale_reports_ = registry.counter("pdpa.stale_reports");
+  admit_granted_ = registry.counter("pdpa.admit.granted");
+  admit_denied_ = registry.counter("pdpa.admit.denied");
+}
+
+Counter* PdpaPolicy::TransitionCounter(PdpaState to) const {
   switch (to) {
     case PdpaState::kNoRef:
-      return to_no_ref;
+      return to_no_ref_;
     case PdpaState::kInc:
-      return to_inc;
+      return to_inc_;
     case PdpaState::kDec:
-      return to_dec;
+      return to_dec_;
     case PdpaState::kStable:
-      return to_stable;
+      return to_stable_;
   }
-  return to_stable;
+  return to_stable_;
 }
-
-Counter* EvaluationsCounter() {
-  static Counter* counter = Registry::Default().counter("pdpa.evaluations");
-  return counter;
-}
-
-Counter* StaleReportsCounter() {
-  static Counter* counter = Registry::Default().counter("pdpa.stale_reports");
-  return counter;
-}
-
-Counter* AdmitGrantedCounter() {
-  static Counter* counter = Registry::Default().counter("pdpa.admit.granted");
-  return counter;
-}
-
-Counter* AdmitDeniedCounter() {
-  static Counter* counter = Registry::Default().counter("pdpa.admit.denied");
-  return counter;
-}
-
-}  // namespace
-
-PdpaPolicy::PdpaPolicy(PdpaParams params, PdpaMlParams ml_params)
-    : params_(params), ml_params_(ml_params) {}
 
 void PdpaPolicy::RecordTransition(SimTime now, JobId job, PdpaState from, int from_alloc,
                                   const PdpaAutomaton& automaton, double speedup,
                                   const char* trigger) {
-  EvaluationsCounter()->Increment();
+  evaluations_->Increment();
   if (automaton.state() != from) {
     TransitionCounter(automaton.state())->Increment();
   }
@@ -156,7 +141,7 @@ AllocationPlan PdpaPolicy::OnReport(const PolicyContext& ctx, const PerfReport& 
   const PdpaDecision decision = it->second->OnReport(report.speedup, report.procs, ctx.free_cpus);
   if (report.procs != before_alloc) {
     // The measurement raced a reallocation; the automaton ignored it.
-    StaleReportsCounter()->Increment();
+    stale_reports_->Increment();
     return AllocationPlan{};
   }
   RecordTransition(ctx.now, report.job, before_state, before_alloc, *it->second, report.speedup,
@@ -172,7 +157,7 @@ bool PdpaPolicy::ShouldAdmit(const PolicyContext& ctx) const {
   // Run-to-completion with at least one processor: admission always needs a
   // free processor, even within the default-ML credit.
   if (ctx.free_cpus < 1) {
-    AdmitDeniedCounter()->Increment();
+    admit_denied_->Increment();
     return false;
   }
   std::vector<PdpaAppStatus> statuses;
@@ -182,7 +167,7 @@ bool PdpaPolicy::ShouldAdmit(const PolicyContext& ctx) const {
   }
   const bool admit =
       PdpaShouldAdmit(ml_params_, ctx.free_cpus, static_cast<int>(ctx.jobs.size()), statuses);
-  (admit ? AdmitGrantedCounter() : AdmitDeniedCounter())->Increment();
+  (admit ? admit_granted_ : admit_denied_)->Increment();
   return admit;
 }
 

@@ -26,15 +26,30 @@ class PdpaPolicy : public SchedulingPolicy {
   // State of one job's automaton, for tests and introspection.
   const PdpaAutomaton* AutomatonFor(JobId job) const;
 
+ protected:
+  void BindInstruments(Registry& registry) override;
+
  private:
   // Records one automaton evaluation in the flight recorder and the
   // transition counters.
   void RecordTransition(SimTime now, JobId job, PdpaState from, int from_alloc,
                         const PdpaAutomaton& automaton, double speedup, const char* trigger);
 
+  Counter* TransitionCounter(PdpaState to) const;
+
   PdpaParams params_;
   PdpaMlParams ml_params_;
   std::map<JobId, std::unique_ptr<PdpaAutomaton>> automatons_;
+
+  // Instruments, re-bound per run via set_registry.
+  Counter* to_no_ref_ = nullptr;
+  Counter* to_inc_ = nullptr;
+  Counter* to_dec_ = nullptr;
+  Counter* to_stable_ = nullptr;
+  Counter* evaluations_ = nullptr;
+  Counter* stale_reports_ = nullptr;
+  Counter* admit_granted_ = nullptr;
+  Counter* admit_denied_ = nullptr;
 };
 
 }  // namespace pdpa

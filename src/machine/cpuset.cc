@@ -16,39 +16,70 @@ CpuSet CpuSet::Range(int first, int count) {
 void CpuSet::Add(int cpu) {
   PDPA_CHECK_GE(cpu, 0);
   PDPA_CHECK_LT(cpu, kMaxCpus);
-  bits_.set(static_cast<std::size_t>(cpu));
+  words_[static_cast<std::size_t>(cpu >> 6)] |= std::uint64_t{1} << (cpu & 63);
 }
 
 void CpuSet::Remove(int cpu) {
   PDPA_CHECK_GE(cpu, 0);
   PDPA_CHECK_LT(cpu, kMaxCpus);
-  bits_.reset(static_cast<std::size_t>(cpu));
+  words_[static_cast<std::size_t>(cpu >> 6)] &= ~(std::uint64_t{1} << (cpu & 63));
 }
 
 bool CpuSet::Contains(int cpu) const {
   if (cpu < 0 || cpu >= kMaxCpus) {
     return false;
   }
-  return bits_.test(static_cast<std::size_t>(cpu));
+  return (words_[static_cast<std::size_t>(cpu >> 6)] >> (cpu & 63)) & 1;
 }
 
-int CpuSet::Count() const { return static_cast<int>(bits_.count()); }
+int CpuSet::Count() const {
+  int count = 0;
+  for (const std::uint64_t word : words_) {
+    count += std::popcount(word);
+  }
+  return count;
+}
 
 int CpuSet::First() const {
-  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
-    if (bits_.test(static_cast<std::size_t>(cpu))) {
-      return cpu;
+  for (int w = 0; w < kWords; ++w) {
+    const std::uint64_t word = words_[static_cast<std::size_t>(w)];
+    if (word != 0) {
+      return w * 64 + std::countr_zero(word);
     }
   }
   return -1;
 }
 
+int CpuSet::Next(int cpu) const {
+  if (cpu < -1) {
+    return First();
+  }
+  if (cpu + 1 >= kMaxCpus) {
+    return -1;
+  }
+  const int from = cpu + 1;
+  int w = from >> 6;
+  // Mask off the bits at and below `cpu` in its word, then scan forward.
+  std::uint64_t word = words_[static_cast<std::size_t>(w)] & (~std::uint64_t{0} << (from & 63));
+  for (;;) {
+    if (word != 0) {
+      return w * 64 + std::countr_zero(word);
+    }
+    if (++w >= kWords) {
+      return -1;
+    }
+    word = words_[static_cast<std::size_t>(w)];
+  }
+}
+
 std::vector<int> CpuSet::ToVector() const {
   std::vector<int> cpus;
-  cpus.reserve(bits_.count());
-  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
-    if (bits_.test(static_cast<std::size_t>(cpu))) {
-      cpus.push_back(cpu);
+  cpus.reserve(static_cast<std::size_t>(Count()));
+  for (int w = 0; w < kWords; ++w) {
+    std::uint64_t word = words_[static_cast<std::size_t>(w)];
+    while (word != 0) {
+      cpus.push_back(w * 64 + std::countr_zero(word));
+      word &= word - 1;  // clear the lowest set bit
     }
   }
   return cpus;
@@ -56,19 +87,25 @@ std::vector<int> CpuSet::ToVector() const {
 
 CpuSet CpuSet::Union(const CpuSet& other) const {
   CpuSet result;
-  result.bits_ = bits_ | other.bits_;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    result.words_[w] = words_[w] | other.words_[w];
+  }
   return result;
 }
 
 CpuSet CpuSet::Intersect(const CpuSet& other) const {
   CpuSet result;
-  result.bits_ = bits_ & other.bits_;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    result.words_[w] = words_[w] & other.words_[w];
+  }
   return result;
 }
 
 CpuSet CpuSet::Minus(const CpuSet& other) const {
   CpuSet result;
-  result.bits_ = bits_ & ~other.bits_;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    result.words_[w] = words_[w] & ~other.words_[w];
+  }
   return result;
 }
 
@@ -89,7 +126,7 @@ std::string CpuSet::ToString() const {
       out += StrFormat("%d-%d", run_start, run_end);
     }
   };
-  for (int cpu : ToVector()) {
+  for (int cpu = First(); cpu >= 0; cpu = Next(cpu)) {
     if (cpu != prev + 1) {
       flush(prev);
       run_start = cpu;

@@ -1,12 +1,21 @@
-// Process-wide observability registry: named monotonic counters, gauges and
-// fixed-bucket histograms.
+// Observability registry: named monotonic counters, gauges and fixed-bucket
+// histograms.
 //
-// The simulator is single-threaded by design, so instruments are plain
+// One simulation is single-threaded by design, so instruments are plain
 // (non-atomic) slots: a hot-path increment is one load/add/store. Call sites
 // resolve the named instrument once (the registry hands out stable pointers)
 // and then only touch the slot. Snapshot() and ResetAll() give tests and the
 // --counters CLI flag a deterministic, name-sorted view of everything the
 // stack recorded.
+//
+// Registries are per-run: ExperimentConfig carries a Registry* and every
+// layer of the stack (sim, RM, QS, policies, SelfAnalyzer) resolves its
+// instruments from it at construction, so the sweep engine can run N
+// simulations concurrently with fully isolated counters. Registration and
+// Snapshot are mutex-guarded (cheap, off the hot path); instrument *values*
+// are unsynchronized and must only be touched by the run that owns the
+// registry. Registry::Default() remains as the fallback for standalone
+// components (unit tests, ad-hoc benches) that never get a per-run registry.
 //
 // Naming convention: lowercase dotted paths grouped by layer, e.g.
 // "rm.reallocations", "pdpa.transitions.to_stable", "analyzer.reports".
@@ -15,6 +24,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -122,10 +132,14 @@ class Registry {
   // Zeroes every instrument's value; registrations (and pointers) survive.
   void ResetAll();
 
-  // The process-wide registry every layer of the stack records into.
+  // Process-wide fallback registry for components constructed without a
+  // per-run one. Concurrent runs must each use their own Registry instead.
   static Registry& Default();
 
  private:
+  // Guards the name->instrument maps (registration, snapshot, reset), not
+  // the instrument values themselves.
+  mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

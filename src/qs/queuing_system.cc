@@ -8,37 +8,6 @@
 
 namespace pdpa {
 
-namespace {
-
-Counter* SubmitsCounter() {
-  static Counter* counter = Registry::Default().counter("qs.submits");
-  return counter;
-}
-
-Counter* StartsCounter() {
-  static Counter* counter = Registry::Default().counter("qs.starts");
-  return counter;
-}
-
-Counter* FinishesCounter() {
-  static Counter* counter = Registry::Default().counter("qs.finishes");
-  return counter;
-}
-
-Counter* HoldsCounter() {
-  static Counter* counter = Registry::Default().counter("qs.holds");
-  return counter;
-}
-
-Histogram* WaitHistogram() {
-  // Queue wait in seconds.
-  static Histogram* histogram = Registry::Default().histogram(
-      "qs.wait_seconds", {0.0, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0});
-  return histogram;
-}
-
-}  // namespace
-
 QueuingSystem::QueuingSystem(Simulation* sim, ResourceManager* rm, std::vector<JobSpec> workload,
                              QueueOrder order)
     : QueuingSystem(sim, rm, std::move(workload), Options{order, false}) {}
@@ -48,6 +17,14 @@ QueuingSystem::QueuingSystem(Simulation* sim, ResourceManager* rm, std::vector<J
     : sim_(sim), rm_(rm), workload_(std::move(workload)), options_(options) {
   PDPA_CHECK(sim != nullptr);
   PDPA_CHECK(rm != nullptr);
+  Registry& registry = sim->registry();
+  submits_ = registry.counter("qs.submits");
+  starts_ = registry.counter("qs.starts");
+  finishes_ = registry.counter("qs.finishes");
+  holds_ = registry.counter("qs.holds");
+  // Queue wait in seconds.
+  wait_seconds_ =
+      registry.histogram("qs.wait_seconds", {0.0, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0});
 }
 
 JobSpec QueuingSystem::PopNext() {
@@ -83,7 +60,7 @@ void QueuingSystem::Start() {
 
 void QueuingSystem::OnArrival(const JobSpec& spec) {
   queue_.push_back(spec);
-  SubmitsCounter()->Increment();
+  submits_->Increment();
   if (events_ != nullptr) {
     events_->JobSubmit(sim_->now(), spec.id, AppClassName(spec.app_class), spec.request,
                        spec.rigid);
@@ -103,7 +80,7 @@ void QueuingSystem::TryStartJobs(SimTime now) {
       const std::pair<int, int> key{running_, queued()};
       if (key != last_hold_) {
         last_hold_ = key;
-        HoldsCounter()->Increment();
+        holds_->Increment();
         if (events_ != nullptr) {
           events_->AdmitHold(now, running_, queued(), rm_->machine().FreeCpus());
         }
@@ -126,8 +103,8 @@ void QueuingSystem::TryStartJobs(SimTime now) {
     max_ml_ = std::max(max_ml_, running_);
     last_hold_ = {-1, -1};
     RecordMl(now);
-    StartsCounter()->Increment();
-    WaitHistogram()->Observe(TimeToSeconds(now - spec.submit));
+    starts_->Increment();
+    wait_seconds_->Observe(TimeToSeconds(now - spec.submit));
     rm_->StartJob(spec.id, MakeProfile(spec.app_class), spec.request, now, spec.rigid);
     if (events_ != nullptr) {
       events_->JobStart(now, spec.id, AppClassName(spec.app_class), spec.request,
@@ -144,7 +121,7 @@ void QueuingSystem::OnJobFinish(JobId job, SimTime finish_time) {
   outcome.finish = finish_time;
   outcomes_.push_back(outcome);
   --running_;
-  FinishesCounter()->Increment();
+  finishes_->Increment();
   if (events_ != nullptr) {
     events_->JobFinish(finish_time, job, outcome.submit, outcome.start);
   }

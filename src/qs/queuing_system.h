@@ -86,6 +86,12 @@ class QueuingSystem {
   bool started_ = false;
 
   EventLog* events_ = nullptr;  // may be null
+  // Per-run instruments, resolved once from the simulation's registry.
+  Counter* submits_;
+  Counter* starts_;
+  Counter* finishes_;
+  Counter* holds_;
+  Histogram* wait_seconds_;
   // Deduplication key for admit_hold events: last (running, queued) pair a
   // hold was reported at, so repeated probes in one state emit one event.
   std::pair<int, int> last_hold_{-1, -1};

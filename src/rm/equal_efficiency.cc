@@ -13,6 +13,11 @@ EqualEfficiency::EqualEfficiency() : EqualEfficiency(Params{}) {}
 EqualEfficiency::EqualEfficiency(Params params) : params_(params) {
   PDPA_CHECK_GE(params.fixed_ml, 1);
   PDPA_CHECK_GE(params.history, 2);
+  BindInstruments(Registry::Default());
+}
+
+void EqualEfficiency::BindInstruments(Registry& registry) {
+  reallocations_ = registry.counter("policy.equal_eff.reallocations");
 }
 
 AllocationPlan EqualEfficiency::OnJobStart(const PolicyContext& ctx, JobId job) {
@@ -72,12 +77,11 @@ double EqualEfficiency::ExtrapolatedSpeedup(JobId job, double p) const {
 }
 
 AllocationPlan EqualEfficiency::Reallocate(const PolicyContext& ctx) const {
-  static Counter* reallocations = Registry::Default().counter("policy.equal_eff.reallocations");
   AllocationPlan plan;
   if (ctx.jobs.empty()) {
     return plan;
   }
-  reallocations->Increment();
+  reallocations_->Increment();
   // Everyone gets one processor (run-to-completion floor), then processors
   // go one at a time to the job whose *extrapolated* efficiency at its next
   // allocation is highest.

@@ -44,6 +44,9 @@ class EqualEfficiency : public SchedulingPolicy {
   // Extrapolated speedup for a job at allocation p; exposed for tests.
   double ExtrapolatedSpeedup(JobId job, double p) const;
 
+ protected:
+  void BindInstruments(Registry& registry) override;
+
  private:
   struct Sample {
     int procs = 0;
@@ -57,6 +60,7 @@ class EqualEfficiency : public SchedulingPolicy {
 
   Params params_;
   std::map<JobId, JobModel> models_;
+  Counter* reallocations_ = nullptr;
 };
 
 }  // namespace pdpa

@@ -7,15 +7,20 @@
 
 namespace pdpa {
 
-Equipartition::Equipartition(int fixed_ml) : fixed_ml_(fixed_ml) { PDPA_CHECK_GE(fixed_ml, 1); }
+Equipartition::Equipartition(int fixed_ml) : fixed_ml_(fixed_ml) {
+  PDPA_CHECK_GE(fixed_ml, 1);
+  BindInstruments(Registry::Default());
+}
+
+void Equipartition::BindInstruments(Registry& registry) {
+  rebalances_ = registry.counter("policy.equip.rebalances");
+}
 
 AllocationPlan Equipartition::EqualSplit(const PolicyContext& ctx) {
-  static Counter* rebalances = Registry::Default().counter("policy.equip.rebalances");
   AllocationPlan plan;
   if (ctx.jobs.empty()) {
     return plan;
   }
-  rebalances->Increment();
   // Start everyone at zero, then hand out processors one by one to the job
   // with the smallest current share that is still below its request. This
   // is the classic water-filling formulation: equal shares, with small
@@ -43,11 +48,17 @@ AllocationPlan Equipartition::EqualSplit(const PolicyContext& ctx) {
 
 AllocationPlan Equipartition::OnJobStart(const PolicyContext& ctx, JobId job) {
   (void)job;
+  if (!ctx.jobs.empty()) {
+    rebalances_->Increment();
+  }
   return EqualSplit(ctx);
 }
 
 AllocationPlan Equipartition::OnJobFinish(const PolicyContext& ctx, JobId job) {
   (void)job;
+  if (!ctx.jobs.empty()) {
+    rebalances_->Increment();
+  }
   return EqualSplit(ctx);
 }
 

@@ -22,8 +22,12 @@ class Equipartition : public SchedulingPolicy {
   // Water-filling equal split capped by requests; exposed for tests.
   static AllocationPlan EqualSplit(const PolicyContext& ctx);
 
+ protected:
+  void BindInstruments(Registry& registry) override;
+
  private:
   int fixed_ml_;
+  Counter* rebalances_ = nullptr;
 };
 
 }  // namespace pdpa

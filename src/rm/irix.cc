@@ -12,6 +12,11 @@ IrixTimeShare::IrixTimeShare(Params params, Rng rng) : params_(params), rng_(rng
   PDPA_CHECK_GE(params.fixed_ml, 1);
   PDPA_CHECK_GE(params.migration_cost, 0.0);
   PDPA_CHECK_LE(params.migration_cost, 1.0);
+  BindInstruments(Registry::Default());
+}
+
+void IrixTimeShare::BindInstruments(Registry& registry) {
+  dispatch_ticks_ = registry.counter("policy.irix.dispatch_ticks");
 }
 
 AllocationPlan IrixTimeShare::OnJobStart(const PolicyContext& ctx, JobId job) {
@@ -81,8 +86,7 @@ void IrixTimeShare::AdjustThreadCounts(const PolicyContext& ctx, int ncpus) {
 std::map<JobId, TimeShare> IrixTimeShare::TimeShareTick(Machine& machine,
                                                         const PolicyContext& ctx, SimDuration dt,
                                                         std::vector<CpuHandoff>* handoffs) {
-  static Counter* ticks = Registry::Default().counter("policy.irix.dispatch_ticks");
-  ticks->Increment();
+  dispatch_ticks_->Increment();
   std::map<JobId, TimeShare> shares;
   for (const PolicyJobInfo& info : ctx.jobs) {
     shares[info.id] = TimeShare{0.0, 1.0};

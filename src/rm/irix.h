@@ -71,6 +71,9 @@ class IrixTimeShare : public SchedulingPolicy {
   // Current kernel-thread count of `job` (for tests).
   int ThreadCountOf(JobId job) const;
 
+ protected:
+  void BindInstruments(Registry& registry) override;
+
  private:
   struct Thread {
     JobId job = kIdleJob;
@@ -85,6 +88,7 @@ class IrixTimeShare : public SchedulingPolicy {
   Params params_;
   Rng rng_;
   std::vector<Thread> threads_;
+  Counter* dispatch_ticks_ = nullptr;
   long long total_thread_migrations_ = 0;
   SimTime next_adjust_ = 0;
   SimTime clock_ = 0;

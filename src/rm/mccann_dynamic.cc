@@ -13,6 +13,11 @@ McCannDynamic::McCannDynamic() : McCannDynamic(Params{}) {}
 McCannDynamic::McCannDynamic(Params params) : params_(params) {
   PDPA_CHECK_GE(params.fixed_ml, 1);
   PDPA_CHECK_GE(params.probe, 0);
+  BindInstruments(Registry::Default());
+}
+
+void McCannDynamic::BindInstruments(Registry& registry) {
+  redistributions_ = registry.counter("policy.dynamic.redistributions");
 }
 
 AllocationPlan McCannDynamic::OnJobStart(const PolicyContext& ctx, JobId job) {
@@ -41,12 +46,11 @@ bool McCannDynamic::ShouldAdmit(const PolicyContext& ctx) const {
 }
 
 AllocationPlan McCannDynamic::Redistribute(const PolicyContext& ctx) const {
-  static Counter* redistributions = Registry::Default().counter("policy.dynamic.redistributions");
   AllocationPlan plan;
   if (ctx.jobs.empty()) {
     return plan;
   }
-  redistributions->Increment();
+  redistributions_->Increment();
   // Equal redistribution capped by min(request, useful parallelism):
   // water-filling, like Equipartition, but with the dynamic caps — this is
   // what moves processors away from applications with reported idleness the

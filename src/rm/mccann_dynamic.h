@@ -38,12 +38,16 @@ class McCannDynamic : public SchedulingPolicy {
   AllocationPlan OnQuantum(const PolicyContext& ctx) override;
   bool ShouldAdmit(const PolicyContext& ctx) const override;
 
+ protected:
+  void BindInstruments(Registry& registry) override;
+
  private:
   AllocationPlan Redistribute(const PolicyContext& ctx) const;
 
   Params params_;
   // Last estimated useful parallelism per job.
   std::map<JobId, int> useful_;
+  Counter* redistributions_ = nullptr;
 };
 
 }  // namespace pdpa

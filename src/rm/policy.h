@@ -15,6 +15,7 @@
 #include "src/common/logging.h"
 #include "src/common/time_types.h"
 #include "src/machine/machine.h"
+#include "src/obs/counters.h"
 #include "src/obs/event_log.h"
 #include "src/runtime/self_analyzer.h"
 
@@ -64,6 +65,17 @@ class SchedulingPolicy {
   // Flight-recorder sink for policy-internal decisions (PDPA automaton
   // transitions). Borrowed; null (the default) disables recording.
   void set_event_log(EventLog* log) { event_log_ = log; }
+
+  // Per-run counter registry (borrowed). The ResourceManager calls this with
+  // the run's registry before driving the policy; a policy constructed
+  // standalone (unit tests, benches) records into Registry::Default() until
+  // then. Null is ignored.
+  void set_registry(Registry* registry) {
+    if (registry != nullptr) {
+      registry_ = registry;
+      BindInstruments(*registry);
+    }
+  }
 
   // Human-readable per-application search state for the time-series sampler
   // ("NO_REF"/"INC"/"DEC"/"STABLE" under PDPA). Empty when the policy keeps
@@ -117,7 +129,13 @@ class SchedulingPolicy {
   }
 
  protected:
+  // Re-resolves the policy's instrument pointers from `registry`. Counting
+  // policies override this and call it from their constructor with
+  // Registry::Default() so instruments exist before set_registry.
+  virtual void BindInstruments(Registry& registry) { (void)registry; }
+
   EventLog* event_log_ = nullptr;
+  Registry* registry_ = &Registry::Default();
 };
 
 }  // namespace pdpa

@@ -8,56 +8,6 @@
 
 namespace pdpa {
 
-namespace {
-
-Counter* JobsStartedCounter() {
-  static Counter* counter = Registry::Default().counter("rm.jobs_started");
-  return counter;
-}
-
-Counter* JobsFinishedCounter() {
-  static Counter* counter = Registry::Default().counter("rm.jobs_finished");
-  return counter;
-}
-
-Counter* ReallocationsCounter() {
-  static Counter* counter = Registry::Default().counter("rm.reallocations");
-  return counter;
-}
-
-Counter* PlansAppliedCounter() {
-  static Counter* counter = Registry::Default().counter("rm.plans_applied");
-  return counter;
-}
-
-Counter* HandoffsCounter() {
-  static Counter* counter = Registry::Default().counter("rm.cpu_handoffs");
-  return counter;
-}
-
-Counter* MigrationsCounter() {
-  static Counter* counter = Registry::Default().counter("rm.cpu_migrations");
-  return counter;
-}
-
-Counter* ReportsCounter() {
-  static Counter* counter = Registry::Default().counter("rm.perf_reports");
-  return counter;
-}
-
-Gauge* FreeCpusGauge() {
-  static Gauge* gauge = Registry::Default().gauge("machine.free_cpus");
-  return gauge;
-}
-
-Histogram* ReportEfficiencyHistogram() {
-  static Histogram* histogram = Registry::Default().histogram(
-      "rm.report_efficiency", {0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2});
-  return histogram;
-}
-
-}  // namespace
-
 ResourceManager::ResourceManager(Params params, std::unique_ptr<SchedulingPolicy> policy,
                                  Simulation* sim, TraceRecorder* trace, Rng rng)
     : params_(params),
@@ -70,6 +20,20 @@ ResourceManager::ResourceManager(Params params, std::unique_ptr<SchedulingPolicy
   PDPA_CHECK(sim_ != nullptr);
   PDPA_CHECK_GT(params.tick, 0);
   PDPA_CHECK_GE(params.quantum, params.tick);
+  // The whole stack of one run shares the simulation's registry; rebinding
+  // the policy here is what isolates concurrent sweep cells from each other.
+  registry_ = &sim_->registry();
+  policy_->set_registry(registry_);
+  jobs_started_ = registry_->counter("rm.jobs_started");
+  jobs_finished_ = registry_->counter("rm.jobs_finished");
+  reallocations_ = registry_->counter("rm.reallocations");
+  plans_applied_ = registry_->counter("rm.plans_applied");
+  cpu_handoffs_ = registry_->counter("rm.cpu_handoffs");
+  cpu_migrations_ = registry_->counter("rm.cpu_migrations");
+  perf_reports_ = registry_->counter("rm.perf_reports");
+  free_cpus_gauge_ = registry_->gauge("machine.free_cpus");
+  report_efficiency_ = registry_->histogram("rm.report_efficiency",
+                                            {0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2});
 }
 
 void ResourceManager::Start() {
@@ -138,7 +102,8 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
   auto app = std::make_unique<Application>(job, profile, params_.app_costs);
   app->set_request(effective_request);
   app->set_rigid(rigid);
-  auto binding = std::make_unique<NthLibBinding>(std::move(app), params_.analyzer, rng_.Fork());
+  auto binding = std::make_unique<NthLibBinding>(std::move(app), params_.analyzer, rng_.Fork(),
+                                                 registry_);
   binding->set_report_callback(
       [this](const PerfReport& report) { pending_reports_.push_back(report); });
 
@@ -150,7 +115,7 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
   running.last_sample = now;
   jobs_[job] = std::move(running);
   arrival_order_.push_back(job);
-  JobsStartedCounter()->Increment();
+  jobs_started_->Increment();
 
   if (policy_->is_time_sharing()) {
     // Time sharing: the runtime spawns `request` threads and the OS
@@ -211,7 +176,7 @@ void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now, const c
       plan_text += StrFormat("%d:%d", job, target[job]);
     }
   }
-  PlansAppliedCounter()->Increment();
+  plans_applied_->Increment();
   if (events_ != nullptr && !plan_text.empty()) {
     events_->AllocDecision(now, trigger, plan_text);
   }
@@ -226,8 +191,8 @@ void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now, const c
         ++migrations;
       }
     }
-    HandoffsCounter()->Increment(static_cast<long long>(handoffs.size()));
-    MigrationsCounter()->Increment(migrations);
+    cpu_handoffs_->Increment(static_cast<long long>(handoffs.size()));
+    cpu_migrations_->Increment(migrations);
     if (events_ != nullptr) {
       events_->CpuHandoffs(now, static_cast<int>(handoffs.size()), migrations);
     }
@@ -238,7 +203,7 @@ void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now, const c
       // Initial assignment (from zero) is not a reallocation.
       if (binding.app().allocated() > 0) {
         ++total_reallocations_;
-        ReallocationsCounter()->Increment();
+        reallocations_->Increment();
       }
       binding.SetProcessors(count, now);
     }
@@ -259,8 +224,8 @@ void ResourceManager::DrainReports(SimTime now) {
       }
       it->second.last_speedup = report.speedup;
       it->second.last_efficiency = report.efficiency;
-      ReportsCounter()->Increment();
-      ReportEfficiencyHistogram()->Observe(report.efficiency);
+      perf_reports_->Increment();
+      report_efficiency_->Observe(report.efficiency);
       if (events_ != nullptr) {
         events_->PerfSample(now, report.job, report.procs, report.speedup, report.efficiency);
       }
@@ -299,7 +264,7 @@ void ResourceManager::FlushAppSample(JobId job, RunningJob& running, SimTime now
 
 void ResourceManager::SampleTimeseries(SimTime now) {
   const int free = machine_.FreeCpus();
-  FreeCpusGauge()->Set(free);
+  free_cpus_gauge_->Set(free);
   if (timeseries_ == nullptr) {
     return;
   }
@@ -336,8 +301,8 @@ void ResourceManager::CheckCompletions(SimTime now) {
     if (trace_ != nullptr) {
       trace_->OnHandoffs(now, handoffs);
     }
-    HandoffsCounter()->Increment(static_cast<long long>(handoffs.size()));
-    JobsFinishedCounter()->Increment();
+    cpu_handoffs_->Increment(static_cast<long long>(handoffs.size()));
+    jobs_finished_->Increment();
     PDPA_LOG(Info) << "job " << job << " finished";
     it = jobs_.erase(it);
     arrival_order_.erase(std::remove(arrival_order_.begin(), arrival_order_.end(), job),

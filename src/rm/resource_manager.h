@@ -145,6 +145,18 @@ class ResourceManager {
   TimeSeriesSampler* timeseries_ = nullptr;  // may be null
   std::function<int()> queue_depth_;
   SimTime next_ts_sample_ = 0;
+
+  // Per-run instruments, resolved once from the simulation's registry.
+  Registry* registry_;
+  Counter* jobs_started_;
+  Counter* jobs_finished_;
+  Counter* reallocations_;
+  Counter* plans_applied_;
+  Counter* cpu_handoffs_;
+  Counter* cpu_migrations_;
+  Counter* perf_reports_;
+  Gauge* free_cpus_gauge_;
+  Histogram* report_efficiency_;
 };
 
 }  // namespace pdpa

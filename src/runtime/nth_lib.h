@@ -20,7 +20,10 @@ namespace pdpa {
 
 class NthLibBinding {
  public:
-  NthLibBinding(std::unique_ptr<Application> app, SelfAnalyzerParams analyzer_params, Rng rng);
+  // `registry` is the per-run counter registry forwarded to the
+  // SelfAnalyzer (borrowed); null falls back to Registry::Default().
+  NthLibBinding(std::unique_ptr<Application> app, SelfAnalyzerParams analyzer_params, Rng rng,
+                Registry* registry = nullptr);
 
   NthLibBinding(const NthLibBinding&) = delete;
   NthLibBinding& operator=(const NthLibBinding&) = delete;

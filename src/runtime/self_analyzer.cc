@@ -7,27 +7,13 @@
 
 namespace pdpa {
 
-namespace {
-
-Counter* ReportsEmittedCounter() {
-  static Counter* counter = Registry::Default().counter("analyzer.reports");
-  return counter;
-}
-
-Counter* DirtyIterationsCounter() {
-  static Counter* counter = Registry::Default().counter("analyzer.dirty_iterations");
-  return counter;
-}
-
-Counter* BaselinesDoneCounter() {
-  static Counter* counter = Registry::Default().counter("analyzer.baselines_done");
-  return counter;
-}
-
-}  // namespace
-
-SelfAnalyzer::SelfAnalyzer(Application* app, SelfAnalyzerParams params, Rng rng)
+SelfAnalyzer::SelfAnalyzer(Application* app, SelfAnalyzerParams params, Rng rng,
+                           Registry* registry)
     : app_(app), params_(params), rng_(rng) {
+  Registry& reg = registry != nullptr ? *registry : Registry::Default();
+  reports_emitted_ = reg.counter("analyzer.reports");
+  dirty_iterations_ = reg.counter("analyzer.dirty_iterations");
+  baselines_done_ = reg.counter("analyzer.baselines_done");
   PDPA_CHECK(app != nullptr);
   PDPA_CHECK_GE(params.baseline_iterations, 1);
   PDPA_CHECK_GE(params.measure_iterations, 1);
@@ -63,7 +49,7 @@ void SelfAnalyzer::OnIteration(const IterationRecord& record, SimTime now) {
         // the allocation was tiny; normalize with the count actually used.
         baseline_procs_ = record.procs;
         baseline_done_ = true;
-        BaselinesDoneCounter()->Increment();
+        baselines_done_->Increment();
         app_->ForceProcs(0, now);  // Release to the full allocation.
       }
     }
@@ -72,7 +58,7 @@ void SelfAnalyzer::OnIteration(const IterationRecord& record, SimTime now) {
 
   if (!record.clean) {
     // A reallocation happened mid-iteration; discard and restart the window.
-    DirtyIterationsCounter()->Increment();
+    dirty_iterations_->Increment();
     measure_samples_ = 0;
     measure_sum_s_ = 0.0;
     return;
@@ -107,7 +93,7 @@ void SelfAnalyzer::OnIteration(const IterationRecord& record, SimTime now) {
   report.speedup = std::max(0.05, versus_baseline * baseline_speedup);
   report.efficiency = report.speedup / std::max(1, record.procs);
   report.when = now;
-  ReportsEmittedCounter()->Increment();
+  reports_emitted_->Increment();
   if (on_report_) {
     on_report_(report);
   }

@@ -16,6 +16,7 @@
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/time_types.h"
+#include "src/obs/counters.h"
 
 namespace pdpa {
 
@@ -50,8 +51,9 @@ class SelfAnalyzer {
  public:
   using ReportCallback = std::function<void(const PerfReport&)>;
 
-  // `app` must outlive the analyzer.
-  SelfAnalyzer(Application* app, SelfAnalyzerParams params, Rng rng);
+  // `app` must outlive the analyzer. `registry` is the per-run counter
+  // registry (borrowed); null falls back to Registry::Default().
+  SelfAnalyzer(Application* app, SelfAnalyzerParams params, Rng rng, Registry* registry = nullptr);
 
   void set_report_callback(ReportCallback callback) { on_report_ = std::move(callback); }
 
@@ -84,6 +86,10 @@ class SelfAnalyzer {
   int measure_samples_ = 0;
   double measure_sum_s_ = 0.0;
   int measure_procs_ = 0;
+
+  Counter* reports_emitted_;
+  Counter* dirty_iterations_;
+  Counter* baselines_done_;
 };
 
 }  // namespace pdpa

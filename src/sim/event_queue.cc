@@ -6,42 +6,77 @@
 
 namespace pdpa {
 
+namespace {
+
+constexpr EventId MakeId(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<EventId>(generation) << 32) | slot;
+}
+
+}  // namespace
+
 EventId EventQueue::Schedule(SimTime when, EventCallback callback) {
   PDPA_CHECK_GE(when, last_popped_);
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(callback)});
-  live_.insert(id);
-  return id;
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.callback = std::move(callback);
+  heap_.push(Entry{when, next_seq_++, slot, s.generation});
+  ++live_;
+  return MakeId(slot, s.generation);
+}
+
+void EventQueue::Release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.callback = nullptr;
+  ++s.generation;
+  free_slots_.push_back(slot);
 }
 
 bool EventQueue::Cancel(EventId id) {
   // Exact semantics: only events that are still pending can be cancelled;
-  // cancelling an event that already ran (or was cancelled) returns false.
-  return live_.erase(id) > 0;
+  // cancelling an event that already ran (or was cancelled) returns false —
+  // its slot's generation has moved on, so the id no longer matches.
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return false;
+  }
+  Release(slot);
+  --live_;
+  return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+void EventQueue::SkipStale() {
+  while (!heap_.empty() && !Pending(heap_.top())) {
     heap_.pop();
   }
 }
 
 SimTime EventQueue::NextTime() const {
   auto* self = const_cast<EventQueue*>(this);
-  self->SkipCancelled();
+  self->SkipStale();
   PDPA_CHECK(!heap_.empty());
   return heap_.top().when;
 }
 
 SimTime EventQueue::RunNext() {
-  SkipCancelled();
+  SkipStale();
   PDPA_CHECK(!heap_.empty());
-  // Move the entry out before running: the callback may schedule new events.
-  Entry entry = heap_.top();
+  const Entry entry = heap_.top();
   heap_.pop();
-  live_.erase(entry.id);
+  // Move the callback out and release the slot before running: the callback
+  // may schedule new events (possibly into this very slot).
+  EventCallback callback = std::move(slots_[entry.slot].callback);
+  Release(entry.slot);
+  --live_;
   last_popped_ = entry.when;
-  entry.callback();
+  callback();
   return entry.when;
 }
 

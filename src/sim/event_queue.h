@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/time_types.h"
@@ -18,7 +17,15 @@ using EventId = std::uint64_t;
 
 // A priority queue of (time, callback). Events scheduled for the same time
 // fire in scheduling order (FIFO), which keeps simulations deterministic.
-// Cancellation is lazy: cancelled events stay in the heap but are skipped.
+//
+// Cancellation is O(1) and hash-free: callbacks live in generation-stamped
+// slots (recycled through a free list, so memory is bounded by the peak
+// number of pending events), and each heap entry carries the generation its
+// slot had when scheduled. Cancelling — or running — an event releases the
+// slot and bumps its generation, which simultaneously invalidates any
+// lingering heap entry (skipped lazily at the top of the heap) and makes
+// stale EventIds fail Cancel. The previous design kept an unordered_set of
+// live ids, paying a hash insert/erase per event on the hot path.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -34,8 +41,8 @@ class EventQueue {
   // already cancelled.
   bool Cancel(EventId id);
 
-  bool empty() const { return live_.empty(); }
-  std::size_t size() const { return live_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
 
   // Time of the earliest pending event; only valid when !empty().
   SimTime NextTime() const;
@@ -44,27 +51,42 @@ class EventQueue {
   SimTime RunNext();
 
  private:
+  // Stable home of one callback while its event is pending. `generation`
+  // advances every time the slot is released, so an (id, heap entry) minted
+  // for an earlier occupant can never match a reused slot.
+  struct Slot {
+    EventCallback callback;
+    std::uint32_t generation = 1;
+  };
   struct Entry {
     SimTime when;
-    EventId id;
-    EventCallback callback;
+    // FIFO tie-break for same-time events (monotonic schedule order).
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct EntryLater {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
-  void SkipCancelled();
+  // A heap entry is pending iff its generation still matches its slot's.
+  bool Pending(const Entry& entry) const {
+    return slots_[entry.slot].generation == entry.generation;
+  }
+  // Releases `slot`: drops the callback, bumps the generation, recycles.
+  void Release(std::uint32_t slot);
+  void SkipStale();
 
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
-  // Ids scheduled but neither run nor cancelled. The heap may additionally
-  // hold cancelled entries, skipped lazily.
-  std::unordered_set<EventId> live_;
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
   SimTime last_popped_ = 0;
 };
 

@@ -3,23 +3,13 @@
 #include <utility>
 
 #include "src/common/logging.h"
-#include "src/obs/counters.h"
 
 namespace pdpa {
 
-namespace {
-
-Counter* EventsDispatchedCounter() {
-  static Counter* counter = Registry::Default().counter("sim.events_dispatched");
-  return counter;
-}
-
-Counter* PeriodicFiresCounter() {
-  static Counter* counter = Registry::Default().counter("sim.periodic_fires");
-  return counter;
-}
-
-}  // namespace
+Simulation::Simulation(Registry* registry)
+    : registry_(registry != nullptr ? registry : &Registry::Default()),
+      events_dispatched_(registry_->counter("sim.events_dispatched")),
+      periodic_fires_(registry_->counter("sim.periodic_fires")) {}
 
 Simulation::~Simulation() { ClearLogSimTime(); }
 
@@ -48,7 +38,7 @@ void Simulation::FirePeriodic(int handle, SimTime when) {
   if (!task.active) {
     return;
   }
-  PeriodicFiresCounter()->Increment();
+  periodic_fires_->Increment();
   task.callback(when);
   if (task.active) {
     const SimTime next = when + task.period;
@@ -67,7 +57,7 @@ SimTime Simulation::RunUntil(SimTime until) {
     // scheduling relative work with After) see the event's own time.
     now_ = next;
     SetLogSimTimeUs(now_);
-    EventsDispatchedCounter()->Increment();
+    events_dispatched_->Increment();
     events_.RunNext();
   }
   if (now_ < until && events_.empty()) {
@@ -81,7 +71,7 @@ SimTime Simulation::RunToCompletion() {
   while (!events_.empty() && !stop_requested_) {
     now_ = events_.NextTime();
     SetLogSimTimeUs(now_);
-    EventsDispatchedCounter()->Increment();
+    events_dispatched_->Increment();
     events_.RunNext();
   }
   return now_;

@@ -6,13 +6,18 @@
 #include <functional>
 
 #include "src/common/time_types.h"
+#include "src/obs/counters.h"
 #include "src/sim/event_queue.h"
 
 namespace pdpa {
 
 class Simulation {
  public:
-  Simulation() = default;
+  // `registry` is the per-run observability registry (borrowed); null means
+  // the process-wide Registry::Default(). Every component of one simulated
+  // stack resolves its instruments through registry(), which is what lets
+  // the sweep engine run simulations concurrently with isolated counters.
+  explicit Simulation(Registry* registry = nullptr);
   // Retires this simulation's clock from the log-line time prefix.
   ~Simulation();
 
@@ -21,6 +26,7 @@ class Simulation {
 
   SimTime now() const { return now_; }
   EventQueue& events() { return events_; }
+  Registry& registry() const { return *registry_; }
 
   // Schedules a one-shot callback `delay` from now.
   EventId After(SimDuration delay, EventCallback callback);
@@ -31,8 +37,16 @@ class Simulation {
   int SchedulePeriodic(SimTime start, SimDuration period, std::function<void(SimTime)> callback);
   void StopPeriodic(int handle);
 
-  // Runs events until the queue is empty or the time of the next event
-  // exceeds `until`. Returns the final simulation time (<= until).
+  // Runs events until the queue is empty, RequestStop() is called, or the
+  // next event lies beyond `until`. Returns the final simulation time.
+  //
+  // Contract: now() advances to exactly `until` only when the queue drained
+  // completely. When the loop stops because the next pending event is later
+  // than `until`, or because RequestStop() fired, now() stays at the time of
+  // the last dispatched event — which may be strictly less than `until`. In
+  // particular a periodic task with period P leaves now() at its last firing
+  // <= until (the next instance straddles the horizon and stays queued), so
+  // callers must not assume now() == until while events remain pending.
   SimTime RunUntil(SimTime until);
 
   // Runs until the queue drains completely.
@@ -54,6 +68,10 @@ class Simulation {
   EventQueue events_;
   std::vector<PeriodicTask> periodic_;
   bool stop_requested_ = false;
+
+  Registry* registry_;
+  Counter* events_dispatched_;
+  Counter* periodic_fires_;
 };
 
 }  // namespace pdpa

@@ -18,6 +18,20 @@ const char* WorkloadName(WorkloadId id) {
   return "?";
 }
 
+const char* WorkloadShortName(WorkloadId id) {
+  switch (id) {
+    case WorkloadId::kW1:
+      return "w1";
+    case WorkloadId::kW2:
+      return "w2";
+    case WorkloadId::kW3:
+      return "w3";
+    case WorkloadId::kW4:
+      return "w4";
+  }
+  return "w";
+}
+
 std::array<double, kNumAppClasses> WorkloadShares(WorkloadId id) {
   // Index order: swim, bt, hydro2d, apsi.
   switch (id) {

@@ -20,6 +20,11 @@ enum class WorkloadId : int {
 
 const char* WorkloadName(WorkloadId id);
 
+// Short id for filenames and cell names ("w1"), without the descriptive
+// suffix that WorkloadName adds ("w1(swim+bt)" would put parentheses in
+// paths).
+const char* WorkloadShortName(WorkloadId id);
+
 std::array<double, kNumAppClasses> WorkloadShares(WorkloadId id);
 
 // Builds the arrival trace for a workload at the given load. `untuned`

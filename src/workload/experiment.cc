@@ -64,7 +64,7 @@ std::unique_ptr<SchedulingPolicy> MakePolicy(const ExperimentConfig& config) {
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  Simulation sim;
+  Simulation sim(config.registry);
   std::unique_ptr<TraceRecorder> trace;
   if (config.record_trace) {
     trace = std::make_unique<TraceRecorder>(config.num_cpus);

@@ -69,6 +69,12 @@ struct ExperimentConfig {
   // them through the QS, RM, and policy for the duration of the experiment.
   EventLog* event_log = nullptr;
   TimeSeriesSampler* timeseries = nullptr;
+
+  // Counter/gauge/histogram registry for this run (borrowed, optional).
+  // Null falls back to the process-global Registry::Default(). Concurrent
+  // RunExperiment calls (the sweep engine) MUST each pass their own registry:
+  // it is what isolates their observability state from each other.
+  Registry* registry = nullptr;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,233 @@
+#include "src/workload/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/app/app_profile.h"
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+#include "src/obs/counters.h"
+#include "src/obs/event_log.h"
+#include "src/obs/timeseries.h"
+
+namespace pdpa {
+
+std::vector<SweepCell> ExpandGrid(const SweepGrid& grid) {
+  PDPA_CHECK(!grid.workloads.empty());
+  PDPA_CHECK(!grid.loads.empty());
+  PDPA_CHECK(!grid.policies.empty());
+  PDPA_CHECK(!grid.seeds.empty());
+  PDPA_CHECK(grid.base.registry == nullptr) << "RunSweep installs per-cell registries";
+  PDPA_CHECK(grid.base.event_log == nullptr) << "RunSweep installs per-cell event logs";
+  PDPA_CHECK(grid.base.timeseries == nullptr) << "RunSweep installs per-cell samplers";
+  std::vector<SweepCell> cells;
+  cells.reserve(grid.workloads.size() * grid.loads.size() * grid.policies.size() *
+                grid.seeds.size());
+  for (WorkloadId workload : grid.workloads) {
+    for (double load : grid.loads) {
+      for (PolicyKind policy : grid.policies) {
+        for (std::uint64_t seed : grid.seeds) {
+          SweepCell cell;
+          cell.index = cells.size();
+          cell.workload = workload;
+          cell.load = load;
+          cell.policy = policy;
+          cell.seed = seed;
+          cell.name = StrFormat("%s_%.2f_%s", WorkloadShortName(workload), load,
+                                PolicyKindName(policy));
+          if (grid.seeds.size() > 1) {
+            cell.name += StrFormat("_s%llu", static_cast<unsigned long long>(seed));
+          }
+          cell.config = grid.base;
+          cell.config.workload = workload;
+          cell.config.load = load;
+          cell.config.policy = policy;
+          cell.config.seed = seed;
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+// Runs one cell with its private observability context.
+void RunCell(const SweepCell& cell, const SweepOptions& options, SweepCellResult* out) {
+  Registry registry;
+  ExperimentConfig config = cell.config;
+  config.registry = &registry;
+  std::ostringstream events;
+  EventLog event_log(options.capture_events ? &events : nullptr);
+  if (options.capture_events) {
+    config.event_log = &event_log;
+  }
+  TimeSeriesSampler timeseries;
+  if (options.capture_timeseries) {
+    config.timeseries = &timeseries;
+  }
+  out->cell = cell;
+  out->result = RunExperiment(config);
+  if (options.capture_counters) {
+    out->counters = registry.Snapshot();
+  }
+  if (options.capture_events) {
+    out->events_jsonl = events.str();
+  }
+  if (options.capture_timeseries) {
+    std::ostringstream csv;
+    timeseries.WriteCsv(csv);
+    out->timeseries_csv = csv.str();
+  }
+}
+
+}  // namespace
+
+std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions& options) {
+  const std::vector<SweepCell> cells = ExpandGrid(grid);
+  std::vector<SweepCellResult> results(cells.size());
+  if (cells.empty()) {
+    return results;
+  }
+  int jobs = options.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  jobs = std::clamp(jobs, 1, static_cast<int>(cells.size()));
+  if (jobs == 1) {
+    for (const SweepCell& cell : cells) {
+      RunCell(cell, options, &results[cell.index]);
+    }
+    return results;
+  }
+  // One atomic cursor feeds all workers; each claimed cell writes its result
+  // at its own grid index, so result order never depends on scheduling.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    workers.emplace_back([&cells, &results, &options, &next] {
+      for (;;) {
+        const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= cells.size()) {
+          return;
+        }
+        RunCell(cells[index], options, &results[index]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  return results;
+}
+
+namespace {
+
+AggStat Stat(std::vector<double> samples) {
+  AggStat stat;
+  stat.mean = Mean(samples);
+  stat.p50 = Percentile(samples, 50.0);
+  stat.p95 = Percentile(std::move(samples), 95.0);
+  return stat;
+}
+
+}  // namespace
+
+CellAggregate AggregateSeeds(const std::vector<SweepCellResult>& results, std::size_t begin,
+                             std::size_t count) {
+  PDPA_CHECK_LE(begin + count, results.size());
+  CellAggregate aggregate;
+  aggregate.replicas = static_cast<int>(count);
+  std::vector<double> makespans, max_mls, reallocs;
+  std::map<AppClass, std::vector<ClassMetrics>> by_class;
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    const SweepCellResult& r = results[i];
+    makespans.push_back(r.result.metrics.makespan_s);
+    max_mls.push_back(r.result.max_ml);
+    reallocs.push_back(static_cast<double>(r.result.reallocations));
+    aggregate.all_completed = aggregate.all_completed && r.result.completed;
+    for (const auto& [app_class, metrics] : r.result.metrics.per_class) {
+      by_class[app_class].push_back(metrics);
+    }
+  }
+  aggregate.makespan_s = Stat(std::move(makespans));
+  aggregate.max_ml = Stat(std::move(max_mls));
+  aggregate.reallocations = Stat(std::move(reallocs));
+  for (const auto& [app_class, samples] : by_class) {
+    ClassAggregate& agg = aggregate.per_class[app_class];
+    agg.replicas = static_cast<int>(samples.size());
+    const auto column = [&samples](double (*get)(const ClassMetrics&)) {
+      std::vector<double> values;
+      values.reserve(samples.size());
+      for (const ClassMetrics& m : samples) {
+        values.push_back(get(m));
+      }
+      return Stat(std::move(values));
+    };
+    agg.count = column([](const ClassMetrics& m) { return static_cast<double>(m.count); });
+    agg.avg_response_s = column([](const ClassMetrics& m) { return m.avg_response_s; });
+    agg.p50_response_s = column([](const ClassMetrics& m) { return m.p50_response_s; });
+    agg.p95_response_s = column([](const ClassMetrics& m) { return m.p95_response_s; });
+    agg.avg_exec_s = column([](const ClassMetrics& m) { return m.avg_exec_s; });
+    agg.avg_wait_s = column([](const ClassMetrics& m) { return m.avg_wait_s; });
+    agg.avg_alloc = column([](const ClassMetrics& m) { return m.avg_alloc; });
+  }
+  return aggregate;
+}
+
+void SweepCsv(const std::vector<SweepCellResult>& results, std::size_t seeds_per_group,
+              std::ostream& out) {
+  PDPA_CHECK_GE(seeds_per_group, 1u);
+  PDPA_CHECK_EQ(results.size() % seeds_per_group, 0u);
+  out << "workload,load,policy,seed,class,jobs,avg_response_s,p50_response_s,p95_response_s,"
+         "avg_exec_s,avg_wait_s,avg_cpus,makespan_s,max_ml,reallocations,completed\n";
+  for (std::size_t group = 0; group < results.size(); group += seeds_per_group) {
+    for (std::size_t i = group; i < group + seeds_per_group; ++i) {
+      const SweepCellResult& r = results[i];
+      for (const auto& [app_class, m] : r.result.metrics.per_class) {
+        out << StrFormat("%s,%.2f,%s,%llu,%s,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%d,%lld,%d\n",
+                         WorkloadName(r.cell.workload), r.cell.load,
+                         r.result.policy_name.c_str(),
+                         static_cast<unsigned long long>(r.cell.seed), AppClassName(app_class),
+                         m.count, m.avg_response_s, m.p50_response_s, m.p95_response_s,
+                         m.avg_exec_s, m.avg_wait_s, m.avg_alloc, r.result.metrics.makespan_s,
+                         r.result.max_ml, r.result.reallocations, r.result.completed ? 1 : 0);
+      }
+    }
+    if (seeds_per_group <= 1) {
+      continue;
+    }
+    const SweepCellResult& head = results[group];
+    const CellAggregate aggregate = AggregateSeeds(results, group, seeds_per_group);
+    struct Pick {
+      const char* label;
+      double (*get)(const AggStat&);
+    };
+    static constexpr Pick kPicks[] = {
+        {"mean", [](const AggStat& s) { return s.mean; }},
+        {"p50", [](const AggStat& s) { return s.p50; }},
+        {"p95", [](const AggStat& s) { return s.p95; }},
+    };
+    for (const auto& [app_class, agg] : aggregate.per_class) {
+      for (const Pick& pick : kPicks) {
+        out << StrFormat(
+            "%s,%.2f,%s,%s,%s,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%d\n",
+            WorkloadName(head.cell.workload), head.cell.load, head.result.policy_name.c_str(),
+            pick.label, AppClassName(app_class), pick.get(agg.count),
+            pick.get(agg.avg_response_s), pick.get(agg.p50_response_s),
+            pick.get(agg.p95_response_s), pick.get(agg.avg_exec_s), pick.get(agg.avg_wait_s),
+            pick.get(agg.avg_alloc), pick.get(aggregate.makespan_s), pick.get(aggregate.max_ml),
+            pick.get(aggregate.reallocations), aggregate.all_completed ? 1 : 0);
+      }
+    }
+  }
+}
+
+}  // namespace pdpa

@@ -1,0 +1,129 @@
+// Parallel sweep engine: runs a grid of experiments (workloads x loads x
+// policies x seeds) across a pool of worker threads.
+//
+// Each grid cell executes one RunExperiment with a *private* observability
+// context — its own Registry, EventLog sink and TimeSeriesSampler — so N
+// simulations can run concurrently without sharing any mutable state. Cells
+// are handed to workers through a single atomic index (work stealing
+// degenerates to this when tasks are independent and uniform-ish) and every
+// result is stored at the cell's grid index, so output order is the
+// deterministic grid order regardless of completion order: a parallel sweep
+// produces byte-identical CSV and per-cell recordings to a serial one.
+//
+// The seeds axis is the replication dimension: the same (workload, load,
+// policy) cell re-run under different arrival-trace seeds. SweepCsv emits
+// one row per (replica, class) plus per-class mean/p50/p95 aggregate rows
+// across the replicas whenever more than one seed is swept.
+#ifndef SRC_WORKLOAD_SWEEP_H_
+#define SRC_WORKLOAD_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/workload/experiment.h"
+
+namespace pdpa {
+
+// The sweep axes plus the template config shared by every cell. The
+// template's workload/load/policy/seed are overwritten per cell; its
+// event_log/timeseries/registry pointers must be null (RunSweep installs
+// per-cell sinks itself).
+struct SweepGrid {
+  ExperimentConfig base;
+  std::vector<WorkloadId> workloads = {WorkloadId::kW1};
+  std::vector<double> loads = {1.0};
+  std::vector<PolicyKind> policies = {PolicyKind::kPdpa};
+  std::vector<std::uint64_t> seeds = {42};
+};
+
+// One fully resolved grid cell.
+struct SweepCell {
+  std::size_t index = 0;
+  WorkloadId workload = WorkloadId::kW1;
+  double load = 1.0;
+  PolicyKind policy = PolicyKind::kPdpa;
+  std::uint64_t seed = 42;
+  // "w1_0.60_PDPA", with an "_s<seed>" suffix when the grid sweeps more
+  // than one seed. Used for per-cell recording filenames.
+  std::string name;
+  ExperimentConfig config;
+};
+
+// Expands the grid in nested order: workload (outer) x load x policy x seed
+// (inner). Cell indices are positions in this order.
+std::vector<SweepCell> ExpandGrid(const SweepGrid& grid);
+
+struct SweepOptions {
+  // Worker threads. <= 0 means std::thread::hardware_concurrency(); the
+  // value is clamped to [1, number of cells]. jobs == 1 runs inline on the
+  // calling thread (no pool).
+  int jobs = 0;
+  // Capture a Registry snapshot / JSONL event log / time-series CSV per
+  // cell. Off by default: capturing events in particular costs string
+  // building on the simulation hot path.
+  bool capture_counters = false;
+  bool capture_events = false;
+  bool capture_timeseries = false;
+};
+
+struct SweepCellResult {
+  SweepCell cell;
+  ExperimentResult result;
+  // Filled per SweepOptions; empty otherwise.
+  RegistrySnapshot counters;
+  std::string events_jsonl;
+  std::string timeseries_csv;
+};
+
+// Runs every cell of the grid; returns results in grid (ExpandGrid) order.
+std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions& options = {});
+
+// Element-wise mean / median / 95th percentile of one metric across seed
+// replicas.
+struct AggStat {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+// Per-class statistics across the seed replicas of one (workload, load,
+// policy) group. `replicas` counts the seeds in which the class appeared.
+struct ClassAggregate {
+  int replicas = 0;
+  AggStat count;
+  AggStat avg_response_s;
+  AggStat p50_response_s;
+  AggStat p95_response_s;
+  AggStat avg_exec_s;
+  AggStat avg_wait_s;
+  AggStat avg_alloc;
+};
+
+struct CellAggregate {
+  std::map<AppClass, ClassAggregate> per_class;
+  AggStat makespan_s;
+  AggStat max_ml;
+  AggStat reallocations;
+  bool all_completed = true;
+  int replicas = 0;
+};
+
+// Aggregates results[begin, begin + count) — the seed replicas of one grid
+// group — across seeds.
+CellAggregate AggregateSeeds(const std::vector<SweepCellResult>& results, std::size_t begin,
+                             std::size_t count);
+
+// Writes the sweep CSV: header, one row per (replica, class) in grid order,
+// and, when seeds_per_group > 1, three aggregate rows per class (seed column
+// "mean" / "p50" / "p95") after each group's replica rows. `seeds_per_group`
+// must divide results.size().
+void SweepCsv(const std::vector<SweepCellResult>& results, std::size_t seeds_per_group,
+              std::ostream& out);
+
+}  // namespace pdpa
+
+#endif  // SRC_WORKLOAD_SWEEP_H_

@@ -55,6 +55,39 @@ TEST(CpuSetTest, ToStringCompactsRuns) {
   EXPECT_EQ(CpuSet{}.ToString(), "");
 }
 
+TEST(CpuSetTest, WordBoundaryBits) {
+  // Bits straddling the 64-bit word seams of the two-word representation.
+  CpuSet set;
+  for (int cpu : {0, 63, 64, 127}) {
+    set.Add(cpu);
+    EXPECT_TRUE(set.Contains(cpu));
+  }
+  EXPECT_EQ(set.Count(), 4);
+  EXPECT_EQ(set.First(), 0);
+  EXPECT_EQ(set.ToVector(), (std::vector<int>{0, 63, 64, 127}));
+  EXPECT_EQ(set.ToString(), "0,63-64,127");
+  set.Remove(63);
+  set.Remove(0);
+  EXPECT_EQ(set.First(), 64);
+  EXPECT_EQ(set.Count(), 2);
+}
+
+TEST(CpuSetTest, NextIteratesInOrder) {
+  CpuSet set;
+  const std::vector<int> cpus = {3, 62, 63, 64, 65, 100, 126, 127};
+  for (int cpu : cpus) {
+    set.Add(cpu);
+  }
+  std::vector<int> seen;
+  for (int cpu = set.First(); cpu >= 0; cpu = set.Next(cpu)) {
+    seen.push_back(cpu);
+  }
+  EXPECT_EQ(seen, cpus);
+  EXPECT_EQ(set.Next(127), -1);
+  EXPECT_EQ(CpuSet{}.First(), -1);
+  EXPECT_EQ(CpuSet{}.Next(0), -1);
+}
+
 TEST(MachineTest, StartsIdle) {
   Machine machine(8);
   EXPECT_EQ(machine.FreeCpus(), 8);

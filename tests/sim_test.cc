@@ -137,5 +137,89 @@ TEST(SimulationTest, RunToCompletionAdvancesToLastEvent) {
   EXPECT_EQ(sim.now(), 77);
 }
 
+// --- EventQueue slot reuse / stale-id semantics ---------------------------
+
+TEST(EventQueueTest, SlotReuseInvalidatesOldId) {
+  EventQueue queue;
+  int fired = 0;
+  const EventId first = queue.Schedule(10, [&] { ++fired; });
+  ASSERT_TRUE(queue.Cancel(first));
+  // The freed slot is recycled for the next event, under a new generation.
+  const EventId second = queue.Schedule(20, [&] { fired += 10; });
+  EXPECT_NE(first, second);
+  // The stale id must not cancel the slot's new occupant.
+  EXPECT_FALSE(queue.Cancel(first));
+  queue.RunNext();
+  EXPECT_EQ(fired, 10);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, IdStaysInvalidAfterRun) {
+  EventQueue queue;
+  const EventId id = queue.Schedule(5, [] {});
+  queue.RunNext();
+  EXPECT_FALSE(queue.Cancel(id));
+  // Heavy churn through the free list: ids never repeat even as slots do.
+  EventId last = id;
+  for (int i = 0; i < 1000; ++i) {
+    const EventId next = queue.Schedule(10 + i, [] {});
+    EXPECT_NE(next, last);
+    last = next;
+    queue.RunNext();
+    EXPECT_FALSE(queue.Cancel(next));
+  }
+}
+
+TEST(EventQueueTest, CancelledEntriesDoNotCountTowardSize) {
+  EventQueue queue;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(queue.Schedule(100 + i, [] {}));
+  }
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(queue.Cancel(ids[i]));
+  }
+  EXPECT_EQ(queue.size(), 50u);
+  int ran = 0;
+  while (!queue.empty()) {
+    queue.RunNext();
+    ++ran;
+  }
+  EXPECT_EQ(ran, 50);
+}
+
+// --- RunUntil contract (documented in simulation.h) -----------------------
+
+TEST(SimulationTest, RunUntilPeriodicStraddlesHorizon) {
+  Simulation sim;
+  std::vector<SimTime> fires;
+  sim.SchedulePeriodic(70, 70, [&](SimTime now) { fires.push_back(now); });
+  // The next instance (140) lies beyond the horizon: now() stays at the
+  // last dispatched firing, not at `until`.
+  EXPECT_EQ(sim.RunUntil(100), 70);
+  EXPECT_EQ(sim.now(), 70);
+  EXPECT_EQ(fires, (std::vector<SimTime>{70}));
+  // Resuming picks up the queued instance; again now() ends on a firing.
+  EXPECT_EQ(sim.RunUntil(300), 280);
+  EXPECT_EQ(fires, (std::vector<SimTime>{70, 140, 210, 280}));
+}
+
+TEST(SimulationTest, RunUntilDrainedQueueReachesHorizonExactly) {
+  Simulation sim;
+  sim.events().Schedule(30, [] {});
+  EXPECT_EQ(sim.RunUntil(100), 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulationTest, RunUntilRequestStopLeavesClockAtLastEvent) {
+  Simulation sim;
+  sim.events().Schedule(40, [&sim] { sim.RequestStop(); });
+  sim.events().Schedule(60, [] {});
+  EXPECT_EQ(sim.RunUntil(100), 40);
+  EXPECT_EQ(sim.now(), 40);
+  // The 60 event is still pending and fires on the next run.
+  EXPECT_EQ(sim.RunUntil(100), 100);
+}
+
 }  // namespace
 }  // namespace pdpa

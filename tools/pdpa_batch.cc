@@ -1,41 +1,38 @@
-// pdpa_batch — run the full evaluation grid (workloads x loads x policies)
-// and emit one CSV row per (cell, application class), ready for plotting.
+// pdpa_batch — run the full evaluation grid (workloads x loads x policies x
+// seeds) and emit one CSV row per (cell, application class), ready for
+// plotting. Cells run concurrently on a worker pool (--jobs); output is in
+// deterministic grid order, byte-identical to a serial run.
 //
 // Usage:
 //   pdpa_batch                          # the paper's full grid to stdout
 //   pdpa_batch --workloads w1,w3 --loads 0.6,1.0 --policies equip,pdpa
 //   pdpa_batch --seed 7 --untuned
+//   pdpa_batch --seeds 8 --jobs 8       # 8 replicas per cell, 8 workers
 //   pdpa_batch --events_out ev_ --timeseries_out ts_   # per-cell recordings
+//   pdpa_batch --counters               # per-cell counter dumps to stderr
+//   pdpa_batch --counters_out c_        # ... or to c_<cell>.txt files
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
-#include "src/obs/counters.h"
-#include "src/obs/event_log.h"
-#include "src/obs/timeseries.h"
-#include "src/workload/experiment.h"
+#include "src/workload/sweep.h"
 
 namespace pdpa {
 namespace {
 
-// Short id for filenames ("w1"), without the descriptive suffix that
-// WorkloadName adds ("w1(swim+bt)" would put parentheses in paths).
-const char* ShortWorkloadName(WorkloadId id) {
-  switch (id) {
-    case WorkloadId::kW1:
-      return "w1";
-    case WorkloadId::kW2:
-      return "w2";
-    case WorkloadId::kW3:
-      return "w3";
-    case WorkloadId::kW4:
-      return "w4";
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
   }
-  return "w";
+  out << content;
+  return true;
 }
 
 int Run(int argc, char** argv) {
@@ -49,119 +46,108 @@ int Run(int argc, char** argv) {
   }
   SetLogLevel(level);
 
-  std::vector<WorkloadId> workloads;
+  SweepGrid grid;
+  grid.workloads.clear();
   for (const std::string& token :
        SplitTokens(flags.GetString("workloads", "w1,w2,w3,w4"), ',')) {
     if (token == "w1") {
-      workloads.push_back(WorkloadId::kW1);
+      grid.workloads.push_back(WorkloadId::kW1);
     } else if (token == "w2") {
-      workloads.push_back(WorkloadId::kW2);
+      grid.workloads.push_back(WorkloadId::kW2);
     } else if (token == "w3") {
-      workloads.push_back(WorkloadId::kW3);
+      grid.workloads.push_back(WorkloadId::kW3);
     } else if (token == "w4") {
-      workloads.push_back(WorkloadId::kW4);
+      grid.workloads.push_back(WorkloadId::kW4);
     } else {
       std::fprintf(stderr, "unknown workload %s\n", token.c_str());
       return 2;
     }
   }
-  std::vector<double> loads;
+  grid.loads.clear();
   for (const std::string& token : SplitTokens(flags.GetString("loads", "0.6,0.8,1.0"), ',')) {
     double load = 0;
     if (!ParseDouble(token, &load) || load <= 0) {
       std::fprintf(stderr, "bad load %s\n", token.c_str());
       return 2;
     }
-    loads.push_back(load);
+    grid.loads.push_back(load);
   }
-  std::vector<PolicyKind> policies;
+  grid.policies.clear();
   for (const std::string& token :
        SplitTokens(flags.GetString("policies", "irix,equip,equal_eff,pdpa"), ',')) {
     if (token == "irix") {
-      policies.push_back(PolicyKind::kIrix);
+      grid.policies.push_back(PolicyKind::kIrix);
     } else if (token == "equip") {
-      policies.push_back(PolicyKind::kEquipartition);
+      grid.policies.push_back(PolicyKind::kEquipartition);
     } else if (token == "equal_eff") {
-      policies.push_back(PolicyKind::kEqualEfficiency);
+      grid.policies.push_back(PolicyKind::kEqualEfficiency);
     } else if (token == "pdpa") {
-      policies.push_back(PolicyKind::kPdpa);
+      grid.policies.push_back(PolicyKind::kPdpa);
     } else if (token == "dynamic") {
-      policies.push_back(PolicyKind::kMcCannDynamic);
+      grid.policies.push_back(PolicyKind::kMcCannDynamic);
     } else {
       std::fprintf(stderr, "unknown policy %s\n", token.c_str());
       return 2;
     }
   }
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
-  const bool untuned = flags.GetBool("untuned", false);
+  // Replication: run every (workload, load, policy) cell under `--seeds`
+  // consecutive seeds starting at --seed, and append per-class
+  // mean/p50/p95 aggregate rows.
+  const int num_seeds = flags.GetInt("seeds", 1);
+  if (num_seeds < 1) {
+    std::fprintf(stderr, "--seeds must be >= 1\n");
+    return 2;
+  }
+  grid.seeds.clear();
+  for (int i = 0; i < num_seeds; ++i) {
+    grid.seeds.push_back(seed + static_cast<std::uint64_t>(i));
+  }
+  grid.base.untuned = flags.GetBool("untuned", false);
+
+  SweepOptions options;
+  // Worker threads; 0 (the default) auto-detects hardware concurrency.
+  options.jobs = flags.GetInt("jobs", 0);
 
   // Flight-recorder prefixes: each grid cell writes
-  // <prefix><workload>_<load>_<policy>.jsonl / .csv.
+  // <prefix><workload>_<load>_<policy>[_s<seed>].jsonl / .csv.
   const std::string events_prefix = flags.GetString("events_out", "");
   const std::string timeseries_prefix = flags.GetString("timeseries_out", "");
+  const std::string counters_prefix = flags.GetString("counters_out", "");
   const bool want_counters = flags.GetBool("counters", false);
+  options.capture_events = !events_prefix.empty();
+  options.capture_timeseries = !timeseries_prefix.empty();
+  options.capture_counters = want_counters || !counters_prefix.empty();
 
   for (const std::string& unknown : flags.UnconsumedFlags()) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     return 2;
   }
 
-  std::printf(
-      "workload,load,policy,class,jobs,avg_response_s,p50_response_s,p95_response_s,"
-      "avg_exec_s,avg_wait_s,avg_cpus,makespan_s,max_ml,reallocations,completed\n");
-  for (WorkloadId workload : workloads) {
-    for (double load : loads) {
-      for (PolicyKind policy : policies) {
-        ExperimentConfig config;
-        config.workload = workload;
-        config.load = load;
-        config.policy = policy;
-        config.seed = seed;
-        config.untuned = untuned;
+  const std::vector<SweepCellResult> results = RunSweep(grid, options);
+  SweepCsv(results, grid.seeds.size(), std::cout);
+  std::cout.flush();
 
-        const std::string cell = StrFormat("%s_%.2f_%s", ShortWorkloadName(workload), load,
-                                           PolicyKindName(policy));
-        std::ofstream events_stream;
-        if (!events_prefix.empty()) {
-          const std::string path = events_prefix + cell + ".jsonl";
-          events_stream.open(path);
-          if (!events_stream) {
-            std::fprintf(stderr, "cannot open %s\n", path.c_str());
-            return 2;
-          }
-        }
-        EventLog events(events_prefix.empty() ? nullptr : &events_stream);
-        if (events.enabled()) {
-          config.event_log = &events;
-        }
-        TimeSeriesSampler timeseries;
-        if (!timeseries_prefix.empty()) {
-          config.timeseries = &timeseries;
-        }
-
-        const ExperimentResult r = RunExperiment(config);
-        for (const auto& [app_class, m] : r.metrics.per_class) {
-          std::printf("%s,%.2f,%s,%s,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%d,%lld,%d\n",
-                      WorkloadName(workload), load, r.policy_name.c_str(),
-                      AppClassName(app_class), m.count, m.avg_response_s, m.p50_response_s,
-                      m.p95_response_s, m.avg_exec_s, m.avg_wait_s, m.avg_alloc,
-                      r.metrics.makespan_s, r.max_ml, r.reallocations, r.completed ? 1 : 0);
-        }
-        if (!timeseries_prefix.empty()) {
-          const std::string path = timeseries_prefix + cell + ".csv";
-          std::ofstream out(path);
-          if (!out) {
-            std::fprintf(stderr, "cannot open %s\n", path.c_str());
-            return 2;
-          }
-          timeseries.WriteCsv(out);
-        }
-      }
+  // Per-cell recordings, written in grid order after the sweep.
+  for (const SweepCellResult& r : results) {
+    if (!events_prefix.empty() &&
+        !WriteFile(events_prefix + r.cell.name + ".jsonl", r.events_jsonl)) {
+      return 2;
     }
-  }
-  if (want_counters) {
-    std::fprintf(stderr, "\ncounters (whole grid):\n%s",
-                 Registry::Default().Snapshot().ToString().c_str());
+    if (!timeseries_prefix.empty() &&
+        !WriteFile(timeseries_prefix + r.cell.name + ".csv", r.timeseries_csv)) {
+      return 2;
+    }
+    if (!counters_prefix.empty() &&
+        !WriteFile(counters_prefix + r.cell.name + ".txt", r.counters.ToString())) {
+      return 2;
+    }
+    if (want_counters) {
+      // One section per cell: each run has its own registry, so these are
+      // genuinely per-cell values, not a cumulative grid total.
+      std::fprintf(stderr, "\ncounters (%s):\n%s", r.cell.name.c_str(),
+                   r.counters.ToString().c_str());
+    }
   }
   return 0;
 }

@@ -198,6 +198,10 @@ int Run(int argc, char** argv) {
   if (!timeseries_out.empty()) {
     config.timeseries = &timeseries;
   }
+  // A run-local registry keeps the --counters dump scoped to this run (and
+  // exercises the same per-run path the sweep engine uses).
+  Registry registry;
+  config.registry = &registry;
 
   const ExperimentResult result = RunExperiment(config);
   std::printf("policy %s, %d jobs, makespan %.1f s, peak ML %d%s\n",
@@ -249,7 +253,7 @@ int Run(int argc, char** argv) {
                 timeseries.apps().size(), timeseries.machine().size(), timeseries_out.c_str());
   }
   if (want_counters) {
-    std::printf("\ncounters:\n%s", Registry::Default().Snapshot().ToString().c_str());
+    std::printf("\ncounters:\n%s", registry.Snapshot().ToString().c_str());
   }
   return 0;
 }
