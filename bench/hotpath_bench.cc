@@ -1,0 +1,152 @@
+// Simulator hot-path benchmark: quantifies the event-horizon tick elision
+// and guards its byte-identity contract.
+//
+// Part 1 (A/B): runs W1 @ load 1.0 under PDPA twice — --exact_ticks style
+// fine grid vs the elided default — captures the event log and time-series
+// from both, and byte-compares them. Records rm.ticks / sim.events_dispatched
+// for each mode and the tick elision factor. Exits non-zero if the elided
+// run's observable output diverges from the exact run.
+//
+// Part 2 (throughput): the sweep_bench grid (w1,w2 x 0.6,1.0 x Equip,PDPA
+// x 8 seeds = 64 cells) run serially with elision off and on, reporting
+// cells/sec for both.
+//
+// Usage: hotpath_bench [--seeds N] [--out BENCH_hotpath.json]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/obs/counters.h"
+#include "src/obs/event_log.h"
+#include "src/obs/timeseries.h"
+#include "src/workload/sweep.h"
+
+namespace pdpa {
+namespace {
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+struct AbRun {
+  std::string events;
+  std::string timeseries;
+  long long ticks = 0;
+  long long events_dispatched = 0;
+  double wall_s = 0.0;
+};
+
+AbRun RunAb(bool exact_ticks) {
+  ExperimentConfig config;
+  config.workload = WorkloadId::kW1;
+  config.load = 1.0;
+  config.seed = 42;
+  config.policy = PolicyKind::kPdpa;
+  config.rm.exact_ticks = exact_ticks;
+
+  AbRun run;
+  std::ostringstream events_stream;
+  EventLog events(&events_stream);
+  TimeSeriesSampler timeseries;
+  Registry registry;
+  config.event_log = &events;
+  config.timeseries = &timeseries;
+  config.registry = &registry;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)RunExperiment(config);
+  run.wall_s = Seconds(std::chrono::steady_clock::now() - t0);
+
+  run.events = events_stream.str();
+  std::ostringstream ts_stream;
+  timeseries.WriteCsv(ts_stream);
+  run.timeseries = ts_stream.str();
+  for (const CounterSnapshot& counter : registry.Snapshot().counters) {
+    if (counter.name == "rm.ticks") {
+      run.ticks = counter.value;
+    } else if (counter.name == "sim.events_dispatched") {
+      run.events_dispatched = counter.value;
+    }
+  }
+  return run;
+}
+
+double RunGridSerial(const SweepGrid& grid) {
+  SweepOptions serial;
+  serial.jobs = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)RunSweep(grid, serial);
+  return Seconds(std::chrono::steady_clock::now() - t0);
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+  const int num_seeds = flags.GetInt("seeds", 8);
+  const std::string out_path = flags.GetString("out", "BENCH_hotpath.json");
+
+  // --- Part 1: exact vs elided A/B on one cell ---------------------------
+  const AbRun fine = RunAb(/*exact_ticks=*/true);
+  const AbRun coarse = RunAb(/*exact_ticks=*/false);
+  const bool identical =
+      fine.events == coarse.events && fine.timeseries == coarse.timeseries;
+  const double elision_factor =
+      coarse.ticks > 0 ? static_cast<double>(fine.ticks) / static_cast<double>(coarse.ticks)
+                       : 0.0;
+  std::fprintf(stderr,
+               "A/B w1@1.0 PDPA: rm.ticks %lld -> %lld (%.2fx), events_dispatched %lld -> "
+               "%lld, output %s\n",
+               fine.ticks, coarse.ticks, elision_factor, fine.events_dispatched,
+               coarse.events_dispatched, identical ? "identical" : "DIFFERS");
+
+  // --- Part 2: serial sweep throughput, elision off vs on ----------------
+  SweepGrid grid;
+  grid.workloads = {WorkloadId::kW1, WorkloadId::kW2};
+  grid.loads = {0.6, 1.0};
+  grid.policies = {PolicyKind::kEquipartition, PolicyKind::kPdpa};
+  grid.seeds.clear();
+  for (int i = 0; i < num_seeds; ++i) {
+    grid.seeds.push_back(42 + static_cast<std::uint64_t>(i));
+  }
+  const std::size_t cells = ExpandGrid(grid).size();
+
+  grid.base.rm.exact_ticks = true;
+  const double exact_s = RunGridSerial(grid);
+  grid.base.rm.exact_ticks = false;
+  const double elided_s = RunGridSerial(grid);
+  const double exact_cells_per_s = exact_s > 0 ? cells / exact_s : 0;
+  const double elided_cells_per_s = elided_s > 0 ? cells / elided_s : 0;
+  std::fprintf(stderr, "sweep %zu cells serial: exact %.2fs (%.0f cells/s), elided %.2fs "
+               "(%.0f cells/s)\n",
+               cells, exact_s, exact_cells_per_s, elided_s, elided_cells_per_s);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  out << "{\n"
+      << "  \"ab_cell\": \"w1_1.00_PDPA_s42\",\n"
+      << "  \"ticks_exact\": " << fine.ticks << ",\n"
+      << "  \"ticks_elided\": " << coarse.ticks << ",\n"
+      << "  \"tick_elision_factor\": " << elision_factor << ",\n"
+      << "  \"events_dispatched_exact\": " << fine.events_dispatched << ",\n"
+      << "  \"events_dispatched_elided\": " << coarse.events_dispatched << ",\n"
+      << "  \"output_identical\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"sweep_cells\": " << cells << ",\n"
+      << "  \"sweep_exact_wall_s\": " << exact_s << ",\n"
+      << "  \"sweep_elided_wall_s\": " << elided_s << ",\n"
+      << "  \"sweep_exact_cells_per_s\": " << exact_cells_per_s << ",\n"
+      << "  \"sweep_elided_cells_per_s\": " << elided_cells_per_s << "\n"
+      << "}\n";
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pdpa
+
+int main(int argc, char** argv) { return pdpa::Run(argc, argv); }

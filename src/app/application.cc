@@ -6,6 +6,15 @@
 #include "src/common/logging.h"
 
 namespace pdpa {
+namespace {
+
+// The first-order warmup ramp only converges asymptotically; after this many
+// time constants the residual gap (e^-5 ≈ 6.7e-3 of the original) is snapped
+// to zero so the application reaches an exactly-constant speed. Without the
+// snap no run would ever become elidable (see ResourceManager).
+constexpr int kWarmupSettleMultiple = 5;
+
+}  // namespace
 
 Application::Application(JobId id, AppProfile profile, AppCosts costs)
     : id_(id), profile_(std::move(profile)), costs_(costs), request_(profile_.default_request) {
@@ -21,6 +30,8 @@ void Application::Start(SimTime now) {
   iter_start_wall_ = now;
   iter_clean_ = true;
   warm_procs_ = static_cast<double>(EffectiveProcs());
+  warm_until_ = now;
+  ++change_epoch_;
 }
 
 void Application::SetAllocation(int procs, SimTime now) {
@@ -44,7 +55,11 @@ void Application::SetAllocation(int procs, SimTime now) {
     // Shrinking gives no locality debt: remaining CPUs are already warm.
     warm_procs_ = std::min(warm_procs_, static_cast<double>(new_effective));
   }
+  if (warm_procs_ != static_cast<double>(new_effective)) {
+    warm_until_ = now + kWarmupSettleMultiple * costs_.warmup;
+  }
   iter_clean_ = false;
+  ++change_epoch_;
 }
 
 void Application::ForceProcs(int procs, SimTime now) {
@@ -63,7 +78,11 @@ void Application::ForceProcs(int procs, SimTime now) {
     if (new_effective < old_effective) {
       warm_procs_ = std::min(warm_procs_, static_cast<double>(new_effective));
     }
+    if (warm_procs_ != static_cast<double>(new_effective)) {
+      warm_until_ = now + kWarmupSettleMultiple * costs_.warmup;
+    }
     iter_clean_ = false;
+    ++change_epoch_;
   }
 }
 
@@ -72,6 +91,26 @@ int Application::EffectiveProcs() const {
     return std::min(allocated_, forced_procs_);
   }
   return allocated_;
+}
+
+double Application::SpeedAt(double p_eff) const {
+  if (rigid_) {
+    // Folded rigid execution: `request_` processes share p_eff CPUs. The
+    // application's parallel structure is that of `request_` processes; the
+    // CPUs bound the rate, with a folding overhead when oversubscribed.
+    const double fold = std::min(1.0, p_eff / std::max(1, request_));
+    const double overhead = fold < 1.0 ? costs_.folding_overhead : 1.0;
+    return profile_.speedup->SpeedupAt(std::max(1, request_)) * fold * overhead;
+  }
+  return profile_.speedup->SpeedupAt(std::max(1.0, p_eff));
+}
+
+double Application::SteadySpeed() const {
+  const int procs = EffectiveProcs();
+  if (procs <= 0) {
+    return 0.0;
+  }
+  return SpeedAt(static_cast<double>(procs));
 }
 
 void Application::Advance(SimTime now, SimDuration dt) {
@@ -84,30 +123,25 @@ void Application::Advance(SimTime now, SimDuration dt) {
   }
   // Warmup ramp: move warm_procs_ toward the target with time constant
   // costs_.warmup (first-order). Integrated over the tick as the midpoint
-  // value to stay stable for large ticks.
+  // value to stay stable for large ticks. Once the settle deadline passes,
+  // warm_procs_ snaps to the target and the speed becomes exactly constant.
   const double target = static_cast<double>(procs);
   double p_eff = target;
   if (costs_.warmup > 0) {
-    const double k = std::min(1.0, static_cast<double>(dt) / static_cast<double>(costs_.warmup));
-    const double warm = warm_procs_ + (target - warm_procs_) * k;
-    p_eff = 0.5 * (warm_procs_ + warm);
-    warm_procs_ = warm;
+    if (warm_procs_ != target && now >= warm_until_) {
+      warm_procs_ = target;
+      ++change_epoch_;
+    }
+    if (warm_procs_ != target) {
+      const double k = std::min(1.0, static_cast<double>(dt) / static_cast<double>(costs_.warmup));
+      const double warm = warm_procs_ + (target - warm_procs_) * k;
+      p_eff = 0.5 * (warm_procs_ + warm);
+      warm_procs_ = warm;
+    }
   } else {
     warm_procs_ = target;
   }
-
-  double speed = 0.0;
-  if (rigid_) {
-    // Folded rigid execution: `request_` processes share p_eff CPUs. The
-    // application's parallel structure is that of `request_` processes; the
-    // CPUs bound the rate, with a folding overhead when oversubscribed.
-    const double fold = std::min(1.0, p_eff / std::max(1, request_));
-    const double overhead = fold < 1.0 ? costs_.folding_overhead : 1.0;
-    speed = profile_.speedup->SpeedupAt(std::max(1, request_)) * fold * overhead;
-  } else {
-    speed = profile_.speedup->SpeedupAt(std::max(1.0, p_eff));
-  }
-  Integrate(now, dt, speed, procs);
+  Integrate(now, dt, SpeedAt(p_eff), procs);
 }
 
 void Application::AdvanceTimeShared(SimTime now, SimDuration dt, double effective_procs,
@@ -125,41 +159,93 @@ void Application::AdvanceTimeShared(SimTime now, SimDuration dt, double effectiv
   Integrate(now, dt, speed, static_cast<int>(std::lround(std::max(1.0, p))));
 }
 
+bool Application::ElisionReady(SimTime now) const {
+  if (!started_ || finished_) {
+    return false;
+  }
+  if (frozen_until_ > now) {
+    return false;
+  }
+  if (costs_.warmup > 0 && warm_procs_ != static_cast<double>(EffectiveProcs())) {
+    return false;
+  }
+  return true;
+}
+
+SimTime Application::NextBoundaryTime(SimTime now) const {
+  const double speed = SteadySpeed();
+  if (speed <= 0.0 || finished_) {
+    return kHorizonNever;
+  }
+  // Select the anchor exactly like Integrate will: continue the live segment
+  // when it abuts `now` at the same speed, else start a fresh one here.
+  SimTime anchor_t = now;
+  double anchor_p = progress_s_;
+  if (seg_valid_ && seg_speed_ == speed && seg_end_ == now) {
+    anchor_t = seg_start_;
+    anchor_p = seg_progress_;
+  }
+  const double next_boundary = work_per_iter_s_ * (completed_iterations_ + 1);
+  return anchor_t + SecondsToTime((next_boundary - anchor_p) / speed);
+}
+
 void Application::Integrate(SimTime now, SimDuration dt, double speed, int procs_label) {
   SimTime t = now;
-  SimTime end = now + dt;
+  const SimTime end = now + dt;
 
-  // Consume the reconfiguration freeze first.
+  // Consume the reconfiguration freeze first. A freeze breaks the segment:
+  // whatever follows starts a fresh anchor at the thaw.
   if (frozen_until_ > t) {
     const SimTime thaw = std::min(frozen_until_, end);
     t = thaw;
+    seg_valid_ = false;
     if (t >= end) {
       return;
     }
   }
   if (speed <= 0.0) {
+    seg_valid_ = false;
     return;
   }
 
-  double remaining_dt_s = TimeToSeconds(end - t);
-  while (remaining_dt_s > 0.0 && !finished_) {
+  // Continue the live constant-speed segment when this span abuts it; else
+  // anchor a new segment at (t, progress).
+  if (!seg_valid_ || seg_speed_ != speed || seg_end_ != t) {
+    seg_valid_ = true;
+    seg_start_ = t;
+    seg_end_ = t;
+    seg_progress_ = progress_s_;
+    seg_speed_ = speed;
+    ++change_epoch_;
+  }
+
+  while (!finished_) {
     const double next_boundary = work_per_iter_s_ * (completed_iterations_ + 1);
-    const double work_to_boundary = next_boundary - progress_s_;
-    const double time_to_boundary_s = work_to_boundary / speed;
-    if (time_to_boundary_s > remaining_dt_s) {
-      progress_s_ += remaining_dt_s * speed;
+    // Boundary instant measured from the segment anchor — the same value no
+    // matter how the segment was chopped into Advance spans. The anchor is
+    // NOT moved at crossings: every boundary of the segment is computed from
+    // the segment start, so the microsecond rounding of one boundary never
+    // accumulates into the next (each is within half a microsecond of the
+    // continuous-time instant).
+    const SimTime boundary_at =
+        seg_start_ + SecondsToTime((next_boundary - seg_progress_) / speed);
+    if (boundary_at > end) {
       break;
     }
-    // Cross the iteration boundary at the exact sub-tick instant.
     progress_s_ = next_boundary;
-    remaining_dt_s -= time_to_boundary_s;
-    t += SecondsToTime(time_to_boundary_s);
-    FinishIteration(t, procs_label);
+    FinishIteration(boundary_at, procs_label);
     if (completed_iterations_ >= profile_.iterations) {
       finished_ = true;
-      finish_time_ = t;
+      finish_time_ = boundary_at;
     }
   }
+  if (!finished_) {
+    // Anchor-relative progress; the clamp keeps a boundary whose instant
+    // rounded down to `end` from regressing progress below completed work.
+    progress_s_ = std::max(seg_progress_ + TimeToSeconds(end - seg_start_) * speed,
+                           work_per_iter_s_ * completed_iterations_);
+  }
+  seg_end_ = end;
 }
 
 void Application::FinishIteration(SimTime when, int procs_label) {
@@ -172,6 +258,7 @@ void Application::FinishIteration(SimTime when, int procs_label) {
   ++completed_iterations_;
   iter_start_wall_ = when;
   iter_clean_ = true;
+  ++change_epoch_;
   if (on_iteration_) {
     on_iteration_(record);
   }

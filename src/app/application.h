@@ -8,10 +8,20 @@
 //   * a reconfiguration freeze while the runtime re-forms the thread team;
 //   * a locality warmup: newly gained CPUs contribute gradually (cache and
 //     page migration on the CC-NUMA machine).
+//
+// Integration is *segment-anchored*: progress within a maximal span of
+// constant speed is always computed from the span's start point with one
+// multiplication, never by accumulating per-call increments. This makes the
+// trajectory a pure function of the segment boundaries, so advancing a
+// steady-state span in one call or in many produces bit-identical progress,
+// boundary instants, and finish times — the linearity fact the resource
+// manager's event-horizon tick elision relies on.
 #ifndef SRC_APP_APPLICATION_H_
 #define SRC_APP_APPLICATION_H_
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 
 #include "src/app/app_profile.h"
 #include "src/common/ids.h"
@@ -32,6 +42,11 @@ struct AppCosts {
   // switching between its processes on shared CPUs).
   double folding_overhead = 0.85;
 };
+
+// Sentinel returned by NextBoundaryTime when the application has no
+// forthcoming iteration boundary (zero speed). Far enough in the future to
+// survive additions of grid periods without overflow.
+inline constexpr SimTime kHorizonNever = std::numeric_limits<SimTime>::max() / 4;
 
 // One completed iteration of the outer loop, as observable by the runtime.
 struct IterationRecord {
@@ -103,10 +118,37 @@ class Application {
   double total_work_s() const { return profile_.sequential_work_s; }
   int completed_iterations() const { return completed_iterations_; }
 
+  // --- Event-horizon support (see ResourceManager) -------------------------
+
+  // True when the dynamics over [now, ∞) are exactly linear until the next
+  // iteration boundary: no reconfiguration freeze pending and the locality
+  // warmup ramp has converged (speed is constant). Only meaningful for a
+  // started, unfinished application.
+  bool ElisionReady(SimTime now) const;
+
+  // Predicted instant of the next iteration boundary assuming steady-state
+  // speed from `now` on, using exactly the arithmetic Advance will use (so a
+  // coarse span that crosses it reproduces the fine-tick instant bit for
+  // bit). kHorizonNever when the application cannot progress. Requires
+  // ElisionReady(now).
+  SimTime NextBoundaryTime(SimTime now) const;
+
+  // Monotonic counter bumped whenever state that can move the next boundary
+  // changes (allocation, force override, iteration completion, segment
+  // re-anchor). Lets the RM cache per-job horizons and only recompute on
+  // change.
+  std::uint64_t change_epoch() const { return change_epoch_; }
+
  private:
   // Shared forward-integration used by both advance flavors. `speed` is
   // sequential-equivalent seconds of progress per wall second.
   void Integrate(SimTime now, SimDuration dt, double speed, int procs_label);
+
+  // Speed at a given effective processor value (shared by Advance and the
+  // steady-state horizon prediction so both produce identical doubles).
+  double SpeedAt(double p_eff) const;
+  // Speed once the warmup ramp has converged to the current effective count.
+  double SteadySpeed() const;
 
   void FinishIteration(SimTime when, int procs_label);
 
@@ -125,6 +167,9 @@ class Application {
 
   // Locality model: effective processor count ramps toward the target.
   double warm_procs_ = 0.0;
+  // Instant at which the ramp is declared converged and warm_procs_ snaps to
+  // the target (the first-order ramp alone only converges asymptotically).
+  SimTime warm_until_ = 0;
   SimTime frozen_until_ = 0;
 
   double progress_s_ = 0.0;
@@ -132,6 +177,19 @@ class Application {
   int completed_iterations_ = 0;
   SimTime iter_start_wall_ = 0;
   bool iter_clean_ = true;
+
+  // Constant-speed segment anchor. While a segment is live (consecutive
+  // Advance spans at the same speed), progress at time t is
+  //   seg_progress_ + (t - seg_start_) * seg_speed_
+  // and boundary instants are seg_start_ + round((work - seg_progress_) /
+  // seg_speed_) — independent of how the segment is chopped into spans.
+  bool seg_valid_ = false;
+  SimTime seg_start_ = 0;
+  SimTime seg_end_ = 0;
+  double seg_progress_ = 0.0;
+  double seg_speed_ = 0.0;
+
+  std::uint64_t change_epoch_ = 0;
 
   IterationCallback on_iteration_;
 };

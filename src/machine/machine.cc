@@ -126,6 +126,74 @@ std::vector<CpuHandoff> Machine::ApplyAllocation(const std::map<JobId, int>& tar
   return handoffs;
 }
 
+std::vector<CpuHandoff> Machine::ApplyPartial(const std::vector<std::pair<JobId, int>>& target) {
+  // Validate before mutating: the named jobs' growth must fit in the CPUs
+  // they free plus the idle pool (other jobs are untouched by contract).
+  int want_total = 0;
+  int have_total = 0;
+  int free = 0;
+  for (const auto& [job, count] : target) {
+    PDPA_CHECK_GE(count, 0) << "job " << job;
+    want_total += count;
+  }
+  for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+    const JobId owner = owner_[static_cast<std::size_t>(cpu)];
+    if (owner == kIdleJob) {
+      ++free;
+      continue;
+    }
+    for (const auto& [job, count] : target) {
+      if (job == owner) {
+        ++have_total;
+        break;
+      }
+    }
+  }
+  PDPA_CHECK_LE(want_total, have_total + free);
+
+  std::vector<CpuHandoff> handoffs;
+
+  // Phase 1: shrink, ascending JobId (the input is sorted), releasing the
+  // highest-numbered CPUs first — identical order to ApplyAllocation
+  // restricted to the named jobs, so affinity behavior matches.
+  for (const auto& [job, want] : target) {
+    int excess = CountOf(job) - want;
+    for (int cpu = num_cpus_ - 1; cpu >= 0 && excess > 0; --cpu) {
+      if (owner_[static_cast<std::size_t>(cpu)] == job) {
+        owner_[static_cast<std::size_t>(cpu)] = kIdleJob;
+        handoffs.push_back(CpuHandoff{cpu, job, kIdleJob});
+        --excess;
+      }
+    }
+  }
+
+  // Phase 2: grow, ascending JobId, taking the lowest-numbered idle CPUs.
+  for (const auto& [job, want] : target) {
+    int have = CountOf(job);
+    for (int cpu = 0; cpu < num_cpus_ && have < want; ++cpu) {
+      if (owner_[static_cast<std::size_t>(cpu)] == kIdleJob) {
+        // Collapse a phase-1 release of this CPU into one direct handoff so
+        // migration accounting sees one move, not two.
+        bool collapsed = false;
+        for (CpuHandoff& h : handoffs) {
+          if (h.cpu == cpu && h.to == kIdleJob) {
+            h.to = job;
+            collapsed = true;
+            break;
+          }
+        }
+        if (!collapsed) {
+          handoffs.push_back(CpuHandoff{cpu, kIdleJob, job});
+        }
+        owner_[static_cast<std::size_t>(cpu)] = job;
+        ++have;
+      }
+    }
+    PDPA_CHECK_EQ(have, want) << "job " << job;
+  }
+  return handoffs;
+}
+
 std::vector<CpuHandoff> Machine::ReleaseJob(JobId job) {
   std::vector<CpuHandoff> handoffs;
   for (int cpu = 0; cpu < num_cpus_; ++cpu) {

@@ -8,6 +8,7 @@
 #define SRC_MACHINE_MACHINE_H_
 
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -46,6 +47,14 @@ class Machine {
   // released by shrinking jobs. Returns the concrete handoffs (used by the
   // trace recorder to count migrations).
   std::vector<CpuHandoff> ApplyAllocation(const std::map<JobId, int>& target);
+
+  // Like ApplyAllocation, but touches only the jobs named in `target`
+  // (sorted ascending by JobId); every other job keeps its CPUs untouched.
+  // This is the resource manager's hot path: plans name a handful of jobs,
+  // so there is no need to materialize a full-machine map. Produces exactly
+  // the handoffs ApplyAllocation would for a full map that names all other
+  // jobs at their current counts.
+  std::vector<CpuHandoff> ApplyPartial(const std::vector<std::pair<JobId, int>>& target);
 
   // Releases every CPU owned by `job` (job completion).
   std::vector<CpuHandoff> ReleaseJob(JobId job);

@@ -31,24 +31,42 @@ ResourceManager::ResourceManager(Params params, std::unique_ptr<SchedulingPolicy
   cpu_handoffs_ = registry_->counter("rm.cpu_handoffs");
   cpu_migrations_ = registry_->counter("rm.cpu_migrations");
   perf_reports_ = registry_->counter("rm.perf_reports");
+  ticks_fired_ = registry_->counter("rm.ticks");
+  ticks_elided_ = registry_->counter("rm.ticks_elided");
   free_cpus_gauge_ = registry_->gauge("machine.free_cpus");
   report_efficiency_ = registry_->histogram("rm.report_efficiency",
                                             {0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2});
 }
 
 void ResourceManager::Start() {
-  PDPA_CHECK_EQ(tick_task_, -1);
+  PDPA_CHECK(!tick_active_);
+  tick_origin_ = sim_->now();
+  advanced_to_ = tick_origin_;
+  elide_ = !params_.exact_ticks && !policy_->is_time_sharing() && trace_ == nullptr;
   next_ts_sample_ = sim_->now() + params_.quantum;
-  tick_task_ = sim_->SchedulePeriodic(sim_->now() + params_.tick, params_.tick,
-                                      [this](SimTime now) { OnTick(now); });
+  // The tick is scheduled before the quantum task so that when tick ==
+  // quantum their first firings keep the historical tick-then-quantum order.
+  tick_active_ = true;
+  ScheduleTickAt(tick_origin_ + params_.tick);
   quantum_task_ = sim_->SchedulePeriodic(sim_->now() + params_.quantum, params_.quantum,
                                          [this](SimTime now) { OnQuantum(now); });
 }
 
 void ResourceManager::Stop() {
-  if (tick_task_ >= 0) {
-    sim_->StopPeriodic(tick_task_);
-    tick_task_ = -1;
+  if (tick_active_) {
+    // An elided run may have a span pending behind the parked tick. A fine
+    // run at this instant has fired every grid tick at or before now (the
+    // driver stops between events), so advance to exactly that point. The
+    // span is boundary-free — every job's next boundary lies at or beyond
+    // the parked tick — hence no completions or reports can fire here.
+    if (elide_) {
+      AdvanceAllTo(GridFloorAtOrBefore(sim_->now()));
+    }
+    if (tick_pending_) {
+      sim_->events().Cancel(tick_event_);
+      tick_pending_ = false;
+    }
+    tick_active_ = false;
   }
   if (quantum_task_ >= 0) {
     sim_->StopPeriodic(quantum_task_);
@@ -58,46 +76,57 @@ void ResourceManager::Stop() {
   // time-series integral matches alloc_integral_us() even on cutoffs.
   if (timeseries_ != nullptr) {
     const SimTime now = sim_->now();
-    for (JobId job : arrival_order_) {
-      const auto it = jobs_.find(job);
-      if (it != jobs_.end()) {
-        FlushAppSample(job, it->second, now);
-      }
+    for (int slot : order_) {
+      FlushAppSample(slots_[static_cast<std::size_t>(slot)], now);
     }
   }
 }
 
-PolicyContext ResourceManager::BuildContext(SimTime now) const {
-  PolicyContext ctx;
-  ctx.total_cpus = machine_.num_cpus();
-  ctx.free_cpus = machine_.FreeCpus();
-  ctx.now = now;
-  ctx.jobs.reserve(jobs_.size());
-  for (JobId job : arrival_order_) {
-    const auto it = jobs_.find(job);
-    if (it == jobs_.end()) {
-      continue;
+const PolicyContext& ResourceManager::FillContext(SimTime now) const {
+  scratch_ctx_.total_cpus = machine_.num_cpus();
+  scratch_ctx_.free_cpus = machine_.FreeCpus();
+  scratch_ctx_.now = now;
+  scratch_ctx_.jobs.clear();
+  for (int slot : order_) {
+    const RunningJob& running = slots_[static_cast<std::size_t>(slot)];
+    if (running.id == kIdleJob) {
+      continue;  // Freed mid-CheckCompletions; compacted after the loop.
     }
     PolicyJobInfo info;
-    info.id = job;
-    info.request = it->second.request;
-    info.alloc = it->second.binding->app().allocated();
-    info.arrival = it->second.arrival;
-    info.rigid = it->second.rigid;
-    ctx.jobs.push_back(info);
+    info.id = running.id;
+    info.request = running.request;
+    info.alloc = running.binding->app().allocated();
+    info.arrival = running.arrival;
+    info.rigid = running.rigid;
+    scratch_ctx_.jobs.push_back(info);
   }
-  return ctx;
+  return scratch_ctx_;
+}
+
+int ResourceManager::AllocateSlot() {
+  if (!free_slots_.empty()) {
+    const int slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<int>(slots_.size()) - 1;
 }
 
 bool ResourceManager::CanStartJob() const {
-  return policy_->ShouldAdmit(BuildContext(sim_->now()));
+  return policy_->ShouldAdmit(FillContext(sim_->now()));
 }
 
 void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request, SimTime now,
                                bool rigid) {
-  PDPA_CHECK(!jobs_.contains(job));
+  PDPA_CHECK_GE(job, 0);
+  PDPA_CHECK(SlotOf(job) < 0) << "job " << job << " already running";
   const int effective_request = request > 0 ? request : profile.default_request;
   PDPA_CHECK_GT(effective_request, 0);
+
+  // A fine run has fired every grid tick before this arrival; bring the
+  // running jobs to the same point before the machine changes under them.
+  CatchUp(now);
 
   auto app = std::make_unique<Application>(job, profile, params_.app_costs);
   app->set_request(effective_request);
@@ -107,31 +136,44 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
   binding->set_report_callback(
       [this](const PerfReport& report) { pending_reports_.push_back(report); });
 
-  RunningJob running;
-  running.binding = std::move(binding);
-  running.arrival = now;
-  running.request = effective_request;
-  running.rigid = rigid;
-  running.last_sample = now;
-  jobs_[job] = std::move(running);
-  arrival_order_.push_back(job);
+  const int slot = AllocateSlot();
+  {
+    RunningJob& running = slots_[static_cast<std::size_t>(slot)];
+    running.binding = std::move(binding);
+    running.id = job;
+    running.arrival = now;
+    running.request = effective_request;
+    running.rigid = rigid;
+    running.last_speedup = 0.0;
+    running.last_efficiency = 0.0;
+    running.sampled_integral_us = 0.0;
+    running.last_sample = now;
+    running.alloc_integral_us = 0.0;
+    running.horizon_epoch = ~0ull;
+    running.horizon = 0;
+  }
+  if (static_cast<std::size_t>(job) >= slot_of_job_.size()) {
+    slot_of_job_.resize(static_cast<std::size_t>(job) + 1, -1);
+  }
+  slot_of_job_[static_cast<std::size_t>(job)] = slot;
+  order_.push_back(slot);
   jobs_started_->Increment();
 
   if (policy_->is_time_sharing()) {
     // Time sharing: the runtime spawns `request` threads and the OS
     // schedules them; no partition, no SelfAnalyzer coordination.
-    NthLibBinding& b = *jobs_[job].binding;
+    NthLibBinding& b = *slots_[static_cast<std::size_t>(slot)].binding;
     b.app().SetAllocation(effective_request, now);
     b.app().Start(now);
-    (void)policy_->OnJobStart(BuildContext(now), job);
+    (void)policy_->OnJobStart(FillContext(now), job);
     PDPA_LOG(Info) << "job " << job << " started (time-sharing, " << effective_request
                    << " threads)";
     return;
   }
 
-  const AllocationPlan plan = policy_->OnJobStart(BuildContext(now), job);
+  const AllocationPlan plan = policy_->OnJobStart(FillContext(now), job);
   ApplyPlan(plan, now, "start");
-  NthLibBinding& b = *jobs_[job].binding;
+  NthLibBinding& b = *slots_[static_cast<std::size_t>(slot)].binding;
   PDPA_CHECK_GT(b.app().allocated(), 0)
       << policy_->name() << " started job " << job << " without processors";
   PDPA_LOG(Info) << "job " << job << " started with " << b.app().allocated() << "/"
@@ -144,43 +186,56 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
   } else {
     b.StartJob(now);
   }
+  // The newcomer must be stepped on the fine grid until a materialized tick
+  // recomputes the horizon; pull a parked tick back to the next grid point.
+  ScheduleTickAt(advanced_to_ + params_.tick);
 }
 
 int ResourceManager::AllocationOf(JobId job) const {
-  const auto it = jobs_.find(job);
-  return it == jobs_.end() ? 0 : it->second.binding->app().allocated();
+  const int slot = SlotOf(job);
+  return slot < 0 ? 0 : slots_[static_cast<std::size_t>(slot)].binding->app().allocated();
+}
+
+std::map<JobId, double> ResourceManager::alloc_integral_us() const {
+  std::map<JobId, double> merged = finished_integral_us_;
+  for (int slot : order_) {
+    const RunningJob& running = slots_[static_cast<std::size_t>(slot)];
+    merged[running.id] = running.alloc_integral_us;
+  }
+  return merged;
 }
 
 void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now, const char* trigger) {
   if (plan.empty()) {
     return;
   }
-  // Merge the plan over current allocations, clamping to [1, request] for
-  // running (started) jobs; a plan may include the not-yet-started newcomer
-  // whose current allocation is 0.
-  std::map<JobId, int> target;
-  for (const auto& [job, running] : jobs_) {
-    target[job] = running.binding->app().allocated();
-  }
+  // Clamp the named jobs to [1, request]; jobs the plan omits keep their
+  // CPUs untouched (ApplyPartial), so no full-machine map is materialized.
+  // A plan may include the not-yet-started newcomer whose allocation is 0.
+  plan_scratch_.clear();
   std::string plan_text;
   for (const auto& [job, count] : plan) {
-    const auto it = jobs_.find(job);
-    if (it == jobs_.end()) {
+    const int slot = SlotOf(job);
+    if (slot < 0) {
       continue;  // Finished in the meantime.
     }
-    target[job] = std::clamp(count, 1, it->second.request);
+    const int clamped = std::clamp(count, 1, slots_[static_cast<std::size_t>(slot)].request);
+    plan_scratch_.emplace_back(job, clamped);
     if (events_ != nullptr) {
       if (!plan_text.empty()) {
         plan_text.push_back(' ');
       }
-      plan_text += StrFormat("%d:%d", job, target[job]);
+      plan_text += StrFormat("%d:%d", job, clamped);
     }
   }
   plans_applied_->Increment();
   if (events_ != nullptr && !plan_text.empty()) {
     events_->AllocDecision(now, trigger, plan_text);
   }
-  const std::vector<CpuHandoff> handoffs = machine_.ApplyAllocation(target);
+  if (plan_scratch_.empty()) {
+    return;
+  }
+  const std::vector<CpuHandoff> handoffs = machine_.ApplyPartial(plan_scratch_);
   if (trace_ != nullptr) {
     trace_->OnHandoffs(now, handoffs);
   }
@@ -197,8 +252,8 @@ void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now, const c
       events_->CpuHandoffs(now, static_cast<int>(handoffs.size()), migrations);
     }
   }
-  for (const auto& [job, count] : target) {
-    NthLibBinding& binding = *jobs_[job].binding;
+  for (const auto& [job, count] : plan_scratch_) {
+    NthLibBinding& binding = *slots_[static_cast<std::size_t>(slot_of_job_[job])].binding;
     if (binding.app().allocated() != count) {
       // Initial assignment (from zero) is not a reallocation.
       if (binding.app().allocated() > 0) {
@@ -213,35 +268,36 @@ void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now, const c
 void ResourceManager::DrainReports(SimTime now) {
   // Reports generated while advancing applications are processed after the
   // tick completes, mirroring the asynchronous shared-memory communication
-  // between NthLib and the RM in the real system.
+  // between NthLib and the RM in the real system. The drain buffer is
+  // reused: after the swap, pending_reports_ holds the previous (cleared)
+  // batch's capacity.
   while (!pending_reports_.empty()) {
-    std::vector<PerfReport> batch;
-    batch.swap(pending_reports_);
-    for (const PerfReport& report : batch) {
-      const auto it = jobs_.find(report.job);
-      if (it == jobs_.end()) {
+    report_batch_.clear();
+    report_batch_.swap(pending_reports_);
+    for (const PerfReport& report : report_batch_) {
+      const int slot = SlotOf(report.job);
+      if (slot < 0) {
         continue;
       }
-      it->second.last_speedup = report.speedup;
-      it->second.last_efficiency = report.efficiency;
+      RunningJob& running = slots_[static_cast<std::size_t>(slot)];
+      running.last_speedup = report.speedup;
+      running.last_efficiency = report.efficiency;
       perf_reports_->Increment();
       report_efficiency_->Observe(report.efficiency);
       if (events_ != nullptr) {
         events_->PerfSample(now, report.job, report.procs, report.speedup, report.efficiency);
       }
-      const AllocationPlan plan = policy_->OnReport(BuildContext(now), report);
+      const AllocationPlan plan = policy_->OnReport(FillContext(now), report);
       ApplyPlan(plan, now, "report");
     }
   }
 }
 
-void ResourceManager::FlushAppSample(JobId job, RunningJob& running, SimTime now) {
+void ResourceManager::FlushAppSample(RunningJob& running, SimTime now) {
   if (timeseries_ == nullptr) {
     return;
   }
-  const auto it = alloc_integral_us_.find(job);
-  const double integral = it == alloc_integral_us_.end() ? 0.0 : it->second;
-  const double delta = integral - running.sampled_integral_us;
+  const double delta = running.alloc_integral_us - running.sampled_integral_us;
   // Windows must have positive width for the alloc column to integrate back
   // to the delta; clamp the degenerate zero-width case (job finished at the
   // exact instant of the previous sample) to one microsecond.
@@ -252,13 +308,13 @@ void ResourceManager::FlushAppSample(JobId job, RunningJob& running, SimTime now
   TimeSeriesSampler::AppPoint point;
   point.t_start = running.last_sample;
   point.t_end = t_end;
-  point.job = job;
+  point.job = running.id;
   point.alloc = delta / static_cast<double>(t_end - running.last_sample);
   point.speedup = running.last_speedup;
   point.efficiency = running.last_efficiency;
-  point.state = policy_->AppStateName(job);
+  point.state = policy_->AppStateName(running.id);
   timeseries_->AddApp(std::move(point));
-  running.sampled_integral_us = integral;
+  running.sampled_integral_us = running.alloc_integral_us;
   running.last_sample = t_end;
 }
 
@@ -268,16 +324,13 @@ void ResourceManager::SampleTimeseries(SimTime now) {
   if (timeseries_ == nullptr) {
     return;
   }
-  for (JobId job : arrival_order_) {
-    const auto it = jobs_.find(job);
-    if (it != jobs_.end()) {
-      FlushAppSample(job, it->second, now);
-    }
+  for (int slot : order_) {
+    FlushAppSample(slots_[static_cast<std::size_t>(slot)], now);
   }
   TimeSeriesSampler::MachinePoint point;
   point.t = now;
   point.free_cpus = free;
-  point.running = static_cast<int>(jobs_.size());
+  point.running = static_cast<int>(order_.size());
   point.queued = queue_depth_ ? queue_depth_() : 0;
   point.utilization = machine_.num_cpus() > 0
                           ? static_cast<double>(machine_.num_cpus() - free) /
@@ -288,15 +341,20 @@ void ResourceManager::SampleTimeseries(SimTime now) {
 
 void ResourceManager::CheckCompletions(SimTime now) {
   bool finished_any = false;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (!it->second.binding->app().finished()) {
-      ++it;
+  // Jobs start in arrival order and JobIds are assigned in arrival order, so
+  // iterating order_ visits finishers exactly as the JobId-ordered map did.
+  // order_ may gain stale (idle) entries during the loop; they are skipped
+  // and compacted once at the end — no per-finisher O(n) erase.
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const int slot = order_[i];
+    RunningJob& running = slots_[static_cast<std::size_t>(slot)];
+    if (running.id == kIdleJob || !running.binding->app().finished()) {
       continue;
     }
-    const JobId job = it->first;
-    const SimTime finish_time = it->second.binding->app().finish_time();
+    const JobId job = running.id;
+    const SimTime finish_time = running.binding->app().finish_time();
     // Final partial window, so per-job time-series integrals are exact.
-    FlushAppSample(job, it->second, finish_time);
+    FlushAppSample(running, finish_time);
     const std::vector<CpuHandoff> handoffs = machine_.ReleaseJob(job);
     if (trace_ != nullptr) {
       trace_->OnHandoffs(now, handoffs);
@@ -304,50 +362,190 @@ void ResourceManager::CheckCompletions(SimTime now) {
     cpu_handoffs_->Increment(static_cast<long long>(handoffs.size()));
     jobs_finished_->Increment();
     PDPA_LOG(Info) << "job " << job << " finished";
-    it = jobs_.erase(it);
-    arrival_order_.erase(std::remove(arrival_order_.begin(), arrival_order_.end(), job),
-                         arrival_order_.end());
-    const AllocationPlan plan = policy_->OnJobFinish(BuildContext(now), job);
+    finished_integral_us_[job] = running.alloc_integral_us;
+    slot_of_job_[static_cast<std::size_t>(job)] = -1;
+    running.id = kIdleJob;
+    running.binding.reset();
+    free_slots_.push_back(slot);
+    const AllocationPlan plan = policy_->OnJobFinish(FillContext(now), job);
     ApplyPlan(plan, now, "finish");
     if (on_finish_) {
       on_finish_(job, finish_time);
     }
     finished_any = true;
   }
-  if (finished_any && on_state_change_) {
-    on_state_change_(now);
+  if (finished_any) {
+    order_.erase(std::remove_if(order_.begin(), order_.end(),
+                                [this](int slot) {
+                                  return slots_[static_cast<std::size_t>(slot)].id == kIdleJob;
+                                }),
+                 order_.end());
+    if (on_state_change_) {
+      on_state_change_(now);
+    }
   }
 }
 
+void ResourceManager::AdvanceSpan(SimTime from, SimDuration dt) {
+  for (int slot : order_) {
+    RunningJob& running = slots_[static_cast<std::size_t>(slot)];
+    running.binding->Tick(from, dt);
+    // Exact under elision: allocation x integer-microsecond products are
+    // integer-valued doubles, so one span-sized addend equals the per-tick
+    // sum a fine run accumulates.
+    running.alloc_integral_us +=
+        static_cast<double>(running.binding->app().allocated()) * static_cast<double>(dt);
+  }
+}
+
+void ResourceManager::AdvanceAllTo(SimTime target) {
+  if (target > advanced_to_) {
+    AdvanceSpan(advanced_to_, target - advanced_to_);
+    advanced_to_ = target;
+  }
+}
+
+void ResourceManager::CatchUp(SimTime now) {
+  if (!tick_active_ || !elide_) {
+    return;
+  }
+  // Everything in (advanced_to_, last grid < now] is span a fine run has
+  // already ticked through. It is boundary-free: the tick was parked only
+  // because no job crosses a boundary before the parked instant.
+  AdvanceAllTo(GridFloorBefore(now));
+}
+
+SimTime ResourceManager::GridCeil(SimTime t) const {
+  if (t <= tick_origin_) {
+    return tick_origin_;
+  }
+  const SimTime k = (t - tick_origin_ + params_.tick - 1) / params_.tick;
+  return tick_origin_ + k * params_.tick;
+}
+
+SimTime ResourceManager::GridFloorBefore(SimTime t) const {
+  if (t <= tick_origin_) {
+    return advanced_to_;
+  }
+  const SimTime k = (t - tick_origin_ - 1) / params_.tick;
+  return std::max(advanced_to_, tick_origin_ + k * params_.tick);
+}
+
+SimTime ResourceManager::GridFloorAtOrBefore(SimTime t) const {
+  if (t < tick_origin_) {
+    return advanced_to_;
+  }
+  const SimTime k = (t - tick_origin_) / params_.tick;
+  return std::max(advanced_to_, tick_origin_ + k * params_.tick);
+}
+
+SimTime ResourceManager::NextQuantumAfter(SimTime t) const {
+  const SimTime k = (t - tick_origin_) / params_.quantum + 1;
+  return tick_origin_ + k * params_.quantum;
+}
+
+void ResourceManager::ScheduleTickAt(SimTime when) {
+  if (!tick_active_) {
+    return;
+  }
+  if (tick_pending_ && tick_at_ == when) {
+    return;
+  }
+  if (tick_pending_) {
+    sim_->events().Cancel(tick_event_);
+  }
+  tick_at_ = when;
+  tick_pending_ = true;
+  tick_event_ = sim_->events().Schedule(when, [this] { OnTickEvent(); });
+}
+
+void ResourceManager::OnTickEvent() {
+  tick_pending_ = false;
+  OnTick(tick_at_);
+}
+
+SimTime ResourceManager::ElisionHorizon(SimTime now) {
+  if (!order_.empty()) {
+    for (int slot : order_) {
+      if (!slots_[static_cast<std::size_t>(slot)].binding->app().ElisionReady(now)) {
+        return 0;
+      }
+    }
+    // Refresh the lazy min-heap of per-job boundary horizons: recompute only
+    // jobs whose application epoch moved since the cached value.
+    for (int slot : order_) {
+      RunningJob& running = slots_[static_cast<std::size_t>(slot)];
+      const std::uint64_t epoch = running.binding->app().change_epoch();
+      if (running.horizon_epoch != epoch) {
+        running.horizon_epoch = epoch;
+        running.horizon = running.binding->app().NextBoundaryTime(now);
+        horizon_heap_.push_back(HorizonEntry{running.horizon, slot, epoch});
+        std::push_heap(horizon_heap_.begin(), horizon_heap_.end(), HorizonLater{});
+      }
+    }
+    // Pop entries whose slot no longer caches exactly this (epoch, when)
+    // pair — superseded recomputations and finished/reused slots.
+    while (!horizon_heap_.empty()) {
+      const HorizonEntry& top = horizon_heap_.front();
+      const RunningJob& running = slots_[static_cast<std::size_t>(top.slot)];
+      if (running.id != kIdleJob && running.horizon_epoch == top.epoch &&
+          running.horizon == top.when) {
+        break;
+      }
+      std::pop_heap(horizon_heap_.begin(), horizon_heap_.end(), HorizonLater{});
+      horizon_heap_.pop_back();
+    }
+  }
+  // Earliest forced materialization: the first job boundary (so the span's
+  // last tick crosses it exactly as a fine run would), capped by the next
+  // quantum (event-order parity with the periodic task) and the next
+  // time-series sample instant.
+  SimTime horizon = GridCeil(NextQuantumAfter(now));
+  if (!order_.empty() && !horizon_heap_.empty()) {
+    horizon = std::min(horizon, GridCeil(horizon_heap_.front().when));
+  }
+  if (timeseries_ != nullptr) {
+    horizon = std::min(horizon, GridCeil(next_ts_sample_));
+  }
+  return horizon;
+}
+
+void ResourceManager::ScheduleNextTick(SimTime now) {
+  SimTime next = now + params_.tick;
+  if (elide_) {
+    const SimTime horizon = ElisionHorizon(now);
+    if (horizon > next) {
+      ticks_elided_->Increment((horizon - next) / params_.tick);
+      next = horizon;
+    }
+  }
+  ScheduleTickAt(next);
+}
+
 void ResourceManager::OnTick(SimTime now) {
-  const SimDuration dt = params_.tick;
-  const SimTime tick_start = now - dt;
+  ticks_fired_->Increment();
+  const SimDuration dt = now - advanced_to_;
 
   if (policy_->is_time_sharing()) {
     std::vector<CpuHandoff> handoffs;
     const std::map<JobId, TimeShare> shares =
-        policy_->TimeShareTick(machine_, BuildContext(now), dt, &handoffs);
+        policy_->TimeShareTick(machine_, FillContext(now), dt, &handoffs);
     if (trace_ != nullptr) {
-      trace_->OnHandoffs(tick_start, handoffs);
+      trace_->OnHandoffs(advanced_to_, handoffs);
     }
     for (const auto& [job, share] : shares) {
-      const auto it = jobs_.find(job);
-      if (it != jobs_.end()) {
-        it->second.binding->app().AdvanceTimeShared(tick_start, dt, share.effective_procs,
-                                                    share.overhead);
-        alloc_integral_us_[job] += share.effective_procs * static_cast<double>(dt);
+      const int slot = SlotOf(job);
+      if (slot >= 0) {
+        RunningJob& running = slots_[static_cast<std::size_t>(slot)];
+        running.binding->app().AdvanceTimeShared(advanced_to_, dt, share.effective_procs,
+                                                 share.overhead);
+        running.alloc_integral_us += share.effective_procs * static_cast<double>(dt);
       }
     }
+    advanced_to_ = now;
   } else {
-    for (JobId job : arrival_order_) {
-      const auto it = jobs_.find(job);
-      if (it == jobs_.end()) {
-        continue;
-      }
-      it->second.binding->Tick(tick_start, dt);
-      alloc_integral_us_[job] +=
-          static_cast<double>(it->second.binding->app().allocated()) * static_cast<double>(dt);
-    }
+    AdvanceSpan(advanced_to_, dt);
+    advanced_to_ = now;
   }
 
   CheckCompletions(now);
@@ -366,14 +564,23 @@ void ResourceManager::OnTick(SimTime now) {
   if (on_state_change_) {
     on_state_change_(now);
   }
+  ScheduleNextTick(now);
 }
 
 void ResourceManager::OnQuantum(SimTime now) {
   if (policy_->is_time_sharing()) {
     return;
   }
-  const AllocationPlan plan = policy_->OnQuantum(BuildContext(now));
+  const AllocationPlan plan = policy_->OnQuantum(FillContext(now));
+  if (plan.empty()) {
+    return;
+  }
+  // Mid-span mutation: materialize the elided prefix first, then pull the
+  // parked tick back to the fine grid (allocations just changed, so the old
+  // horizon is void and the jobs are unsteady anyway).
+  CatchUp(now);
   ApplyPlan(plan, now, "quantum");
+  ScheduleTickAt(advanced_to_ + params_.tick);
 }
 
 }  // namespace pdpa

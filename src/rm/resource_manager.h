@@ -4,12 +4,29 @@
 // scheduling policy at job arrival / completion / performance-report events
 // and at quantum boundaries, enforces its decisions on the machine, and
 // coordinates with the queuing system (admission callbacks).
+//
+// Inner-loop design (the hot path of every sweep cell):
+//   * Running jobs live in a dense slot-indexed vector with a free list and
+//     a stable JobId -> slot map; iteration order is a compact vector of
+//     slot indices in arrival order. No per-tick map lookups.
+//   * Event-horizon tick elision: the progress "tick" is a one-shot event
+//     the RM reschedules itself. Whenever every running application is in
+//     steady state (warmup converged, no reconfiguration freeze), dynamics
+//     are exactly linear until the next iteration boundary, so the RM parks
+//     the tick at the event horizon — the earliest of the next boundary
+//     (per-job min-heap), the next scheduler quantum, and the next
+//     time-series sample — and advances the whole span in one closed-form
+//     Advance. Coarsened runs are byte-identical to fine-tick runs
+//     (segment-anchored integration in Application); `Params::exact_ticks`
+//     is the escape hatch that forces a tick at every grid point.
 #ifndef SRC_RM_RESOURCE_MANAGER_H_
 #define SRC_RM_RESOURCE_MANAGER_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -34,6 +51,10 @@ class ResourceManager {
     SimDuration quantum = 100 * kMillisecond;
     SelfAnalyzerParams analyzer;
     AppCosts app_costs;
+    // Escape hatch: fire the progress tick at every grid point even when
+    // event-horizon analysis would allow eliding (A/B validation; the
+    // golden-equivalence tests compare exact vs elided runs byte for byte).
+    bool exact_ticks = false;
   };
 
   // (job, finish_time) after the job's processors have been released.
@@ -63,10 +84,12 @@ class ResourceManager {
     queue_depth_ = std::move(provider);
   }
 
-  // Registers the periodic tick and quantum tasks; call once before running.
+  // Registers the tick and quantum tasks; call once before running.
   void Start();
 
-  // Stops the periodic tasks (end of experiment drain).
+  // Stops the periodic tasks (end of experiment drain). Under elision this
+  // first advances every job to the last grid instant at or before now, so
+  // cutoff runs observe exactly the state a fine-tick run would have.
   void Stop();
 
   // Queuing-system side: may one more job start now?
@@ -83,13 +106,14 @@ class ResourceManager {
   SchedulingPolicy& policy() { return *policy_; }
   const SchedulingPolicy& policy() const { return *policy_; }
 
-  int running_jobs() const { return static_cast<int>(jobs_.size()); }
-  bool HasJob(JobId job) const { return jobs_.contains(job); }
+  int running_jobs() const { return static_cast<int>(order_.size()); }
+  bool HasJob(JobId job) const { return SlotOf(job) >= 0; }
   int AllocationOf(JobId job) const;
 
   // Integral of per-job allocation over time, for average-allocation
-  // metrics: cpu-microseconds per job.
-  const std::map<JobId, double>& alloc_integral_us() const { return alloc_integral_us_; }
+  // metrics: cpu-microseconds per job (running jobs merged over the archive
+  // of finished ones).
+  std::map<JobId, double> alloc_integral_us() const;
 
   // Number of times any job's allocation was actually changed (the
   // "reallocations are not free" count the paper uses against
@@ -101,6 +125,8 @@ class ResourceManager {
  private:
   struct RunningJob {
     std::unique_ptr<NthLibBinding> binding;
+    // kIdleJob marks a free slot.
+    JobId id = kIdleJob;
     SimTime arrival = 0;
     int request = 0;
     bool rigid = false;
@@ -110,16 +136,71 @@ class ResourceManager {
     // Allocation-integral watermark of the last emitted time-series window.
     double sampled_integral_us = 0.0;
     SimTime last_sample = 0;
+    // Running cpu-microsecond integral (was a side map keyed by JobId).
+    double alloc_integral_us = 0.0;
+    // Horizon cache: the application epoch `horizon` was computed at.
+    std::uint64_t horizon_epoch = ~0ull;
+    SimTime horizon = 0;
   };
 
-  PolicyContext BuildContext(SimTime now) const;
+  // Min-heap entry of one job's predicted next-boundary instant. Entries
+  // are invalidated lazily: one is live only while its slot still holds the
+  // same cached (epoch, horizon) pair.
+  struct HorizonEntry {
+    SimTime when = 0;
+    int slot = -1;
+    std::uint64_t epoch = 0;
+  };
+  struct HorizonLater {
+    bool operator()(const HorizonEntry& a, const HorizonEntry& b) const {
+      return a.when > b.when;
+    }
+  };
+
+  // Fills and returns the reusable scratch context (no per-call allocation
+  // once the jobs vector capacity has grown).
+  const PolicyContext& FillContext(SimTime now) const;
+  int SlotOf(JobId job) const {
+    return job >= 0 && static_cast<std::size_t>(job) < slot_of_job_.size() ? slot_of_job_[job]
+                                                                           : -1;
+  }
+  int AllocateSlot();
+
+  void OnTickEvent();
   void OnTick(SimTime now);
   void OnQuantum(SimTime now);
+
+  // Advances every running job over (advanced_to_, target] in one span.
+  void AdvanceAllTo(SimTime target);
+  // Closed-form advance of all jobs over [from, from + dt).
+  void AdvanceSpan(SimTime from, SimDuration dt);
+  // Before a mid-span mutation at `now`: advance to the last grid instant
+  // strictly before now (the ticks a fine run would already have fired).
+  // No-op when not eliding or already caught up.
+  void CatchUp(SimTime now);
+
+  // (Re)schedules the one-shot tick event at `when`; no-op if already there.
+  void ScheduleTickAt(SimTime when);
+  // End of OnTick: park the next tick at the event horizon, or one tick
+  // ahead when any job is unsteady (or elision is off).
+  void ScheduleNextTick(SimTime now);
+  // Earliest instant the next tick must fire at, grid-aligned: min over
+  // per-job boundary horizons (maintained in the min-heap), the next
+  // quantum, and the next time-series sample. 0 when some job is unsteady.
+  SimTime ElisionHorizon(SimTime now);
+
+  SimTime GridCeil(SimTime t) const;
+  // Largest grid instant < t (clamped to advanced_to_).
+  SimTime GridFloorBefore(SimTime t) const;
+  // Largest grid instant <= t (clamped to advanced_to_).
+  SimTime GridFloorAtOrBefore(SimTime t) const;
+  SimTime NextQuantumAfter(SimTime t) const;
+
   void ApplyPlan(const AllocationPlan& plan, SimTime now, const char* trigger);
   void DrainReports(SimTime now);
   void CheckCompletions(SimTime now);
   // Emits the [last_sample, now) time-series window for one job.
-  void FlushAppSample(JobId job, RunningJob& running, SimTime now);
+  void FlushAppSample(RunningJob& running, SimTime now);
   // Emits app windows for every running job plus one machine point.
   void SampleTimeseries(SimTime now);
 
@@ -130,18 +211,40 @@ class ResourceManager {
   Rng rng_;
   Machine machine_;
 
-  std::map<JobId, RunningJob> jobs_;
-  std::vector<JobId> arrival_order_;
+  // Dense job table: stable slots + free list + JobId -> slot + arrival
+  // order (slot indices, batch-compacted when jobs finish).
+  std::vector<RunningJob> slots_;
+  std::vector<int> free_slots_;
+  std::vector<int> slot_of_job_;
+  std::vector<int> order_;
+
   std::vector<PerfReport> pending_reports_;
-  std::map<JobId, double> alloc_integral_us_;
+  // Reused drain buffer (swapped with pending_reports_ per drain round).
+  std::vector<PerfReport> report_batch_;
+  // Integral archive of finished jobs (merged into alloc_integral_us()).
+  std::map<JobId, double> finished_integral_us_;
   long long total_reallocations_ = 0;
+
+  mutable PolicyContext scratch_ctx_;
+  std::vector<std::pair<JobId, int>> plan_scratch_;
+  std::vector<HorizonEntry> horizon_heap_;
 
   JobFinishCallback on_finish_;
   StateChangeCallback on_state_change_;
-  int tick_task_ = -1;
+
+  // Tick-event state. The tick is a self-rescheduled one-shot (not a
+  // periodic task) so it can be parked at the event horizon and pulled back
+  // to the fine grid on mid-span mutations.
+  bool elide_ = false;
+  bool tick_active_ = false;   // Start() .. Stop()
+  bool tick_pending_ = false;  // a tick event is outstanding
+  EventId tick_event_ = 0;
+  SimTime tick_at_ = 0;      // fire time of the outstanding tick event
+  SimTime tick_origin_ = 0;  // grid phase (simulation time at Start())
+  SimTime advanced_to_ = 0;  // all jobs integrated up to here
   int quantum_task_ = -1;
 
-  EventLog* events_ = nullptr;           // may be null
+  EventLog* events_ = nullptr;               // may be null
   TimeSeriesSampler* timeseries_ = nullptr;  // may be null
   std::function<int()> queue_depth_;
   SimTime next_ts_sample_ = 0;
@@ -155,6 +258,8 @@ class ResourceManager {
   Counter* cpu_handoffs_;
   Counter* cpu_migrations_;
   Counter* perf_reports_;
+  Counter* ticks_fired_;
+  Counter* ticks_elided_;
   Gauge* free_cpus_gauge_;
   Histogram* report_efficiency_;
 };

@@ -130,12 +130,13 @@ bool InProcessRm::ShouldAdmitNext() const {
           PdpaAppStatus{entry.automaton->Settled(), entry.automaton->BadPerformance()});
     }
   }
-  if (FreeCpus() < 1) {
+  const int free = FreeCpus();
+  if (free < 1) {
     return false;
   }
   PdpaMlParams ml;
   ml.default_ml = params_.default_ml;
-  return PdpaShouldAdmit(ml, FreeCpus(), running, statuses);
+  return PdpaShouldAdmit(ml, free, running, statuses);
 }
 
 void InProcessRm::Run() {

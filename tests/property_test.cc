@@ -198,9 +198,12 @@ TEST(RmChaosTest, NeverOvercommitsAndAlwaysCompletes) {
   for (JobId job = 0; job < 4; ++job) {
     rm.StartJob(job, profile, 12, sim.now());
   }
-  // Tick-by-tick invariant check while the chaos policy thrashes.
+  // Tick-by-tick invariant check while the chaos policy thrashes. Absolute
+  // horizons: under tick elision the next pending event may lie beyond a
+  // relative now()+dt horizon, and RunUntil leaves now() parked in that case
+  // (see the RunUntil contract), so now()+dt stepping would never advance.
   for (int step = 0; step < 4000 && finished.size() < 4u; ++step) {
-    sim.RunUntil(sim.now() + 20 * kMillisecond);
+    sim.RunUntil(static_cast<SimTime>(step + 1) * 20 * kMillisecond);
     int total = 0;
     for (JobId job = 0; job < 4; ++job) {
       const int alloc = rm.AllocationOf(job);

@@ -151,6 +151,42 @@ TEST(ResourceManagerTest, CanStartJobFollowsPolicyAdmission) {
   EXPECT_FALSE(rm.CanStartJob());  // fixed ML = 2
 }
 
+TEST(ResourceManagerTest, ManySimultaneousCompletionsInOneTick) {
+  // Regression: identical jobs with identical allocations all hit their
+  // last iteration boundary in the same tick. The job table must retire
+  // the whole batch in one pass (the old arrival-order vector erased one
+  // element per job, O(n^2) and easy to get wrong mid-iteration).
+  Simulation sim;
+  ResourceManager::Params params = FastParams();
+  params.num_cpus = 32;
+  ResourceManager rm(params, std::make_unique<Equipartition>(16), &sim, nullptr, Rng(1));
+  std::vector<std::pair<JobId, SimTime>> finished;
+  rm.set_job_finish_callback(
+      [&](JobId job, SimTime when) { finished.emplace_back(job, when); });
+  rm.Start();
+  constexpr int kJobs = 16;
+  for (JobId job = 0; job < kJobs; ++job) {
+    rm.StartJob(job, FastLinearProfile(), 8, 0);
+  }
+  // Equipartition gives every job 2 of the 32 CPUs; the linear speedup
+  // curve makes their progress bit-identical, so all 16 finish at the
+  // exact same instant.
+  sim.RunUntil(60 * kSecond);
+  ASSERT_EQ(finished.size(), static_cast<std::size_t>(kJobs));
+  for (const auto& [job, when] : finished) {
+    EXPECT_EQ(when, finished.front().second) << "job " << job;
+    EXPECT_FALSE(rm.HasJob(job));
+  }
+  EXPECT_EQ(rm.running_jobs(), 0);
+  EXPECT_EQ(rm.machine().FreeCpus(), 32);
+  // The finished jobs' allocation integrals survive into the archive.
+  const std::map<JobId, double> integrals = rm.alloc_integral_us();
+  ASSERT_EQ(integrals.size(), static_cast<std::size_t>(kJobs));
+  for (const auto& [job, integral] : integrals) {
+    EXPECT_GT(integral, 0.0) << "job " << job;
+  }
+}
+
 TEST(ResourceManagerDeathTest, DuplicateJobIdAborts) {
   Simulation sim;
   ResourceManager rm(FastParams(), std::make_unique<Equipartition>(4), &sim, nullptr, Rng(1));

@@ -104,6 +104,7 @@ int Run(int argc, char** argv) {
     grid.seeds.push_back(seed + static_cast<std::uint64_t>(i));
   }
   grid.base.untuned = flags.GetBool("untuned", false);
+  grid.base.rm.exact_ticks = flags.GetBool("exact_ticks", false);
 
   SweepOptions options;
   // Worker threads; 0 (the default) auto-detects hardware concurrency.

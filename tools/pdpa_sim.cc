@@ -48,6 +48,8 @@ scheduler flags:
   --no-relative-speedup    disable PDPA's RelativeSpeedup test (ablation)
   --no-coordination        disable PDPA's coordinated ML rule (ablation)
   --dynamic-target         load-adaptive target efficiency
+  --exact_ticks            fire the progress tick at every grid point
+                           (disables event-horizon tick elision; A/B check)
 
 output flags:
   --view                   print the ASCII execution view (Fig. 5 style)
@@ -97,6 +99,7 @@ int Run(int argc, char** argv) {
   config.load = flags.GetDouble("load", 1.0);
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   config.untuned = flags.GetBool("untuned", false);
+  config.rm.exact_ticks = flags.GetBool("exact_ticks", false);
 
   const std::string policy = flags.GetString("policy", "pdpa");
   if (policy == "irix") {
