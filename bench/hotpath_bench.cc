@@ -117,8 +117,8 @@ int Run(int argc, char** argv) {
   const double exact_s = RunGridSerial(grid);
   grid.base.rm.exact_ticks = false;
   const double elided_s = RunGridSerial(grid);
-  const double exact_cells_per_s = exact_s > 0 ? cells / exact_s : 0;
-  const double elided_cells_per_s = elided_s > 0 ? cells / elided_s : 0;
+  const double exact_cells_per_s = exact_s > 0 ? static_cast<double>(cells) / exact_s : 0;
+  const double elided_cells_per_s = elided_s > 0 ? static_cast<double>(cells) / elided_s : 0;
   std::fprintf(stderr, "sweep %zu cells serial: exact %.2fs (%.0f cells/s), elided %.2fs "
                "(%.0f cells/s)\n",
                cells, exact_s, exact_cells_per_s, elided_s, elided_cells_per_s);

@@ -74,8 +74,10 @@ int Run(int argc, char** argv) {
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"serial_wall_s\": " << serial_s << ",\n"
       << "  \"parallel_wall_s\": " << parallel_s << ",\n"
-      << "  \"serial_cells_per_s\": " << (serial_s > 0 ? cells / serial_s : 0) << ",\n"
-      << "  \"parallel_cells_per_s\": " << (parallel_s > 0 ? cells / parallel_s : 0) << ",\n"
+      << "  \"serial_cells_per_s\": "
+      << (serial_s > 0 ? static_cast<double>(cells) / serial_s : 0) << ",\n"
+      << "  \"parallel_cells_per_s\": "
+      << (parallel_s > 0 ? static_cast<double>(cells) / parallel_s : 0) << ",\n"
       << "  \"speedup\": " << (parallel_s > 0 ? serial_s / parallel_s : 0) << ",\n"
       << "  \"csv_identical\": " << (identical ? "true" : "false") << "\n"
       << "}\n";

@@ -30,6 +30,15 @@ class RunningStat {
   double sum_ = 0.0;
 };
 
+// The project's sanctioned floating-point comparison: |a - b| <= eps.
+// Direct ==/!= on float/double is rejected by pdpa_lint (rule float-eq);
+// comparisons that genuinely mean "bitwise same value" carry a
+// `// lint: float-eq-ok` justification instead.
+inline bool NearlyEqual(double a, double b, double eps = 1e-9) {
+  const double diff = a - b;
+  return diff <= eps && diff >= -eps;
+}
+
 // Percentile of a data set using linear interpolation between order
 // statistics. `p` is in [0, 100]. Returns 0 for an empty set.
 double Percentile(std::vector<double> values, double p);

@@ -1,6 +1,5 @@
 #include "src/obs/counters.h"
 
-#include <mutex>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -38,7 +37,7 @@ void Histogram::Reset() {
 }
 
 Counter* Registry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::make_unique<Counter>()).first;
@@ -47,7 +46,7 @@ Counter* Registry::counter(const std::string& name) {
 }
 
 Gauge* Registry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
@@ -56,7 +55,7 @@ Gauge* Registry::gauge(const std::string& name) {
 }
 
 Histogram* Registry::histogram(const std::string& name, std::vector<double> upper_bounds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, std::make_unique<Histogram>(std::move(upper_bounds))).first;
@@ -65,7 +64,7 @@ Histogram* Registry::histogram(const std::string& name, std::vector<double> uppe
 }
 
 RegistrySnapshot Registry::Snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   RegistrySnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.push_back(CounterSnapshot{name, counter->value()});
@@ -82,7 +81,7 @@ RegistrySnapshot Registry::Snapshot() const {
 }
 
 void Registry::ResetAll() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();
   }

@@ -24,9 +24,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace pdpa {
 
@@ -121,28 +123,35 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
+  Counter* counter(const std::string& name) PDPA_EXCLUDES(mutex_);
+  Gauge* gauge(const std::string& name) PDPA_EXCLUDES(mutex_);
   // `upper_bounds` must be non-empty and strictly increasing; ignored (the
   // original bounds win) when `name` already exists.
-  Histogram* histogram(const std::string& name, std::vector<double> upper_bounds);
+  Histogram* histogram(const std::string& name, std::vector<double> upper_bounds)
+      PDPA_EXCLUDES(mutex_);
 
-  RegistrySnapshot Snapshot() const;
+  RegistrySnapshot Snapshot() const PDPA_EXCLUDES(mutex_);
 
   // Zeroes every instrument's value; registrations (and pointers) survive.
-  void ResetAll();
+  void ResetAll() PDPA_EXCLUDES(mutex_);
 
   // Process-wide fallback registry for components constructed without a
   // per-run one. Concurrent runs must each use their own Registry instead.
   static Registry& Default();
 
  private:
+  // Compile-time lock-discipline probe (tests/tsa_probe); never defined in
+  // production code.
+  friend struct RegistryTsaProbe;
+
   // Guards the name->instrument maps (registration, snapshot, reset), not
-  // the instrument values themselves.
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // the instrument values themselves: callers that cache instrument
+  // pointers mutate them lock-free, which is safe because one run's
+  // instruments are only touched by the thread driving that run.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ PDPA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ PDPA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ PDPA_GUARDED_BY(mutex_);
 };
 
 }  // namespace pdpa

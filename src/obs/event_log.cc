@@ -239,6 +239,7 @@ void EventLog::Emit(const std::string& json_line) {
   if (out_ == nullptr) {
     return;
   }
+  confinement_.AssertConfined("EventLog");
   *out_ << json_line << '\n';
   ++lines_;
 }

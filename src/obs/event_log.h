@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "src/common/ids.h"
+#include "src/common/mutex.h"
 #include "src/common/time_types.h"
 
 namespace pdpa {
@@ -106,6 +107,10 @@ class EventLog {
  private:
   std::ostream* out_;
   long long lines_ = 0;
+  // The log is not mutex-protected by design: every EventLog belongs to one
+  // run and is only written by the thread driving that run (the sweep engine
+  // gives each cell a private sink). Audit builds enforce that confinement.
+  ThreadConfinementChecker confinement_;
 };
 
 }  // namespace pdpa

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/mutex.h"
 #include "src/common/time_types.h"
 
 namespace pdpa {
@@ -48,8 +49,14 @@ class TimeSeriesSampler {
     double utilization = 0.0;
   };
 
-  void AddApp(AppPoint point) { apps_.push_back(std::move(point)); }
-  void AddMachine(MachinePoint point) { machine_.push_back(point); }
+  void AddApp(AppPoint point) {
+    confinement_.AssertConfined("TimeSeriesSampler");
+    apps_.push_back(std::move(point));
+  }
+  void AddMachine(MachinePoint point) {
+    confinement_.AssertConfined("TimeSeriesSampler");
+    machine_.push_back(point);
+  }
 
   const std::vector<AppPoint>& apps() const { return apps_; }
   const std::vector<MachinePoint>& machine() const { return machine_; }
@@ -68,6 +75,9 @@ class TimeSeriesSampler {
  private:
   std::vector<AppPoint> apps_;
   std::vector<MachinePoint> machine_;
+  // Per-run sink, single-writer by construction (see EventLog); audit
+  // builds verify the confinement instead of paying for a mutex.
+  ThreadConfinementChecker confinement_;
 };
 
 }  // namespace pdpa

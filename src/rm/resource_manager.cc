@@ -8,6 +8,16 @@
 
 namespace pdpa {
 
+// Audit hook: active only in PDPA_AUDIT builds (the CI Debug job); expands
+// to nothing otherwise so the hot path carries no trace of it.
+#ifdef PDPA_AUDIT
+#define PDPA_RM_AUDIT(where) AuditInvariants(where)
+#else
+#define PDPA_RM_AUDIT(where) \
+  do {                       \
+  } while (false)
+#endif
+
 ResourceManager::ResourceManager(Params params, std::unique_ptr<SchedulingPolicy> policy,
                                  Simulation* sim, TraceRecorder* trace, Rng rng)
     : params_(params),
@@ -189,6 +199,7 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
   // The newcomer must be stepped on the fine grid until a materialized tick
   // recomputes the horizon; pull a parked tick back to the next grid point.
   ScheduleTickAt(advanced_to_ + params_.tick);
+  PDPA_RM_AUDIT("start");
 }
 
 int ResourceManager::AllocationOf(JobId job) const {
@@ -204,6 +215,43 @@ std::map<JobId, double> ResourceManager::alloc_integral_us() const {
   }
   return merged;
 }
+
+#ifdef PDPA_AUDIT
+void ResourceManager::AuditInvariants(const char* where) const {
+  // Every owned CPU belongs to a job with a live slot. Machine::owner_ is
+  // single-valued per CPU, so double-ownership cannot be represented; the
+  // reachable failure mode is a CPU still booked to a released job.
+  for (int cpu = 0; cpu < machine_.num_cpus(); ++cpu) {
+    const JobId owner = machine_.OwnerOf(cpu);
+    if (owner == kIdleJob) {
+      continue;
+    }
+    PDPA_CHECK(SlotOf(owner) >= 0)
+        << where << ": cpu " << cpu << " owned by job " << owner << " with no live slot";
+  }
+  if (policy_->is_time_sharing()) {
+    // Time sharing decouples thread counts from CPU ownership (the OS
+    // multiplexes); only the ownership/slot check above applies.
+    return;
+  }
+  // Per-job bookkeeping matches the machine partition, and the partition
+  // fits the machine.
+  long long total_alloc = 0;
+  for (int slot : order_) {
+    const RunningJob& running = slots_[static_cast<std::size_t>(slot)];
+    if (running.id == kIdleJob) {
+      continue;  // Freed mid-CheckCompletions; compacted after the loop.
+    }
+    PDPA_CHECK(running.binding != nullptr) << where << ": job " << running.id << " has no binding";
+    const int alloc = running.binding->app().allocated();
+    PDPA_CHECK_EQ(machine_.CountOf(running.id), alloc)
+        << where << ": job " << running.id << " machine/application allocation mismatch";
+    total_alloc += alloc;
+  }
+  PDPA_CHECK_LE(total_alloc, static_cast<long long>(machine_.num_cpus()))
+      << where << ": allocations exceed the machine";
+}
+#endif
 
 void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now, const char* trigger) {
   if (plan.empty()) {
@@ -263,6 +311,7 @@ void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now, const c
       binding.SetProcessors(count, now);
     }
   }
+  PDPA_RM_AUDIT(trigger);
 }
 
 void ResourceManager::DrainReports(SimTime now) {
@@ -367,6 +416,7 @@ void ResourceManager::CheckCompletions(SimTime now) {
     running.id = kIdleJob;
     running.binding.reset();
     free_slots_.push_back(slot);
+    PDPA_RM_AUDIT("release");
     const AllocationPlan plan = policy_->OnJobFinish(FillContext(now), job);
     ApplyPlan(plan, now, "finish");
     if (on_finish_) {

@@ -196,6 +196,14 @@ class ResourceManager {
   SimTime GridFloorAtOrBefore(SimTime t) const;
   SimTime NextQuantumAfter(SimTime t) const;
 
+  // PDPA_AUDIT builds: verifies machine/job-table consistency after every
+  // mutation (every owned CPU maps to a live slot; per-job bookkeeping
+  // matches the machine partition; allocations fit the machine). Call sites
+  // compile away in normal builds.
+#ifdef PDPA_AUDIT
+  void AuditInvariants(const char* where) const;
+#endif
+
   void ApplyPlan(const AllocationPlan& plan, SimTime now, const char* trigger);
   void DrainReports(SimTime now);
   void CheckCompletions(SimTime now);

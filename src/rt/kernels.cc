@@ -53,12 +53,14 @@ double BusyKernel::Spin(long long units) {
 }
 
 void BusyKernel::RunSerialPart() {
-  const long long serial = static_cast<long long>(work_units_ * serial_fraction_);
+  const long long serial =
+      static_cast<long long>(static_cast<double>(work_units_) * serial_fraction_);
   checksum_ += Spin(serial);
 }
 
 void BusyKernel::RunChunk(int worker_index, int width) {
-  const long long parallel = static_cast<long long>(work_units_ * (1.0 - serial_fraction_));
+  const long long parallel =
+      static_cast<long long>(static_cast<double>(work_units_) * (1.0 - serial_fraction_));
   const double x = Spin(parallel / width);
   // Benign data race on checksum_ across workers is acceptable for an
   // optimizer barrier, but keep it clean anyway: only worker 0 accumulates.

@@ -1,7 +1,6 @@
 #include "src/workload/sweep.h"
 
 #include <algorithm>
-#include <atomic>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -87,6 +86,21 @@ void RunCell(const SweepCell& cell, const SweepOptions& options, SweepCellResult
   }
 }
 
+// Marks `cell_index` complete and delivers the progress callback while the
+// state mutex is held (callbacks are serialized by contract).
+void FinishCell(internal::SweepWorkState* state, const SweepOptions& options, std::size_t total,
+                std::size_t cell_index) {
+  const MutexLock lock(&state->mutex);
+  ++state->done;
+  if (options.on_progress) {
+    SweepProgress progress;
+    progress.done = state->done;
+    progress.total = total;
+    progress.cell_index = cell_index;
+    options.on_progress(progress);
+  }
+}
+
 }  // namespace
 
 std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions& options) {
@@ -95,6 +109,7 @@ std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions&
   if (cells.empty()) {
     return results;
   }
+  internal::SweepWorkState state;
   int jobs = options.jobs;
   if (jobs <= 0) {
     jobs = static_cast<int>(std::thread::hardware_concurrency());
@@ -103,22 +118,28 @@ std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions&
   if (jobs == 1) {
     for (const SweepCell& cell : cells) {
       RunCell(cell, options, &results[cell.index]);
+      FinishCell(&state, options, cells.size(), cell.index);
     }
     return results;
   }
-  // One atomic cursor feeds all workers; each claimed cell writes its result
+  // The mutex-guarded cursor feeds all workers (one claim per whole
+  // simulation, so the lock is noise); each claimed cell writes its result
   // at its own grid index, so result order never depends on scheduling.
-  std::atomic<std::size_t> next{0};
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(jobs));
   for (int i = 0; i < jobs; ++i) {
-    workers.emplace_back([&cells, &results, &options, &next] {
+    workers.emplace_back([&cells, &results, &options, &state] {
       for (;;) {
-        const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-        if (index >= cells.size()) {
-          return;
+        std::size_t index = 0;
+        {
+          const MutexLock lock(&state.mutex);
+          if (state.next_cell >= cells.size()) {
+            return;
+          }
+          index = state.next_cell++;
         }
         RunCell(cells[index], options, &results[index]);
+        FinishCell(&state, options, cells.size(), index);
       }
     });
   }

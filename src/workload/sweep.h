@@ -4,11 +4,12 @@
 // Each grid cell executes one RunExperiment with a *private* observability
 // context — its own Registry, EventLog sink and TimeSeriesSampler — so N
 // simulations can run concurrently without sharing any mutable state. Cells
-// are handed to workers through a single atomic index (work stealing
-// degenerates to this when tasks are independent and uniform-ish) and every
-// result is stored at the cell's grid index, so output order is the
-// deterministic grid order regardless of completion order: a parallel sweep
-// produces byte-identical CSV and per-cell recordings to a serial one.
+// are handed to workers through a mutex-guarded cursor (one claim per whole
+// simulation, so contention is noise; the lock keeps the queue visible to
+// clang's thread-safety analysis) and every result is stored at the cell's
+// grid index, so output order is the deterministic grid order regardless of
+// completion order: a parallel sweep produces byte-identical CSV and
+// per-cell recordings to a serial one.
 //
 // The seeds axis is the replication dimension: the same (workload, load,
 // policy) cell re-run under different arrival-trace seeds. SweepCsv emits
@@ -19,11 +20,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/workload/experiment.h"
 
 namespace pdpa {
@@ -57,6 +61,17 @@ struct SweepCell {
 // (inner). Cell indices are positions in this order.
 std::vector<SweepCell> ExpandGrid(const SweepGrid& grid);
 
+// Completion progress of a running sweep, delivered to
+// SweepOptions::on_progress as cells finish (completion order, which under
+// a parallel sweep is not grid order).
+struct SweepProgress {
+  // Cells fully executed so far, including the one just finished.
+  std::size_t done = 0;
+  std::size_t total = 0;
+  // Grid index of the cell that just finished.
+  std::size_t cell_index = 0;
+};
+
 struct SweepOptions {
   // Worker threads. <= 0 means std::thread::hardware_concurrency(); the
   // value is clamped to [1, number of cells]. jobs == 1 runs inline on the
@@ -68,7 +83,28 @@ struct SweepOptions {
   bool capture_counters = false;
   bool capture_events = false;
   bool capture_timeseries = false;
+  // Invoked once per completed cell, from whichever thread finished it. The
+  // engine holds its progress mutex across the call, so invocations are
+  // serialized and need no locking of their own — but must stay quick and
+  // must not call back into RunSweep.
+  std::function<void(const SweepProgress&)> on_progress;
 };
+
+namespace internal {
+
+// Shared worker-pool state of one RunSweep: the work-queue cursor plus the
+// completion counter. Exposed in the header only so the lock-discipline
+// probe (tests/tsa_probe/) can reference it; not part of the sweep API.
+struct SweepWorkState {
+  Mutex mutex;
+  // The work queue: cells are claimed in grid order, one per worker
+  // round-trip. Equal to the number of cells handed out so far.
+  std::size_t next_cell PDPA_GUARDED_BY(mutex) = 0;
+  // Cells fully executed (result slot written).
+  std::size_t done PDPA_GUARDED_BY(mutex) = 0;
+};
+
+}  // namespace internal
 
 struct SweepCellResult {
   SweepCell cell;

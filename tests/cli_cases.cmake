@@ -1,0 +1,50 @@
+# ctest driver for tool CLI contracts. Invoked as
+#   cmake -DREPORT=<pdpa_report> -DPRV=<prv_stats> -DWORKDIR=<scratch> -P cli_cases.cmake
+# Bad invocations must be usage errors (exit 2 with a pointed message), not
+# silently-wrong output; --help is exit 0.
+
+if(NOT REPORT OR NOT PRV OR NOT WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DREPORT=... -DPRV=... -DWORKDIR=... -P cli_cases.cmake")
+endif()
+file(MAKE_DIRECTORY ${WORKDIR})
+
+# expect_cli(<exit> <stream:out|err> <regex> <command...>)
+function(expect_cli expected_exit stream pattern)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE exit_code
+                  OUTPUT_VARIABLE stdout
+                  ERROR_VARIABLE stderr)
+  if(NOT exit_code EQUAL expected_exit)
+    message(SEND_ERROR "${ARGN}: exit ${exit_code}, want ${expected_exit}\n${stdout}${stderr}")
+    return()
+  endif()
+  if(stream STREQUAL "out")
+    set(haystack "${stdout}")
+  else()
+    set(haystack "${stderr}")
+  endif()
+  if(NOT haystack MATCHES "${pattern}")
+    message(SEND_ERROR "${ARGN}: ${stream} does not match '${pattern}'\n${stdout}${stderr}")
+  endif()
+endfunction()
+
+# pdpa_report
+expect_cli(0 out "usage: pdpa_report" ${REPORT} --help)
+expect_cli(2 err "usage: pdpa_report" ${REPORT})
+expect_cli(2 err "unknown flag --bogus" ${REPORT} --bogus ${WORKDIR}/ev.jsonl)
+expect_cli(2 err "bad --jobs entry 'x'" ${REPORT} ${WORKDIR}/ev.jsonl --jobs 1,x)
+expect_cli(2 err "cannot open" ${REPORT} ${WORKDIR}/does_not_exist.jsonl)
+expect_cli(2 err "usage: pdpa_report" ${REPORT} a.jsonl b.jsonl)
+
+# Positive control: a well-formed (if tiny) event log renders cleanly.
+file(WRITE ${WORKDIR}/ev.jsonl
+"{\"type\":\"run_start\",\"policy\":\"PDPA\",\"workload\":\"w1\",\"load\":\"0.6\",\"seed\":\"42\",\"cpus\":\"60\"}\n")
+expect_cli(0 out "run 1: policy PDPA" ${REPORT} ${WORKDIR}/ev.jsonl)
+
+# prv_stats
+expect_cli(0 out "usage: prv_stats" ${PRV} --help)
+expect_cli(2 err "usage: prv_stats" ${PRV})
+expect_cli(2 err "unknown flag --bogus" ${PRV} --bogus ${WORKDIR}/t.prv)
+expect_cli(2 err "cannot open" ${PRV} ${WORKDIR}/does_not_exist.prv)
+
+message(STATUS "cli contract checks done")

@@ -1,0 +1,105 @@
+# ctest driver for the pdpa_lint fixtures. Invoked as
+#   cmake -DLINT=<pdpa_lint> -DFIXTURES=<tests/lint_fixtures> -P lint_fixture_test.cmake
+# Asserts the exact finding lines (file:line: rule-id) and exit codes, so a
+# rule regression — a missed violation, a changed line number, a broken
+# waiver/suppression path — fails tier-1 ctest.
+
+if(NOT LINT OR NOT FIXTURES)
+  message(FATAL_ERROR "usage: cmake -DLINT=<binary> -DFIXTURES=<dir> -P lint_fixture_test.cmake")
+endif()
+
+# Runs pdpa_lint on one fixture and checks exit code + exact stdout.
+# Extra args after the expected output are appended to the command line.
+function(expect_lint fixture expected_exit expected_out)
+  execute_process(
+    COMMAND ${LINT} --root ${FIXTURES} ${FIXTURES}/${fixture} --treat-as src
+            --today 2026-01-01 ${ARGN}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT exit_code EQUAL expected_exit)
+    message(SEND_ERROR "${fixture}: exit ${exit_code}, want ${expected_exit}\n${stdout}${stderr}")
+    return()
+  endif()
+  if(NOT stdout STREQUAL expected_out)
+    message(SEND_ERROR "${fixture}: output mismatch\n--- got ---\n${stdout}--- want ---\n${expected_out}")
+  endif()
+endfunction()
+
+expect_lint(wall_clock_violation.cc 1
+"wall_clock_violation.cc:7: wall-clock: nondeterministic source 'rand' in sim code (use SimTime)
+wall_clock_violation.cc:8: wall-clock: nondeterministic source 'srand' in sim code (use SimTime)
+wall_clock_violation.cc:9: wall-clock: nondeterministic source 'time()' in sim code (use SimTime)
+wall_clock_violation.cc:10: wall-clock: nondeterministic source 'system_clock' in sim code (use SimTime)
+wall_clock_violation.cc:11: wall-clock: nondeterministic source 'high_resolution_clock' in sim code (use SimTime)
+")
+
+expect_lint(unordered_iter_violation.cc 1
+"unordered_iter_violation.cc:8: unordered-iter: range-for over an unordered container: iteration order is unspecified (sort first, or justify with // lint: ordered-ok)
+unordered_iter_violation.cc:12: unordered-iter: range-for over an unordered container: iteration order is unspecified (sort first, or justify with // lint: ordered-ok)
+")
+
+expect_lint(float_eq_violation.cc 1
+"float_eq_violation.cc:3: float-eq: '==' against a floating-point literal (use NearlyEqual from src/common/stats.h)
+float_eq_violation.cc:4: float-eq: '!=' against a floating-point literal (use NearlyEqual from src/common/stats.h)
+float_eq_violation.cc:5: float-eq: '==' against a floating-point literal (use NearlyEqual from src/common/stats.h)
+")
+
+expect_lint(direct_io_violation.cc 1
+"direct_io_violation.cc:6: direct-io: 'printf()' in src/ (emit through the obs layer or PDPA_LOG)
+direct_io_violation.cc:7: direct-io: 'fprintf()' in src/ (emit through the obs layer or PDPA_LOG)
+direct_io_violation.cc:8: direct-io: 'puts()' in src/ (emit through the obs layer or PDPA_LOG)
+direct_io_violation.cc:9: direct-io: 'std::cout' in src/ (emit through the obs layer or PDPA_LOG)
+direct_io_violation.cc:10: direct-io: 'std::cerr' in src/ (emit through the obs layer or PDPA_LOG)
+")
+
+# bench/ classification turns the wall-clock rule off entirely.
+expect_lint(wall_clock_violation.cc 0 "" --treat-as bench)
+
+expect_lint(clean_file.cc 0 "")
+
+# In-date waiver absorbs the direct-io findings; the expired float-eq waiver
+# lets its finding surface (with a stderr note, not checked byte-for-byte).
+expect_lint(waived_file.cc 1
+"waived_file.cc:10: float-eq: '==' against a floating-point literal (use NearlyEqual from src/common/stats.h)
+" --waivers ${FIXTURES}/fixture_waivers.txt)
+
+# CLI contract: unknown flags and bad values are usage errors (exit 2).
+execute_process(COMMAND ${LINT} --no-such-flag RESULT_VARIABLE exit_code
+                OUTPUT_QUIET ERROR_VARIABLE stderr)
+if(NOT exit_code EQUAL 2 OR NOT stderr MATCHES "unknown flag")
+  message(SEND_ERROR "unknown flag: exit ${exit_code}, stderr: ${stderr}")
+endif()
+
+execute_process(COMMAND ${LINT} --today not-a-date ${FIXTURES}/clean_file.cc
+                RESULT_VARIABLE exit_code OUTPUT_QUIET ERROR_VARIABLE stderr)
+if(NOT exit_code EQUAL 2 OR NOT stderr MATCHES "bad --today")
+  message(SEND_ERROR "bad --today: exit ${exit_code}, stderr: ${stderr}")
+endif()
+
+execute_process(COMMAND ${LINT} ${FIXTURES}/does_not_exist.cc
+                RESULT_VARIABLE exit_code OUTPUT_QUIET ERROR_VARIABLE stderr)
+if(NOT exit_code EQUAL 2 OR NOT stderr MATCHES "no such file")
+  message(SEND_ERROR "missing input: exit ${exit_code}, stderr: ${stderr}")
+endif()
+
+execute_process(COMMAND ${LINT} --list-rules RESULT_VARIABLE exit_code
+                OUTPUT_VARIABLE stdout ERROR_QUIET)
+if(NOT exit_code EQUAL 0 OR NOT stdout MATCHES "wall-clock" OR NOT stdout MATCHES "unordered-iter"
+   OR NOT stdout MATCHES "float-eq" OR NOT stdout MATCHES "direct-io")
+  message(SEND_ERROR "--list-rules: exit ${exit_code}\n${stdout}")
+endif()
+
+# JSON report: well-shaped, counts waived vs unwaived.
+execute_process(
+  COMMAND ${LINT} --root ${FIXTURES} ${FIXTURES}/waived_file.cc --treat-as src
+          --today 2026-01-01 --waivers ${FIXTURES}/fixture_waivers.txt --json -
+  RESULT_VARIABLE exit_code OUTPUT_VARIABLE stdout ERROR_QUIET)
+if(NOT exit_code EQUAL 1
+   OR NOT stdout MATCHES "\"summary\": {\"total\": 3, \"unwaived\": 1, \"waived\": 2}")
+  message(SEND_ERROR "json report: exit ${exit_code}\n${stdout}")
+endif()
+
+# message(SEND_ERROR) above makes cmake -P exit non-zero; reaching this line
+# cleanly means every check passed.
+message(STATUS "lint fixture checks done")

@@ -1,0 +1,20 @@
+// Fixture: a file every rule passes. Mentions of banned names inside
+// comments and string literals must not trip the tokenizer: std::rand,
+// system_clock, printf, cout, == 1.0.
+#include <map>
+#include <string>
+
+namespace {
+constexpr const char* kDoc = "call time(nullptr) and printf() at == 0.5";
+constexpr const char* kRaw = R"(std::cout << high_resolution_clock == 2.0)";
+}  // namespace
+
+int Good(const std::map<std::string, int>& table, double x) {
+  int sum = 0;
+  for (const auto& [key, value] : table) {
+    sum += static_cast<int>(key.size()) + value;
+  }
+  // Epsilon comparison instead of float ==:
+  const bool near_zero = x < 1e-9 && x > -1e-9;
+  return sum + (near_zero ? 1 : 0) + (kDoc == kRaw ? 1 : 0);
+}

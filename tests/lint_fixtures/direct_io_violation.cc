@@ -1,0 +1,16 @@
+// Fixture: direct output in src/-classified code.
+#include <cstdio>
+#include <iostream>
+
+void Bad(int value) {
+  printf("%d\n", value);                  // line 6: printf
+  std::fprintf(stderr, "%d\n", value);    // line 7: fprintf
+  std::puts("done");                      // line 8: puts
+  std::cout << value << "\n";             // line 9: cout
+  std::cerr << value << "\n";             // line 10: cerr
+  std::fprintf(  // lint: direct-io-ok (fixture: justified diagnostic)
+      stderr, "ok\n");
+}
+
+// `printf` as a non-call identifier (attribute position) is fine:
+void Log(const char* format, ...) __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,13 @@
+// Fixture: ==/!= against floating-point literals.
+bool Bad(double x, float y) {
+  bool a = x == 0.0;     // line 3: == against double literal
+  bool b = 1.5e-3 != x;  // line 4: != with literal on the left
+  bool c = y == 2.0f;    // line 5: f-suffixed literal
+  bool sentinel = x == -1.0;  // lint: float-eq-ok (exact sentinel, never computed)
+  // Integer comparisons and non-literal float comparisons are out of scope
+  // (the lint catches the unambiguous cases; clang-tidy covers the rest).
+  bool d = x == static_cast<double>(y);
+  int n = 3;
+  bool e = n == 3;
+  return a || b || c || d || e || sentinel;
+}

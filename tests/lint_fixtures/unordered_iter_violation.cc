@@ -1,0 +1,25 @@
+// Fixture: range-for over unordered containers.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+int Bad(const std::unordered_map<int, int>& histogram) {
+  int sum = 0;
+  for (const auto& [key, value] : histogram) {  // line 8: named unordered_map
+    sum += key + value;
+  }
+  std::unordered_map<std::string, int> local_unordered;
+  for (const auto& entry : local_unordered) {  // line 12: ident contains "unordered"
+    sum += entry.second;
+  }
+  // Justified iteration (order-independent fold) stays quiet:
+  for (const auto& [key, value] : histogram) {  // lint: ordered-ok
+    sum += key * value;
+  }
+  // Ordered containers are always fine:
+  std::map<int, int> sorted;
+  for (const auto& [key, value] : sorted) {
+    sum += key + value;
+  }
+  return sum;
+}

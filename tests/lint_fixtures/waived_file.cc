@@ -1,0 +1,12 @@
+// Fixture: violations covered by fixture_waivers.txt (within count and
+// expiry) plus one rule the waiver file covers with an EXPIRED entry, so the
+// harness can assert both sides of the waiver lifecycle.
+#include <cstdio>
+
+void Waived(int value) {
+  printf("%d\n", value);    // covered: direct-io waiver, count 2
+  std::puts("done");        // covered: direct-io waiver, count 2
+  double x = value * 0.5;
+  bool same = x == 0.5;     // NOT covered: float-eq waiver in the file expired
+  (void)same;
+}

@@ -99,7 +99,7 @@ TEST(WorkloadGenPropertyTest, LoadScalesArrivalCount) {
   const auto low = BuildWorkload(WorkloadId::kW4, 0.5, 1234);
   const auto high = BuildWorkload(WorkloadId::kW4, 1.0, 1234);
   ASSERT_GT(low.size(), 0u);
-  const double ratio = static_cast<double>(high.size()) / low.size();
+  const double ratio = static_cast<double>(high.size()) / static_cast<double>(low.size());
   EXPECT_GT(ratio, 1.4);
   EXPECT_LT(ratio, 2.8);
 }

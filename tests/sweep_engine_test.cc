@@ -80,6 +80,36 @@ TEST(SweepEngineTest, ParallelMatchesSerialByteForByte) {
   }
 }
 
+// The progress callback fires exactly once per cell, serialized under the
+// engine's progress mutex: `done` must pass through 1..total with no
+// duplicate or skipped cell index, in both serial and parallel mode.
+TEST(SweepEngineTest, ProgressCallbackFiresOncePerCell) {
+  const SweepGrid grid = SmallGrid();
+  for (int jobs : {1, 4}) {
+    SweepOptions options;
+    options.jobs = jobs;
+    std::vector<std::size_t> done_values;
+    std::vector<int> cell_counts(ExpandGrid(grid).size(), 0);
+    options.on_progress = [&done_values, &cell_counts](const SweepProgress& progress) {
+      // Serialized by contract: no locking needed here.
+      done_values.push_back(progress.done);
+      ASSERT_LT(progress.cell_index, cell_counts.size());
+      ++cell_counts[progress.cell_index];
+      EXPECT_EQ(progress.total, cell_counts.size());
+    };
+    const std::vector<SweepCellResult> results = RunSweep(grid, options);
+    ASSERT_EQ(done_values.size(), results.size()) << "jobs=" << jobs;
+    for (int count : cell_counts) {
+      EXPECT_EQ(count, 1) << "jobs=" << jobs;
+    }
+    // `done` is incremented under the same lock that delivers the callback,
+    // so the observed sequence is exactly 1..total.
+    for (std::size_t i = 0; i < done_values.size(); ++i) {
+      EXPECT_EQ(done_values[i], i + 1) << "jobs=" << jobs;
+    }
+  }
+}
+
 // Regression for the old --counters behavior, which dumped one cumulative
 // Registry::Default() snapshot for the whole grid: every sweep cell must
 // report exactly the counters of an isolated single run.

@@ -1,0 +1,23 @@
+// TSA probe (EXPECT=pass): the positive control. Correctly locked access to
+// the same guarded state the fail probes touch; if this stops compiling,
+// the probe driver's flags are broken (and the fail probes prove nothing).
+#include <cstddef>
+
+#include "src/common/mutex.h"
+#include "src/workload/sweep.h"
+
+namespace pdpa {
+
+std::size_t LockedCursor(internal::SweepWorkState* state) {
+  const MutexLock lock(&state->mutex);
+  return state->next_cell;
+}
+
+std::size_t BumpCursor(internal::SweepWorkState* state) {
+  state->mutex.Lock();
+  const std::size_t value = state->next_cell++;
+  state->mutex.Unlock();
+  return value;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,21 @@
+// TSA probe (EXPECT=fail): reads Registry's guarded map without holding the
+// mutex. Under `-Wthread-safety -Werror=thread-safety-analysis` this must
+// NOT compile; if it starts compiling, the PDPA_GUARDED_BY annotation on
+// Registry::counters_ has been dropped or neutered. Never linked anywhere.
+#include <cstddef>
+
+#include "src/obs/counters.h"
+
+namespace pdpa {
+
+struct RegistryTsaProbe {
+  static std::size_t UnlockedSize(const Registry& registry) {
+    return registry.counters_.size();  // no MutexLock: TSA must reject this
+  }
+};
+
+std::size_t Touch(const Registry& registry) {
+  return RegistryTsaProbe::UnlockedSize(registry);
+}
+
+}  // namespace pdpa

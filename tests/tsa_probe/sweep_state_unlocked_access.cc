@@ -1,0 +1,15 @@
+// TSA probe (EXPECT=fail): reads the sweep work queue's cursor without the
+// queue mutex. Must NOT compile under thread-safety analysis; if it does,
+// the PDPA_GUARDED_BY on SweepWorkState::next_cell has been dropped.
+// Never linked anywhere.
+#include <cstddef>
+
+#include "src/workload/sweep.h"
+
+namespace pdpa {
+
+std::size_t UnlockedCursor(internal::SweepWorkState* state) {
+  return state->next_cell;  // no MutexLock: TSA must reject this
+}
+
+}  // namespace pdpa

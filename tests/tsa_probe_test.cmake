@@ -1,0 +1,36 @@
+# ctest driver for the clang thread-safety probes. Invoked as
+#   cmake -DCOMPILER=<clang++> -DSOURCE=<probe.cc> -DROOT=<repo> -DEXPECT=fail|pass
+#         -P tsa_probe_test.cmake
+#
+# EXPECT=fail probes access guarded state without the lock and must be
+# rejected with "requires holding mutex"; this makes the annotations
+# load-bearing — deleting a PDPA_GUARDED_BY turns the probe compilable and
+# fails the test. EXPECT=pass is the control proving the flags work at all.
+
+if(NOT COMPILER OR NOT SOURCE OR NOT ROOT OR NOT EXPECT)
+  message(FATAL_ERROR
+          "usage: cmake -DCOMPILER=... -DSOURCE=... -DROOT=... -DEXPECT=fail|pass -P ...")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} -fsyntax-only -std=c++20 -Wthread-safety
+          -Werror=thread-safety-analysis -I${ROOT} ${SOURCE}
+  RESULT_VARIABLE exit_code
+  ERROR_VARIABLE stderr)
+
+if(EXPECT STREQUAL "pass")
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR "control probe failed to compile:\n${stderr}")
+  endif()
+elseif(EXPECT STREQUAL "fail")
+  if(exit_code EQUAL 0)
+    message(FATAL_ERROR
+            "probe compiled cleanly — a GUARDED_BY annotation was dropped: ${SOURCE}")
+  endif()
+  if(NOT stderr MATCHES "requires holding mutex")
+    message(FATAL_ERROR "probe failed for the wrong reason:\n${stderr}")
+  endif()
+else()
+  message(FATAL_ERROR "bad EXPECT '${EXPECT}' (want fail|pass)")
+endif()
+message(STATUS "tsa probe ok: ${SOURCE} (${EXPECT})")

@@ -11,6 +11,7 @@
 //   pdpa_batch --events_out ev_ --timeseries_out ts_   # per-cell recordings
 //   pdpa_batch --counters               # per-cell counter dumps to stderr
 //   pdpa_batch --counters_out c_        # ... or to c_<cell>.txt files
+//   pdpa_batch --jobs 8 --progress      # completion ticker on stderr
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -119,6 +120,17 @@ int Run(int argc, char** argv) {
   options.capture_events = !events_prefix.empty();
   options.capture_timeseries = !timeseries_prefix.empty();
   options.capture_counters = want_counters || !counters_prefix.empty();
+
+  // Completion ticker for long grids. The engine serializes on_progress
+  // under its progress mutex, so stderr lines never interleave.
+  std::vector<SweepCell> cell_names;
+  if (flags.GetBool("progress", false)) {
+    cell_names = ExpandGrid(grid);
+    options.on_progress = [&cell_names](const SweepProgress& progress) {
+      std::fprintf(stderr, "[%zu/%zu] %s\n", progress.done, progress.total,
+                   cell_names[progress.cell_index].name.c_str());
+    };
+  }
 
   for (const std::string& unknown : flags.UnconsumedFlags()) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());

@@ -65,13 +65,22 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "unknown flag --%s (see --help)\n", unknown.c_str());
     return 2;
   }
+  if (flags.had_parse_error()) {
+    std::fprintf(stderr, "malformed flag value (see --help)\n");
+    return 2;
+  }
   if (inputs.size() != 1) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   std::set<long long> jobs_filter;
   for (const std::string& token : SplitTokens(jobs_filter_text, ',')) {
-    jobs_filter.insert(std::atoll(token.c_str()));
+    long long id = 0;
+    if (!ParseInt64(token, &id)) {
+      std::fprintf(stderr, "bad --jobs entry '%s' (want comma-separated ids)\n", token.c_str());
+      return 2;
+    }
+    jobs_filter.insert(id);
   }
 
   std::ifstream in(inputs[0]);

@@ -5,31 +5,65 @@
 // Usage: prv_stats trace.prv [trace2.prv ...]
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
+#include "src/common/flags.h"
 #include "src/trace/paraver_reader.h"
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: prv_stats trace.prv [more.prv ...]\n");
+namespace pdpa {
+namespace {
+
+constexpr const char* kUsage = R"(usage: prv_stats trace.prv [more.prv ...]
+
+Prints per-trace kernel-thread migrations, burst statistics and machine
+utilization for archived Paraver traces.
+
+flags:
+  --help   this text
+)";
+
+int Run(int argc, char** argv) {
+  FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  const std::vector<std::string> inputs = flags.positional();
+  for (const std::string& unknown : flags.UnconsumedFlags()) {
+    std::fprintf(stderr, "unknown flag --%s (see --help)\n", unknown.c_str());
+    return 2;
+  }
+  if (flags.had_parse_error()) {
+    std::fprintf(stderr, "malformed flag value (see --help)\n");
+    return 2;
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   std::printf("%-32s %12s %14s %14s %6s\n", "trace", "migrations", "avg burst(ms)",
               "bursts/cpu", "util");
-  for (int i = 1; i < argc; ++i) {
-    std::ifstream in(argv[i]);
+  for (const std::string& input : inputs) {
+    std::ifstream in(input);
     if (!in) {
-      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      std::fprintf(stderr, "%s: cannot open\n", input.c_str());
       return 2;
     }
-    pdpa::ParaverTrace trace;
+    ParaverTrace trace;
     std::string error;
-    if (!pdpa::ReadParaverTrace(in, &trace, &error)) {
-      std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());
+    if (!ReadParaverTrace(in, &trace, &error)) {
+      std::fprintf(stderr, "%s: %s\n", input.c_str(), error.c_str());
       return 2;
     }
-    const pdpa::TraceStats stats = pdpa::ComputeStatsFromTrace(trace);
-    std::printf("%-32s %12lld %14.0f %14.0f %5.0f%%\n", argv[i], stats.migrations,
+    const TraceStats stats = ComputeStatsFromTrace(trace);
+    std::printf("%-32s %12lld %14.0f %14.0f %5.0f%%\n", input.c_str(), stats.migrations,
                 stats.avg_burst_ms, stats.avg_bursts_per_cpu, stats.utilization * 100.0);
   }
   return 0;
 }
+
+}  // namespace
+}  // namespace pdpa
+
+int main(int argc, char** argv) { return pdpa::Run(argc, argv); }
