@@ -3,14 +3,36 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/stats.h"
 #include "src/workload/experiment.h"
 
 namespace pdpa {
+
+// Times `body` `repeat` times and returns the median (p50) wall seconds.
+// Single samples on 1-CPU CI runners are noise; BENCH_*.json files record
+// the median so bench_check can compare runs meaningfully.
+template <typename Fn>
+double MedianWallSeconds(int repeat, Fn&& body) {
+  if (repeat < 1) {
+    repeat = 1;
+  }
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(repeat));
+  for (int i = 0; i < repeat; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    walls.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  }
+  return Percentile(std::move(walls), 50.0);
+}
 
 inline const std::vector<PolicyKind>& AllPolicies() {
   static const std::vector<PolicyKind> kPolicies = {

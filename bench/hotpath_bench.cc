@@ -11,7 +11,15 @@
 // x 8 seeds = 64 cells) run serially with elision off and on, reporting
 // cells/sec for both.
 //
-// Usage: hotpath_bench [--seeds N] [--out BENCH_hotpath.json]
+// Part 3 (serialization): the same grid with full event + time-series
+// capture, run through the retained legacy serializers and the fast path
+// (see DESIGN.md §9); byte-compares every cell's recordings and the sweep
+// CSV, reporting events-enabled cells/sec for both. Exits non-zero on any
+// divergence.
+//
+// Wall times are medians over --repeat runs (p50 in the JSON).
+//
+// Usage: hotpath_bench [--seeds N] [--repeat N] [--out BENCH_hotpath.json]
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -19,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/obs/counters.h"
 #include "src/obs/event_log.h"
@@ -61,6 +70,7 @@ AbRun RunAb(bool exact_ticks) {
   (void)RunExperiment(config);
   run.wall_s = Seconds(std::chrono::steady_clock::now() - t0);
 
+  events.Flush();  // The log buffers; push bytes out before reading.
   run.events = events_stream.str();
   std::ostringstream ts_stream;
   timeseries.WriteCsv(ts_stream);
@@ -75,17 +85,10 @@ AbRun RunAb(bool exact_ticks) {
   return run;
 }
 
-double RunGridSerial(const SweepGrid& grid) {
-  SweepOptions serial;
-  serial.jobs = 1;
-  const auto t0 = std::chrono::steady_clock::now();
-  (void)RunSweep(grid, serial);
-  return Seconds(std::chrono::steady_clock::now() - t0);
-}
-
 int Run(int argc, char** argv) {
   FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
   const int num_seeds = flags.GetInt("seeds", 8);
+  const int repeat = flags.GetInt("repeat", 1);
   const std::string out_path = flags.GetString("out", "BENCH_hotpath.json");
 
   // --- Part 1: exact vs elided A/B on one cell ---------------------------
@@ -113,15 +116,54 @@ int Run(int argc, char** argv) {
   }
   const std::size_t cells = ExpandGrid(grid).size();
 
+  SweepOptions serial;
+  serial.jobs = 1;
   grid.base.rm.exact_ticks = true;
-  const double exact_s = RunGridSerial(grid);
+  const double exact_s = MedianWallSeconds(repeat, [&] { (void)RunSweep(grid, serial); });
   grid.base.rm.exact_ticks = false;
-  const double elided_s = RunGridSerial(grid);
+  const double elided_s = MedianWallSeconds(repeat, [&] { (void)RunSweep(grid, serial); });
   const double exact_cells_per_s = exact_s > 0 ? static_cast<double>(cells) / exact_s : 0;
   const double elided_cells_per_s = elided_s > 0 ? static_cast<double>(cells) / elided_s : 0;
   std::fprintf(stderr, "sweep %zu cells serial: exact %.2fs (%.0f cells/s), elided %.2fs "
                "(%.0f cells/s)\n",
                cells, exact_s, exact_cells_per_s, elided_s, elided_cells_per_s);
+
+  // --- Part 3: events-enabled sweep, legacy vs fast serialization --------
+  SweepOptions capture = serial;
+  capture.capture_events = true;
+  capture.capture_timeseries = true;
+  SweepOptions capture_legacy = capture;
+  capture_legacy.legacy_serialization_for_test = true;
+
+  std::vector<SweepCellResult> legacy_results;
+  const double events_legacy_s = MedianWallSeconds(
+      repeat, [&] { legacy_results = RunSweep(grid, capture_legacy); });
+  std::vector<SweepCellResult> fast_results;
+  const double events_fast_s =
+      MedianWallSeconds(repeat, [&] { fast_results = RunSweep(grid, capture); });
+
+  bool events_identical = legacy_results.size() == fast_results.size();
+  for (std::size_t i = 0; events_identical && i < fast_results.size(); ++i) {
+    events_identical = legacy_results[i].events_jsonl == fast_results[i].events_jsonl &&
+                       legacy_results[i].timeseries_csv == fast_results[i].timeseries_csv;
+  }
+  std::ostringstream csv_legacy, csv_fast;
+  internal::SweepCsvLegacy(legacy_results, grid.seeds.size(), csv_legacy);
+  SweepCsv(fast_results, grid.seeds.size(), csv_fast);
+  events_identical = events_identical && csv_legacy.str() == csv_fast.str();
+
+  const double events_legacy_cells_per_s =
+      events_legacy_s > 0 ? static_cast<double>(cells) / events_legacy_s : 0;
+  const double events_fast_cells_per_s =
+      events_fast_s > 0 ? static_cast<double>(cells) / events_fast_s : 0;
+  const double events_sweep_speedup =
+      events_fast_s > 0 ? events_legacy_s / events_fast_s : 0;
+  std::fprintf(stderr,
+               "events-enabled sweep: legacy %.2fs (%.0f cells/s), fast %.2fs (%.0f cells/s, "
+               "%.2fx), recordings %s\n",
+               events_legacy_s, events_legacy_cells_per_s, events_fast_s,
+               events_fast_cells_per_s, events_sweep_speedup,
+               events_identical ? "identical" : "DIFFER");
 
   std::ofstream out(out_path);
   if (!out) {
@@ -130,6 +172,7 @@ int Run(int argc, char** argv) {
   }
   out << "{\n"
       << "  \"ab_cell\": \"w1_1.00_PDPA_s42\",\n"
+      << "  \"repeat\": " << repeat << ",\n"
       << "  \"ticks_exact\": " << fine.ticks << ",\n"
       << "  \"ticks_elided\": " << coarse.ticks << ",\n"
       << "  \"tick_elision_factor\": " << elision_factor << ",\n"
@@ -140,10 +183,16 @@ int Run(int argc, char** argv) {
       << "  \"sweep_exact_wall_s\": " << exact_s << ",\n"
       << "  \"sweep_elided_wall_s\": " << elided_s << ",\n"
       << "  \"sweep_exact_cells_per_s\": " << exact_cells_per_s << ",\n"
-      << "  \"sweep_elided_cells_per_s\": " << elided_cells_per_s << "\n"
+      << "  \"sweep_elided_cells_per_s\": " << elided_cells_per_s << ",\n"
+      << "  \"events_sweep_legacy_wall_s\": " << events_legacy_s << ",\n"
+      << "  \"events_sweep_fast_wall_s\": " << events_fast_s << ",\n"
+      << "  \"events_sweep_legacy_cells_per_s\": " << events_legacy_cells_per_s << ",\n"
+      << "  \"events_sweep_fast_cells_per_s\": " << events_fast_cells_per_s << ",\n"
+      << "  \"events_sweep_speedup\": " << events_sweep_speedup << ",\n"
+      << "  \"events_output_identical\": " << (events_identical ? "true" : "false") << "\n"
       << "}\n";
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
-  return identical ? 0 : 1;
+  return identical && events_identical ? 0 : 1;
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // Sweep-engine throughput benchmark: runs one replicated grid serially and
 // on the worker pool, verifies the outputs are byte-identical, and writes
-// BENCH_sweep.json with cells/sec for both plus the speedup.
+// BENCH_sweep.json with cells/sec for both plus the speedup. Wall times are
+// medians over --repeat runs (p50 in the JSON).
 //
-// Usage: sweep_bench [--jobs N] [--seeds N] [--out BENCH_sweep.json]
+// Usage: sweep_bench [--jobs N] [--seeds N] [--repeat N] [--out BENCH_sweep.json]
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -11,15 +12,12 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/workload/sweep.h"
 
 namespace pdpa {
 namespace {
-
-double Seconds(std::chrono::steady_clock::duration d) {
-  return std::chrono::duration<double>(d).count();
-}
 
 int Run(int argc, char** argv) {
   FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
@@ -31,6 +29,7 @@ int Run(int argc, char** argv) {
     }
   }
   const int num_seeds = flags.GetInt("seeds", 8);
+  const int repeat = flags.GetInt("repeat", 1);
   const std::string out_path = flags.GetString("out", "BENCH_sweep.json");
 
   SweepGrid grid;
@@ -47,21 +46,20 @@ int Run(int argc, char** argv) {
 
   SweepOptions serial;
   serial.jobs = 1;
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<SweepCellResult> serial_results = RunSweep(grid, serial);
-  const auto t1 = std::chrono::steady_clock::now();
+  std::vector<SweepCellResult> serial_results;
+  const double serial_s =
+      MedianWallSeconds(repeat, [&] { serial_results = RunSweep(grid, serial); });
   SweepOptions parallel;
   parallel.jobs = jobs;
-  const std::vector<SweepCellResult> parallel_results = RunSweep(grid, parallel);
-  const auto t2 = std::chrono::steady_clock::now();
+  std::vector<SweepCellResult> parallel_results;
+  const double parallel_s =
+      MedianWallSeconds(repeat, [&] { parallel_results = RunSweep(grid, parallel); });
 
   std::ostringstream csv_serial, csv_parallel;
   SweepCsv(serial_results, grid.seeds.size(), csv_serial);
   SweepCsv(parallel_results, grid.seeds.size(), csv_parallel);
   const bool identical = csv_serial.str() == csv_parallel.str();
 
-  const double serial_s = Seconds(t1 - t0);
-  const double parallel_s = Seconds(t2 - t1);
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -70,6 +68,7 @@ int Run(int argc, char** argv) {
   out << "{\n"
       << "  \"cells\": " << cells << ",\n"
       << "  \"seeds\": " << num_seeds << ",\n"
+      << "  \"repeat\": " << repeat << ",\n"
       << "  \"jobs\": " << jobs << ",\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"serial_wall_s\": " << serial_s << ",\n"

@@ -1,0 +1,47 @@
+#include "src/common/bufwriter.h"
+
+namespace pdpa {
+
+BufWriter::BufWriter(std::ostream* out) : out_(out) {
+  // A null sink (recording disabled) discards every Append; skip the 64 KiB
+  // reservation so disabled logs stay allocation-free too.
+  if (out_ != nullptr) {
+    buffer_.reserve(kBufferSize);
+  }
+}
+
+BufWriter::~BufWriter() { Flush(); }
+
+void BufWriter::Append(std::string_view bytes) {
+  if (out_ == nullptr) {
+    return;  // disabled sink: discard
+  }
+  bytes_written_ += bytes.size();
+  if (buffer_.size() + bytes.size() > kBufferSize) {
+    Flush();
+    if (bytes.size() > kBufferSize) {
+      // Oversized record: bypass the buffer entirely.
+      out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      return;
+    }
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+void BufWriter::Append(char c) {
+  if (out_ == nullptr) {
+    return;  // disabled sink: discard
+  }
+  bytes_written_ += 1;
+  if (buffer_.size() + 1 > kBufferSize) Flush();
+  buffer_.push_back(c);
+}
+
+void BufWriter::Flush() {
+  if (out_ != nullptr && !buffer_.empty()) {
+    out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+}
+
+}  // namespace pdpa

@@ -3,55 +3,71 @@
 #include <cctype>
 #include <ostream>
 
+#include "src/common/fmt.h"
 #include "src/common/strings.h"
 
 namespace pdpa {
 
-std::string JsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  out.push_back('"');
+void JsonEscapeTo(std::string* out, std::string_view text) {
+  out->push_back('"');
   for (const char c : text) {
     switch (c) {
       case '"':
-        out += "\\\"";
+        out->append("\\\"");
         break;
       case '\\':
-        out += "\\\\";
+        out->append("\\\\");
         break;
       case '\n':
-        out += "\\n";
+        out->append("\\n");
         break;
       case '\r':
-        out += "\\r";
+        out->append("\\r");
         break;
       case '\t':
-        out += "\\t";
+        out->append("\\t");
         break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
+          static const char kHex[] = "0123456789abcdef";
+          out->append("\\u00");
+          out->push_back(kHex[(c >> 4) & 0xf]);
+          out->push_back(kHex[c & 0xf]);
         } else {
-          out.push_back(c);
+          out->push_back(c);
         }
     }
   }
-  out.push_back('"');
+  out->push_back('"');
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  JsonEscapeTo(&out, text);
   return out;
+}
+
+InternedString StringInterner::Intern(std::string_view raw) {
+  auto it = table_.find(raw);
+  if (it == table_.end()) {
+    it = table_.emplace(std::string(raw), JsonEscape(raw)).first;
+  }
+  return InternedString{it->first, it->second};
 }
 
 void JsonObjectWriter::Key(std::string_view key) {
   if (!first_) {
-    body_.push_back(',');
+    out_->push_back(',');
   }
   first_ = false;
-  body_ += JsonEscape(key);
-  body_.push_back(':');
+  JsonEscapeTo(out_, key);
+  out_->push_back(':');
 }
 
 JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, std::string_view value) {
   Key(key);
-  body_ += JsonEscape(value);
+  JsonEscapeTo(out_, value);
   return *this;
 }
 
@@ -59,15 +75,21 @@ JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, const char* valu
   return Field(key, std::string_view(value));
 }
 
+JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, InternedString value) {
+  Key(key);
+  out_->append(value.escaped);
+  return *this;
+}
+
 JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, long long value) {
   Key(key);
-  body_ += StrFormat("%lld", value);
+  AppendInt(out_, value);
   return *this;
 }
 
 JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, unsigned long long value) {
   Key(key);
-  body_ += StrFormat("%llu", value);
+  AppendUint(out_, value);
   return *this;
 }
 
@@ -77,20 +99,73 @@ JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, int value) {
 
 JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, bool value) {
   Key(key);
-  body_ += value ? "true" : "false";
+  out_->append(value ? "true" : "false");
   return *this;
 }
 
 JsonObjectWriter& JsonObjectWriter::Field(std::string_view key, double value) {
   Key(key);
+  AppendGeneral(out_, value, 10);
+  return *this;
+}
+
+namespace internal {
+
+void LegacyJsonObjectWriter::Key(std::string_view key) {
+  if (!first_) {
+    body_.push_back(',');
+  }
+  first_ = false;
+  body_ += JsonEscape(key);
+  body_.push_back(':');
+}
+
+LegacyJsonObjectWriter& LegacyJsonObjectWriter::Field(std::string_view key,
+                                                      std::string_view value) {
+  Key(key);
+  body_ += JsonEscape(value);
+  return *this;
+}
+
+LegacyJsonObjectWriter& LegacyJsonObjectWriter::Field(std::string_view key, const char* value) {
+  return Field(key, std::string_view(value));
+}
+
+LegacyJsonObjectWriter& LegacyJsonObjectWriter::Field(std::string_view key, long long value) {
+  Key(key);
+  body_ += StrFormat("%lld", value);
+  return *this;
+}
+
+LegacyJsonObjectWriter& LegacyJsonObjectWriter::Field(std::string_view key,
+                                                      unsigned long long value) {
+  Key(key);
+  body_ += StrFormat("%llu", value);
+  return *this;
+}
+
+LegacyJsonObjectWriter& LegacyJsonObjectWriter::Field(std::string_view key, int value) {
+  return Field(key, static_cast<long long>(value));
+}
+
+LegacyJsonObjectWriter& LegacyJsonObjectWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+LegacyJsonObjectWriter& LegacyJsonObjectWriter::Field(std::string_view key, double value) {
+  Key(key);
   body_ += StrFormat("%.10g", value);
   return *this;
 }
 
-std::string JsonObjectWriter::Finish() {
+std::string LegacyJsonObjectWriter::Finish() {
   body_.push_back('}');
   return std::move(body_);
 }
+
+}  // namespace internal
 
 namespace {
 
@@ -235,157 +310,162 @@ bool ParseFlatJson(std::string_view line, std::map<std::string, std::string>* fi
   }
 }
 
+EventLog::EventLog(std::ostream* out) : out_(out), writer_(out) {
+  if (out_ == nullptr) {
+    return;  // Disabled log: no buffers, no interning, every emitter no-ops.
+  }
+  scratch_.reserve(256);
+  type_run_start_ = interner_.Intern("run_start");
+  type_run_end_ = interner_.Intern("run_end");
+  type_job_submit_ = interner_.Intern("job_submit");
+  type_job_start_ = interner_.Intern("job_start");
+  type_job_finish_ = interner_.Intern("job_finish");
+  type_admit_hold_ = interner_.Intern("admit_hold");
+  type_perf_sample_ = interner_.Intern("perf_sample");
+  type_pdpa_transition_ = interner_.Intern("pdpa_transition");
+  type_alloc_decision_ = interner_.Intern("alloc_decision");
+  type_cpu_handoffs_ = interner_.Intern("cpu_handoffs");
+}
+
 void EventLog::Emit(const std::string& json_line) {
   if (out_ == nullptr) {
     return;
   }
   confinement_.AssertConfined("EventLog");
-  *out_ << json_line << '\n';
+  if (legacy_for_test_) {
+    *out_ << json_line << '\n';
+  } else {
+    writer_.Append(json_line);
+    writer_.Append('\n');
+  }
   ++lines_;
 }
 
 void EventLog::RunStart(std::string_view policy, std::string_view workload, double load,
                         unsigned long long seed, int cpus) {
-  if (out_ == nullptr) {
-    return;
-  }
-  Emit(JsonObjectWriter()
-           .Field("type", "run_start")
-           .Field("policy", policy)
-           .Field("workload", workload)
-           .Field("load", load)
-           .Field("seed", seed)
-           .Field("cpus", cpus)
-           .Finish());
+  const InternedString policy_name = out_ != nullptr ? interner_.Intern(policy) : InternedString{};
+  const InternedString workload_name =
+      out_ != nullptr ? interner_.Intern(workload) : InternedString{};
+  EmitRecord([&](auto& writer) {
+    writer.Field("type", type_run_start_)
+        .Field("policy", policy_name)
+        .Field("workload", workload_name)
+        .Field("load", load)
+        .Field("seed", seed)
+        .Field("cpus", cpus);
+  });
 }
 
 void EventLog::RunEnd(SimTime t, int jobs, bool completed) {
-  if (out_ == nullptr) {
-    return;
-  }
-  Emit(JsonObjectWriter()
-           .Field("type", "run_end")
-           .Field("t_us", static_cast<long long>(t))
-           .Field("jobs", jobs)
-           .Field("completed", completed)
-           .Finish());
+  EmitRecord([&](auto& writer) {
+    writer.Field("type", type_run_end_)
+        .Field("t_us", static_cast<long long>(t))
+        .Field("jobs", jobs)
+        .Field("completed", completed);
+  });
 }
 
 void EventLog::JobSubmit(SimTime t, JobId job, std::string_view app_class, int request,
                          bool rigid) {
-  if (out_ == nullptr) {
-    return;
-  }
-  Emit(JsonObjectWriter()
-           .Field("type", "job_submit")
-           .Field("t_us", static_cast<long long>(t))
-           .Field("job", job)
-           .Field("class", app_class)
-           .Field("request", request)
-           .Field("rigid", rigid)
-           .Finish());
+  const InternedString class_name =
+      out_ != nullptr ? interner_.Intern(app_class) : InternedString{};
+  EmitRecord([&](auto& writer) {
+    writer.Field("type", type_job_submit_)
+        .Field("t_us", static_cast<long long>(t))
+        .Field("job", job)
+        .Field("class", class_name)
+        .Field("request", request)
+        .Field("rigid", rigid);
+  });
 }
 
 void EventLog::JobStart(SimTime t, JobId job, std::string_view app_class, int request, int alloc,
                         int running, int queued) {
-  if (out_ == nullptr) {
-    return;
-  }
-  Emit(JsonObjectWriter()
-           .Field("type", "job_start")
-           .Field("t_us", static_cast<long long>(t))
-           .Field("job", job)
-           .Field("class", app_class)
-           .Field("request", request)
-           .Field("alloc", alloc)
-           .Field("running", running)
-           .Field("queued", queued)
-           .Finish());
+  const InternedString class_name =
+      out_ != nullptr ? interner_.Intern(app_class) : InternedString{};
+  EmitRecord([&](auto& writer) {
+    writer.Field("type", type_job_start_)
+        .Field("t_us", static_cast<long long>(t))
+        .Field("job", job)
+        .Field("class", class_name)
+        .Field("request", request)
+        .Field("alloc", alloc)
+        .Field("running", running)
+        .Field("queued", queued);
+  });
 }
 
 void EventLog::JobFinish(SimTime t, JobId job, SimTime submit, SimTime start) {
-  if (out_ == nullptr) {
-    return;
-  }
-  Emit(JsonObjectWriter()
-           .Field("type", "job_finish")
-           .Field("t_us", static_cast<long long>(t))
-           .Field("job", job)
-           .Field("submit_us", static_cast<long long>(submit))
-           .Field("start_us", static_cast<long long>(start))
-           .Finish());
+  EmitRecord([&](auto& writer) {
+    writer.Field("type", type_job_finish_)
+        .Field("t_us", static_cast<long long>(t))
+        .Field("job", job)
+        .Field("submit_us", static_cast<long long>(submit))
+        .Field("start_us", static_cast<long long>(start));
+  });
 }
 
 void EventLog::AdmitHold(SimTime t, int running, int queued, int free_cpus) {
-  if (out_ == nullptr) {
-    return;
-  }
-  Emit(JsonObjectWriter()
-           .Field("type", "admit_hold")
-           .Field("t_us", static_cast<long long>(t))
-           .Field("running", running)
-           .Field("queued", queued)
-           .Field("free_cpus", free_cpus)
-           .Finish());
+  EmitRecord([&](auto& writer) {
+    writer.Field("type", type_admit_hold_)
+        .Field("t_us", static_cast<long long>(t))
+        .Field("running", running)
+        .Field("queued", queued)
+        .Field("free_cpus", free_cpus);
+  });
 }
 
 void EventLog::PerfSample(SimTime t, JobId job, int procs, double speedup, double efficiency) {
-  if (out_ == nullptr) {
-    return;
-  }
-  Emit(JsonObjectWriter()
-           .Field("type", "perf_sample")
-           .Field("t_us", static_cast<long long>(t))
-           .Field("job", job)
-           .Field("procs", procs)
-           .Field("speedup", speedup)
-           .Field("eff", efficiency)
-           .Finish());
+  EmitRecord([&](auto& writer) {
+    writer.Field("type", type_perf_sample_)
+        .Field("t_us", static_cast<long long>(t))
+        .Field("job", job)
+        .Field("procs", procs)
+        .Field("speedup", speedup)
+        .Field("eff", efficiency);
+  });
 }
 
 void EventLog::PdpaTransition(SimTime t, JobId job, const char* from, const char* to,
                               int from_alloc, int to_alloc, double speedup, double efficiency,
                               double target_eff, const char* trigger) {
-  if (out_ == nullptr) {
-    return;
-  }
-  Emit(JsonObjectWriter()
-           .Field("type", "pdpa_transition")
-           .Field("t_us", static_cast<long long>(t))
-           .Field("job", job)
-           .Field("from", from)
-           .Field("to", to)
-           .Field("from_alloc", from_alloc)
-           .Field("to_alloc", to_alloc)
-           .Field("speedup", speedup)
-           .Field("eff", efficiency)
-           .Field("target", target_eff)
-           .Field("trigger", trigger)
-           .Finish());
+  const InternedString from_name = out_ != nullptr ? interner_.Intern(from) : InternedString{};
+  const InternedString to_name = out_ != nullptr ? interner_.Intern(to) : InternedString{};
+  const InternedString trigger_name =
+      out_ != nullptr ? interner_.Intern(trigger) : InternedString{};
+  EmitRecord([&](auto& writer) {
+    writer.Field("type", type_pdpa_transition_)
+        .Field("t_us", static_cast<long long>(t))
+        .Field("job", job)
+        .Field("from", from_name)
+        .Field("to", to_name)
+        .Field("from_alloc", from_alloc)
+        .Field("to_alloc", to_alloc)
+        .Field("speedup", speedup)
+        .Field("eff", efficiency)
+        .Field("target", target_eff)
+        .Field("trigger", trigger_name);
+  });
 }
 
 void EventLog::AllocDecision(SimTime t, const char* trigger, const std::string& plan) {
-  if (out_ == nullptr) {
-    return;
-  }
-  Emit(JsonObjectWriter()
-           .Field("type", "alloc_decision")
-           .Field("t_us", static_cast<long long>(t))
-           .Field("trigger", trigger)
-           .Field("plan", plan)
-           .Finish());
+  const InternedString trigger_name =
+      out_ != nullptr ? interner_.Intern(trigger) : InternedString{};
+  EmitRecord([&](auto& writer) {
+    writer.Field("type", type_alloc_decision_)
+        .Field("t_us", static_cast<long long>(t))
+        .Field("trigger", trigger_name)
+        .Field("plan", plan);
+  });
 }
 
 void EventLog::CpuHandoffs(SimTime t, int moved, int migrations) {
-  if (out_ == nullptr) {
-    return;
-  }
-  Emit(JsonObjectWriter()
-           .Field("type", "cpu_handoffs")
-           .Field("t_us", static_cast<long long>(t))
-           .Field("moved", moved)
-           .Field("migrations", migrations)
-           .Finish());
+  EmitRecord([&](auto& writer) {
+    writer.Field("type", type_cpu_handoffs_)
+        .Field("t_us", static_cast<long long>(t))
+        .Field("moved", moved)
+        .Field("migrations", migrations);
+  });
 }
 
 }  // namespace pdpa

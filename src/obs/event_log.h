@@ -11,6 +11,17 @@
 // The log is an optional, non-owning sink: a null/absent EventLog makes
 // every emitter a no-op, so instrumented hot paths cost one pointer test
 // when recording is off.
+//
+// Serialization fast path (DESIGN.md §9): each record is formatted into a
+// reusable scratch buffer (append-to-buffer number formatters from
+// src/common/fmt.h, no per-field temporaries) and handed to a 64 KiB
+// BufWriter, so steady-state emission performs zero heap allocations and
+// one ostream write per ~64 KiB. The small fixed vocabulary of event-type
+// and app-class names is interned as pre-escaped JSON literals. Bytes are
+// identical to the original StrFormat path, which survives as
+// internal::LegacyJsonObjectWriter behind a test-only flag for the golden
+// byte-identity fixture and the serialization A/B bench. Readers of a
+// captured ostringstream must call Flush() first while the log is alive.
 #ifndef SRC_OBS_EVENT_LOG_H_
 #define SRC_OBS_EVENT_LOG_H_
 
@@ -19,25 +30,84 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/bufwriter.h"
 #include "src/common/ids.h"
 #include "src/common/mutex.h"
 #include "src/common/time_types.h"
 
 namespace pdpa {
 
-// Builds one flat JSON object ({"key":value,...}). Keys are emitted in call
-// order; values are escaped strings or numbers formatted deterministically.
+// A string from a small fixed vocabulary, cached with its JSON-escaped
+// quoted form so hot emitters skip the escape loop. Both views point into
+// a StringInterner and stay valid for the interner's lifetime.
+struct InternedString {
+  std::string_view raw;
+  std::string_view escaped;  // includes surrounding quotes
+};
+
+// Caches the JSON-escaped form of each distinct string it sees. Node-based
+// map storage keeps the returned views stable across later insertions.
+class StringInterner {
+ public:
+  InternedString Intern(std::string_view raw);
+
+ private:
+  std::map<std::string, std::string, std::less<>> table_;
+};
+
+// Appends JSON string-literal escapes of `text` (with surrounding quotes)
+// to *out, allocation-free apart from buffer growth.
+void JsonEscapeTo(std::string* out, std::string_view text);
+
+// Escapes `text` as a JSON string literal (with surrounding quotes).
+std::string JsonEscape(std::string_view text);
+
+// Builds one flat JSON object ({"key":value,...}) by appending into a
+// caller-provided buffer — typically a reusable scratch string, so writing
+// a record allocates nothing. Keys are emitted in call order; values are
+// escaped strings or numbers formatted deterministically (doubles use the
+// "%.10g" contract, see src/common/fmt.h).
 class JsonObjectWriter {
  public:
+  explicit JsonObjectWriter(std::string* out) : out_(out) { out_->push_back('{'); }
+
   JsonObjectWriter& Field(std::string_view key, std::string_view value);
   JsonObjectWriter& Field(std::string_view key, const char* value);
+  JsonObjectWriter& Field(std::string_view key, InternedString value);
   JsonObjectWriter& Field(std::string_view key, long long value);
   JsonObjectWriter& Field(std::string_view key, unsigned long long value);
   JsonObjectWriter& Field(std::string_view key, int value);
   JsonObjectWriter& Field(std::string_view key, bool value);
-  // Doubles use "%.10g": enough digits to round-trip the values we record,
-  // and bit-deterministic for a given binary.
   JsonObjectWriter& Field(std::string_view key, double value);
+
+  // Closes the object in the buffer. The writer is single-use.
+  void Finish() { out_->push_back('}'); }
+
+ private:
+  void Key(std::string_view key);
+
+  std::string* out_;
+  bool first_ = true;
+};
+
+namespace internal {
+
+// The pre-fast-path serializer, byte for byte: builds its own std::string
+// via snprintf-backed StrFormat with one temporary per field. Kept only so
+// the golden fixture and serialization_bench can A/B the fast path against
+// the original allocation behavior; production code must not use it.
+class LegacyJsonObjectWriter {
+ public:
+  LegacyJsonObjectWriter& Field(std::string_view key, std::string_view value);
+  LegacyJsonObjectWriter& Field(std::string_view key, const char* value);
+  LegacyJsonObjectWriter& Field(std::string_view key, InternedString value) {
+    return Field(key, value.raw);
+  }
+  LegacyJsonObjectWriter& Field(std::string_view key, long long value);
+  LegacyJsonObjectWriter& Field(std::string_view key, unsigned long long value);
+  LegacyJsonObjectWriter& Field(std::string_view key, int value);
+  LegacyJsonObjectWriter& Field(std::string_view key, bool value);
+  LegacyJsonObjectWriter& Field(std::string_view key, double value);
 
   // Returns the closed object. The writer is single-use.
   std::string Finish();
@@ -49,8 +119,7 @@ class JsonObjectWriter {
   bool first_ = true;
 };
 
-// Escapes `text` as a JSON string literal (with surrounding quotes).
-std::string JsonEscape(std::string_view text);
+}  // namespace internal
 
 // Parses one flat JSON object line (as produced by EventLog) into
 // field -> raw value. String values are unescaped; numbers/bools keep their
@@ -61,13 +130,27 @@ bool ParseFlatJson(std::string_view line, std::map<std::string, std::string>* fi
 class EventLog {
  public:
   // `out` is borrowed and must outlive the log; null disables recording.
-  explicit EventLog(std::ostream* out) : out_(out) {}
+  explicit EventLog(std::ostream* out);
 
   EventLog(const EventLog&) = delete;
   EventLog& operator=(const EventLog&) = delete;
 
   bool enabled() const { return out_ != nullptr; }
   long long lines_written() const { return lines_; }
+
+  // Pushes buffered bytes through to the sink. Must be called before
+  // reading a captured ostringstream while the log is still alive (the
+  // destructor also flushes).
+  void Flush() {
+    if (out_ != nullptr) {
+      writer_.Flush();
+    }
+  }
+
+  // Test-only: route every record through the retained PR-4 serializer
+  // (per-field StrFormat temporaries, unbuffered per-line ostream writes)
+  // so golden fixtures and benches can compare it against the fast path.
+  void set_legacy_serialization_for_test(bool legacy) { legacy_for_test_ = legacy; }
 
   // --- Typed emitters -----------------------------------------------------
   // One experiment begins; no timestamp on purpose (always t=0).
@@ -105,8 +188,40 @@ class EventLog {
   void Emit(const std::string& json_line);
 
  private:
+  // Shared emit shell: `fill` applies the record's .Field(...) chain to
+  // whichever serializer is active (fast buffer writer or retained legacy
+  // writer), so each typed emitter states its schema exactly once.
+  template <typename Fn>
+  void EmitRecord(Fn&& fill) {
+    if (out_ == nullptr) {
+      return;
+    }
+    confinement_.AssertConfined("EventLog");
+    if (legacy_for_test_) {
+      internal::LegacyJsonObjectWriter writer;
+      fill(writer);
+      *out_ << writer.Finish() << '\n';
+    } else {
+      scratch_.clear();
+      JsonObjectWriter writer(&scratch_);
+      fill(writer);
+      writer.Finish();
+      scratch_.push_back('\n');
+      writer_.Append(scratch_);
+    }
+    ++lines_;
+  }
+
   std::ostream* out_;
+  BufWriter writer_;
+  std::string scratch_;
+  StringInterner interner_;
+  // The fixed event-type vocabulary, interned once at construction.
+  InternedString type_run_start_, type_run_end_, type_job_submit_, type_job_start_,
+      type_job_finish_, type_admit_hold_, type_perf_sample_, type_pdpa_transition_,
+      type_alloc_decision_, type_cpu_handoffs_;
   long long lines_ = 0;
+  bool legacy_for_test_ = false;
   // The log is not mutex-protected by design: every EventLog belongs to one
   // run and is only written by the thread driving that run (the sweep engine
   // gives each cell a private sink). Audit builds enforce that confinement.

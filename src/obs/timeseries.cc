@@ -2,9 +2,51 @@
 
 #include <ostream>
 
+#include "src/common/bufwriter.h"
+#include "src/common/fmt.h"
 #include "src/common/strings.h"
 
 namespace pdpa {
+
+namespace {
+
+constexpr char kCsvHeader[] =
+    "kind,t_s,t_end_s,job,alloc,speedup,efficiency,state,free_cpus,running,queued,"
+    "utilization\n";
+
+void AppendAppRow(std::string* row, const TimeSeriesSampler::AppPoint& p) {
+  row->append("app,");
+  AppendFixed(row, TimeToSeconds(p.t_start), 6);
+  row->push_back(',');
+  AppendFixed(row, TimeToSeconds(p.t_end), 6);
+  row->push_back(',');
+  AppendInt(row, p.job);
+  row->push_back(',');
+  AppendGeneral(row, p.alloc, 10);
+  row->push_back(',');
+  AppendGeneral(row, p.speedup, 10);
+  row->push_back(',');
+  AppendGeneral(row, p.efficiency, 10);
+  row->push_back(',');
+  row->append(p.state);
+  row->append(",,,,\n");
+}
+
+void AppendMachineRow(std::string* row, const TimeSeriesSampler::MachinePoint& p) {
+  row->append("machine,");
+  AppendFixed(row, TimeToSeconds(p.t), 6);
+  row->append(",,,,,,,");
+  AppendInt(row, p.free_cpus);
+  row->push_back(',');
+  AppendInt(row, p.running);
+  row->push_back(',');
+  AppendInt(row, p.queued);
+  row->push_back(',');
+  AppendGeneral(row, p.utilization, 10);
+  row->push_back('\n');
+}
+
+}  // namespace
 
 std::map<JobId, double> TimeSeriesSampler::AllocIntegralUs() const {
   std::map<JobId, double> integral;
@@ -15,32 +57,57 @@ std::map<JobId, double> TimeSeriesSampler::AllocIntegralUs() const {
 }
 
 void TimeSeriesSampler::WriteCsv(std::ostream& out) const {
-  out << "kind,t_s,t_end_s,job,alloc,speedup,efficiency,state,free_cpus,running,queued,"
-         "utilization\n";
+  BufWriter writer(&out);
+  writer.Append(kCsvHeader);
   // Both vectors are appended in simulation order; merge by timestamp so the
   // CSV reads chronologically (app windows before the machine sample taken
   // at the same instant).
+  std::string row;
+  row.reserve(160);
   std::size_t a = 0;
   std::size_t m = 0;
   while (a < apps_.size() || m < machine_.size()) {
     const bool take_app =
         m >= machine_.size() || (a < apps_.size() && apps_[a].t_end <= machine_[m].t);
+    row.clear();
     if (take_app) {
-      const AppPoint& p = apps_[a++];
-      out << StrFormat("app,%.6f,%.6f,%d,%.10g,%.10g,%.10g,%s,,,,\n", TimeToSeconds(p.t_start),
-                       TimeToSeconds(p.t_end), p.job, p.alloc, p.speedup, p.efficiency,
-                       p.state.c_str());
+      AppendAppRow(&row, apps_[a++]);
     } else {
-      const MachinePoint& p = machine_[m++];
-      out << StrFormat("machine,%.6f,,,,,,,%d,%d,%d,%.10g\n", TimeToSeconds(p.t),
-                       p.free_cpus, p.running, p.queued, p.utilization);
+      AppendMachineRow(&row, machine_[m++]);
     }
+    writer.Append(row);
   }
+  writer.Flush();
 }
 
 void TimeSeriesSampler::Clear() {
   apps_.clear();
   machine_.clear();
 }
+
+namespace internal {
+
+void WriteTimeSeriesCsvLegacy(const TimeSeriesSampler& series, std::ostream& out) {
+  out << kCsvHeader;
+  std::size_t a = 0;
+  std::size_t m = 0;
+  const auto& apps = series.apps();
+  const auto& machine = series.machine();
+  while (a < apps.size() || m < machine.size()) {
+    const bool take_app = m >= machine.size() || (a < apps.size() && apps[a].t_end <= machine[m].t);
+    if (take_app) {
+      const TimeSeriesSampler::AppPoint& p = apps[a++];
+      out << StrFormat("app,%.6f,%.6f,%d,%.10g,%.10g,%.10g,%s,,,,\n", TimeToSeconds(p.t_start),
+                       TimeToSeconds(p.t_end), p.job, p.alloc, p.speedup, p.efficiency,
+                       p.state.c_str());
+    } else {
+      const TimeSeriesSampler::MachinePoint& p = machine[m++];
+      out << StrFormat("machine,%.6f,,,,,,,%d,%d,%d,%.10g\n", TimeToSeconds(p.t), p.free_cpus,
+                       p.running, p.queued, p.utilization);
+    }
+  }
+}
+
+}  // namespace internal
 
 }  // namespace pdpa

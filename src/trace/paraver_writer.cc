@@ -1,7 +1,10 @@
 #include "src/trace/paraver_writer.h"
 
+#include <string>
+
+#include "src/common/bufwriter.h"
+#include "src/common/fmt.h"
 #include "src/common/logging.h"
-#include "src/common/strings.h"
 
 namespace pdpa {
 
@@ -10,13 +13,21 @@ void WriteParaverTrace(const TraceRecorder& recorder, int num_jobs, std::ostream
   const auto& samples = recorder.samples();
   const long long duration_ns =
       static_cast<long long>(samples.size()) * recorder.sample_period() * 1000;
+  BufWriter writer(&out);
+  std::string row;
+  row.reserve(96);
   // Header: #Paraver (date):duration_ns:nodes(cpus):num_appl:appl_list
-  out << "#Paraver (01/01/00 at 00:00):" << duration_ns << "_ns:1(" << recorder.num_cpus()
-      << "):" << num_jobs;
+  row.append("#Paraver (01/01/00 at 00:00):");
+  AppendInt(&row, duration_ns);
+  row.append("_ns:1(");
+  AppendInt(&row, recorder.num_cpus());
+  row.append("):");
+  AppendInt(&row, num_jobs);
+  writer.Append(row);
   for (int job = 0; job < num_jobs; ++job) {
-    out << ":1(1:1)";
+    writer.Append(":1(1:1)");
   }
-  out << "\n";
+  writer.Append('\n');
 
   // One state record per maximal run of identical ownership per CPU.
   for (int cpu = 0; cpu < recorder.num_cpus(); ++cpu) {
@@ -31,6 +42,92 @@ void WriteParaverTrace(const TraceRecorder& recorder, int num_jobs, std::ostream
         const long long t0 = static_cast<long long>(begin) * recorder.sample_period() * 1000;
         const long long t1 = static_cast<long long>(end) * recorder.sample_period() * 1000;
         // state 1 = running.
+        row.clear();
+        row.append("1:");
+        AppendInt(&row, cpu + 1);
+        row.push_back(':');
+        AppendInt(&row, job + 1);
+        row.append(":1:1:");
+        AppendInt(&row, t0);
+        row.push_back(':');
+        AppendInt(&row, t1);
+        row.append(":1\n");
+        writer.Append(row);
+      }
+      begin = end;
+    }
+  }
+  writer.Flush();
+}
+
+void WriteParaverConfig(int num_jobs, std::ostream& out) {
+  BufWriter writer(&out);
+  writer.Append(
+      "DEFAULT_OPTIONS\n\n"
+      "LEVEL               CPU\n"
+      "UNITS               NANOSEC\n\n"
+      "STATES\n"
+      "0    IDLE\n"
+      "1    RUNNING\n\n"
+      "STATES_COLOR\n"
+      "0    {117,195,255}\n"
+      "1    {0,0,255}\n\n"
+      "GRADIENT_NAMES\n");
+  std::string row;
+  row.reserve(48);
+  // One gradient entry per application so Paraver can color by job.
+  for (int job = 0; job < num_jobs; ++job) {
+    row.clear();
+    AppendInt(&row, job + 1);
+    row.append("    job_");
+    AppendInt(&row, job);
+    row.push_back('\n');
+    writer.Append(row);
+  }
+  writer.Append("\nGRADIENT_COLOR\n");
+  for (int job = 0; job < num_jobs; ++job) {
+    // Deterministic distinct-ish palette.
+    const int r = (37 * (job + 1)) % 256;
+    const int g = (91 * (job + 1)) % 256;
+    const int b = (151 * (job + 1)) % 256;
+    row.clear();
+    AppendInt(&row, job + 1);
+    row.append("    {");
+    AppendInt(&row, r);
+    row.push_back(',');
+    AppendInt(&row, g);
+    row.push_back(',');
+    AppendInt(&row, b);
+    row.append("}\n");
+    writer.Append(row);
+  }
+  writer.Flush();
+}
+
+namespace internal {
+
+void WriteParaverTraceLegacy(const TraceRecorder& recorder, int num_jobs, std::ostream& out) {
+  PDPA_CHECK_GE(num_jobs, 0);
+  const auto& samples = recorder.samples();
+  const long long duration_ns =
+      static_cast<long long>(samples.size()) * recorder.sample_period() * 1000;
+  out << "#Paraver (01/01/00 at 00:00):" << duration_ns << "_ns:1(" << recorder.num_cpus()
+      << "):" << num_jobs;
+  for (int job = 0; job < num_jobs; ++job) {
+    out << ":1(1:1)";
+  }
+  out << "\n";
+  for (int cpu = 0; cpu < recorder.num_cpus(); ++cpu) {
+    std::size_t begin = 0;
+    while (begin < samples.size()) {
+      const JobId job = samples[begin][static_cast<std::size_t>(cpu)];
+      std::size_t end = begin + 1;
+      while (end < samples.size() && samples[end][static_cast<std::size_t>(cpu)] == job) {
+        ++end;
+      }
+      if (job != kIdleJob) {
+        const long long t0 = static_cast<long long>(begin) * recorder.sample_period() * 1000;
+        const long long t1 = static_cast<long long>(end) * recorder.sample_period() * 1000;
         out << "1:" << (cpu + 1) << ":" << (job + 1) << ":1:1:" << t0 << ":" << t1 << ":1\n";
       }
       begin = end;
@@ -38,29 +135,6 @@ void WriteParaverTrace(const TraceRecorder& recorder, int num_jobs, std::ostream
   }
 }
 
-void WriteParaverConfig(int num_jobs, std::ostream& out) {
-  out << "DEFAULT_OPTIONS\n\n"
-      << "LEVEL               CPU\n"
-      << "UNITS               NANOSEC\n\n"
-      << "STATES\n"
-      << "0    IDLE\n"
-      << "1    RUNNING\n\n"
-      << "STATES_COLOR\n"
-      << "0    {117,195,255}\n"
-      << "1    {0,0,255}\n\n"
-      << "GRADIENT_NAMES\n";
-  // One gradient entry per application so Paraver can color by job.
-  for (int job = 0; job < num_jobs; ++job) {
-    out << job + 1 << "    job_" << job << "\n";
-  }
-  out << "\nGRADIENT_COLOR\n";
-  for (int job = 0; job < num_jobs; ++job) {
-    // Deterministic distinct-ish palette.
-    const int r = (37 * (job + 1)) % 256;
-    const int g = (91 * (job + 1)) % 256;
-    const int b = (151 * (job + 1)) % 256;
-    out << job + 1 << "    {" << r << "," << g << "," << b << "}\n";
-  }
-}
+}  // namespace internal
 
 }  // namespace pdpa

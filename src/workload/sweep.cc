@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "src/app/app_profile.h"
+#include "src/common/bufwriter.h"
+#include "src/common/fmt.h"
 #include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/common/strings.h"
@@ -65,6 +67,7 @@ void RunCell(const SweepCell& cell, const SweepOptions& options, SweepCellResult
   std::ostringstream events;
   EventLog event_log(options.capture_events ? &events : nullptr);
   if (options.capture_events) {
+    event_log.set_legacy_serialization_for_test(options.legacy_serialization_for_test);
     config.event_log = &event_log;
   }
   TimeSeriesSampler timeseries;
@@ -77,11 +80,16 @@ void RunCell(const SweepCell& cell, const SweepOptions& options, SweepCellResult
     out->counters = registry.Snapshot();
   }
   if (options.capture_events) {
+    event_log.Flush();  // The log buffers; push bytes out before reading.
     out->events_jsonl = events.str();
   }
   if (options.capture_timeseries) {
     std::ostringstream csv;
-    timeseries.WriteCsv(csv);
+    if (options.legacy_serialization_for_test) {
+      internal::WriteTimeSeriesCsvLegacy(timeseries, csv);
+    } else {
+      timeseries.WriteCsv(csv);
+    }
     out->timeseries_csv = csv.str();
   }
 }
@@ -203,12 +211,124 @@ CellAggregate AggregateSeeds(const std::vector<SweepCellResult>& results, std::s
   return aggregate;
 }
 
+namespace {
+
+constexpr char kSweepCsvHeader[] =
+    "workload,load,policy,seed,class,jobs,avg_response_s,p50_response_s,p95_response_s,"
+    "avg_exec_s,avg_wait_s,avg_cpus,makespan_s,max_ml,reallocations,completed\n";
+
+struct Pick {
+  const char* label;
+  double (*get)(const AggStat&);
+};
+
+constexpr Pick kPicks[] = {
+    {"mean", [](const AggStat& s) { return s.mean; }},
+    {"p50", [](const AggStat& s) { return s.p50; }},
+    {"p95", [](const AggStat& s) { return s.p95; }},
+};
+
+void AppendFixed2Cell(std::string* row, double value) {
+  AppendFixed(row, value, 2);
+  row->push_back(',');
+}
+
+void AppendReplicaRow(std::string* row, const SweepCellResult& r, AppClass app_class,
+                      const ClassMetrics& m) {
+  row->append(WorkloadName(r.cell.workload));
+  row->push_back(',');
+  AppendFixed2Cell(row, r.cell.load);
+  row->append(r.result.policy_name);
+  row->push_back(',');
+  AppendUint(row, static_cast<unsigned long long>(r.cell.seed));
+  row->push_back(',');
+  row->append(AppClassName(app_class));
+  row->push_back(',');
+  AppendInt(row, m.count);
+  row->push_back(',');
+  AppendFixed2Cell(row, m.avg_response_s);
+  AppendFixed2Cell(row, m.p50_response_s);
+  AppendFixed2Cell(row, m.p95_response_s);
+  AppendFixed2Cell(row, m.avg_exec_s);
+  AppendFixed2Cell(row, m.avg_wait_s);
+  AppendFixed2Cell(row, m.avg_alloc);
+  AppendFixed2Cell(row, r.result.metrics.makespan_s);
+  AppendInt(row, r.result.max_ml);
+  row->push_back(',');
+  AppendInt(row, r.result.reallocations);
+  row->push_back(',');
+  AppendInt(row, r.result.completed ? 1 : 0);
+  row->push_back('\n');
+}
+
+void AppendAggregateRow(std::string* row, const SweepCellResult& head,
+                        const CellAggregate& aggregate, AppClass app_class,
+                        const ClassAggregate& agg, const Pick& pick) {
+  row->append(WorkloadName(head.cell.workload));
+  row->push_back(',');
+  AppendFixed2Cell(row, head.cell.load);
+  row->append(head.result.policy_name);
+  row->push_back(',');
+  row->append(pick.label);
+  row->push_back(',');
+  row->append(AppClassName(app_class));
+  row->push_back(',');
+  AppendFixed2Cell(row, pick.get(agg.count));
+  AppendFixed2Cell(row, pick.get(agg.avg_response_s));
+  AppendFixed2Cell(row, pick.get(agg.p50_response_s));
+  AppendFixed2Cell(row, pick.get(agg.p95_response_s));
+  AppendFixed2Cell(row, pick.get(agg.avg_exec_s));
+  AppendFixed2Cell(row, pick.get(agg.avg_wait_s));
+  AppendFixed2Cell(row, pick.get(agg.avg_alloc));
+  AppendFixed2Cell(row, pick.get(aggregate.makespan_s));
+  AppendFixed2Cell(row, pick.get(aggregate.max_ml));
+  AppendFixed2Cell(row, pick.get(aggregate.reallocations));
+  AppendInt(row, aggregate.all_completed ? 1 : 0);
+  row->push_back('\n');
+}
+
+}  // namespace
+
 void SweepCsv(const std::vector<SweepCellResult>& results, std::size_t seeds_per_group,
               std::ostream& out) {
   PDPA_CHECK_GE(seeds_per_group, 1u);
   PDPA_CHECK_EQ(results.size() % seeds_per_group, 0u);
-  out << "workload,load,policy,seed,class,jobs,avg_response_s,p50_response_s,p95_response_s,"
-         "avg_exec_s,avg_wait_s,avg_cpus,makespan_s,max_ml,reallocations,completed\n";
+  BufWriter writer(&out);
+  writer.Append(kSweepCsvHeader);
+  std::string row;
+  row.reserve(200);
+  for (std::size_t group = 0; group < results.size(); group += seeds_per_group) {
+    for (std::size_t i = group; i < group + seeds_per_group; ++i) {
+      const SweepCellResult& r = results[i];
+      for (const auto& [app_class, m] : r.result.metrics.per_class) {
+        row.clear();
+        AppendReplicaRow(&row, r, app_class, m);
+        writer.Append(row);
+      }
+    }
+    if (seeds_per_group <= 1) {
+      continue;
+    }
+    const SweepCellResult& head = results[group];
+    const CellAggregate aggregate = AggregateSeeds(results, group, seeds_per_group);
+    for (const auto& [app_class, agg] : aggregate.per_class) {
+      for (const Pick& pick : kPicks) {
+        row.clear();
+        AppendAggregateRow(&row, head, aggregate, app_class, agg, pick);
+        writer.Append(row);
+      }
+    }
+  }
+  writer.Flush();
+}
+
+namespace internal {
+
+void SweepCsvLegacy(const std::vector<SweepCellResult>& results, std::size_t seeds_per_group,
+                    std::ostream& out) {
+  PDPA_CHECK_GE(seeds_per_group, 1u);
+  PDPA_CHECK_EQ(results.size() % seeds_per_group, 0u);
+  out << kSweepCsvHeader;
   for (std::size_t group = 0; group < results.size(); group += seeds_per_group) {
     for (std::size_t i = group; i < group + seeds_per_group; ++i) {
       const SweepCellResult& r = results[i];
@@ -227,15 +347,6 @@ void SweepCsv(const std::vector<SweepCellResult>& results, std::size_t seeds_per
     }
     const SweepCellResult& head = results[group];
     const CellAggregate aggregate = AggregateSeeds(results, group, seeds_per_group);
-    struct Pick {
-      const char* label;
-      double (*get)(const AggStat&);
-    };
-    static constexpr Pick kPicks[] = {
-        {"mean", [](const AggStat& s) { return s.mean; }},
-        {"p50", [](const AggStat& s) { return s.p50; }},
-        {"p95", [](const AggStat& s) { return s.p95; }},
-    };
     for (const auto& [app_class, agg] : aggregate.per_class) {
       for (const Pick& pick : kPicks) {
         out << StrFormat(
@@ -250,5 +361,7 @@ void SweepCsv(const std::vector<SweepCellResult>& results, std::size_t seeds_per
     }
   }
 }
+
+}  // namespace internal
 
 }  // namespace pdpa

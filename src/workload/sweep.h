@@ -88,6 +88,10 @@ struct SweepOptions {
   // serialized and need no locking of their own — but must stay quick and
   // must not call back into RunSweep.
   std::function<void(const SweepProgress&)> on_progress;
+  // Test-only: capture each cell's events/time-series through the retained
+  // pre-fast-path serializers (see DESIGN.md §9) so golden fixtures and
+  // benches can compare recordings byte for byte against the fast path.
+  bool legacy_serialization_for_test = false;
 };
 
 namespace internal {
@@ -159,6 +163,17 @@ CellAggregate AggregateSeeds(const std::vector<SweepCellResult>& results, std::s
 // must divide results.size().
 void SweepCsv(const std::vector<SweepCellResult>& results, std::size_t seeds_per_group,
               std::ostream& out);
+
+namespace internal {
+
+// The pre-fast-path sweep CSV writer (per-row StrFormat temporaries,
+// per-row ostream inserts), kept only so the golden byte-identity fixture
+// and serialization_bench can A/B against SweepCsv; production code must
+// not use it.
+void SweepCsvLegacy(const std::vector<SweepCellResult>& results, std::size_t seeds_per_group,
+                    std::ostream& out);
+
+}  // namespace internal
 
 }  // namespace pdpa
 

@@ -143,6 +143,7 @@ CapturedRun RunCaptured(const GoldenCase& c, bool exact_ticks) {
   config.timeseries = &timeseries;
   config.registry = &registry;
   run.result = RunExperiment(config);
+  events.Flush();  // The log buffers; push bytes out before reading.
   run.events = events_stream.str();
   std::ostringstream ts_stream;
   timeseries.WriteCsv(ts_stream);

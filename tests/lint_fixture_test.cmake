@@ -53,6 +53,15 @@ direct_io_violation.cc:9: direct-io: 'std::cout' in src/ (emit through the obs l
 direct_io_violation.cc:10: direct-io: 'std::cerr' in src/ (emit through the obs layer or PDPA_LOG)
 ")
 
+expect_lint(stream_flush_violation.cc 1
+"stream_flush_violation.cc:6: stream-flush: 'endl' in src/ flushes per line (write '\\n' and let BufWriter batch; Flush() once at the end)
+stream_flush_violation.cc:7: stream-flush: 'flush' in src/ flushes per line (write '\\n' and let BufWriter batch; Flush() once at the end)
+stream_flush_violation.cc:9: stream-flush: 'endl' in src/ flushes per line (write '\\n' and let BufWriter batch; Flush() once at the end)
+")
+
+# Tools own their streams' flushing policy: rule scoped to src/ only.
+expect_lint(stream_flush_violation.cc 0 "" --treat-as tools)
+
 # bench/ classification turns the wall-clock rule off entirely.
 expect_lint(wall_clock_violation.cc 0 "" --treat-as bench)
 
@@ -86,8 +95,17 @@ endif()
 execute_process(COMMAND ${LINT} --list-rules RESULT_VARIABLE exit_code
                 OUTPUT_VARIABLE stdout ERROR_QUIET)
 if(NOT exit_code EQUAL 0 OR NOT stdout MATCHES "wall-clock" OR NOT stdout MATCHES "unordered-iter"
-   OR NOT stdout MATCHES "float-eq" OR NOT stdout MATCHES "direct-io")
+   OR NOT stdout MATCHES "float-eq" OR NOT stdout MATCHES "direct-io"
+   OR NOT stdout MATCHES "stream-flush")
   message(SEND_ERROR "--list-rules: exit ${exit_code}\n${stdout}")
+endif()
+# Exact rule count: adding or dropping a rule must update this oracle.
+# (Strip semicolons first — they would split the matches into list items.)
+string(REPLACE ";" "," rules_no_semi "${stdout}")
+string(REGEX MATCHALL "[^\n]+\n" rule_lines "${rules_no_semi}")
+list(LENGTH rule_lines rule_count)
+if(NOT rule_count EQUAL 5)
+  message(SEND_ERROR "--list-rules: ${rule_count} rules listed, want 5\n${stdout}")
 endif()
 
 # JSON report: well-shaped, counts waived vs unwaived.

@@ -1,0 +1,19 @@
+// Fixture: per-line stream flushes in src/-classified code. Uses an
+// ostream& parameter (not cout/cerr) so only stream-flush fires.
+#include <ostream>
+
+void Bad(std::ostream& out, int value) {
+  out << value << std::endl;              // line 6: qualified endl
+  out << value << std::flush;             // line 7: qualified flush
+  using namespace std;
+  out << value << endl;                   // line 9: streamed endl
+  out << value << std::endl;  // lint: stream-flush-ok (fixture: justified)
+}
+
+// A plain identifier named `flush` is someone's variable, not stream I/O;
+// `.flush` as a member name is likewise out of scope for this rule.
+void Fine(std::ostream& out, bool flush) {
+  if (flush) {
+    out.flush();
+  }
+}

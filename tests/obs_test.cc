@@ -102,13 +102,14 @@ TEST(RegistryTest, SnapshotIsNameSortedAndResetAllZeroes) {
 // ------------------------------------------------------------------- json
 
 TEST(JsonTest, EscapeRoundTripsThroughParse) {
-  JsonObjectWriter writer;
+  std::string line;
+  JsonObjectWriter writer(&line);
   writer.Field("text", "line\nwith \"quotes\" and \\slash\\ and\ttab")
       .Field("n", 42)
       .Field("neg", -7)
       .Field("flag", true)
       .Field("x", 0.125);
-  const std::string line = writer.Finish();
+  writer.Finish();
   std::map<std::string, std::string> fields;
   ASSERT_TRUE(ParseFlatJson(line, &fields));
   EXPECT_EQ(fields["text"], "line\nwith \"quotes\" and \\slash\\ and\ttab");
@@ -145,6 +146,7 @@ TEST(EventLogTest, EmittersProduceParseableJsonl) {
   log.PdpaTransition(2000, 3, "NO_REF", "INC", 4, 8, 3.2, 0.8, 0.7, "report");
   log.RunEnd(5000, 1, true);
   EXPECT_EQ(log.lines_written(), 4);
+  log.Flush();
 
   std::istringstream lines(out.str());
   std::string line;
@@ -226,6 +228,7 @@ TEST(FlightRecorderTest, EventLogContainsPdpaTransitionsWithEfficiency) {
   EventLog log(&out);
   const ExperimentResult result = RunExperiment(RecorderConfig(&log, nullptr));
   ASSERT_TRUE(result.completed);
+  log.Flush();
 
   std::istringstream lines(out.str());
   std::string line;

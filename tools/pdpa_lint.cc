@@ -16,6 +16,9 @@
 //   direct-io       no printf/fprintf/puts/putchar calls or std::cout/cerr
 //                   in src/ — output goes through the obs layer or
 //                   PDPA_LOG.
+//   stream-flush    no std::endl / std::flush in src/ — a flush per line is
+//                   a syscall per line and defeats BufWriter batching; write
+//                   '\n' and Flush() once at the end.
 //
 // Per-line suppression: a trailing `// lint: <rule>-ok` comment (e.g.
 // `// lint: ordered-ok`) justifies one line. Per-file suppression: counted,
@@ -90,6 +93,9 @@ constexpr Rule kRules[] = {
     {"direct-io",
      "no printf-family calls or std::cout/cerr in src/; use the obs layer or "
      "PDPA_LOG"},
+    {"stream-flush",
+     "no std::endl/std::flush in src/; a flush per line is a syscall per line "
+     "and defeats BufWriter — write '\\n' and Flush() once"},
 };
 
 // Inline-suppression comment spelling -> rule id.
@@ -100,6 +106,7 @@ const std::map<std::string, std::string>& DirectiveTable() {
           {"ordered-ok", "unordered-iter"},
           {"float-eq-ok", "float-eq"},
           {"direct-io-ok", "direct-io"},
+          {"stream-flush-ok", "stream-flush"},
       };
   return *table;
 }
@@ -462,6 +469,31 @@ void CheckDirectIo(const ScanResult& scan, Scope scope, const std::string& file,
   }
 }
 
+void CheckStreamFlush(const ScanResult& scan, Scope scope, const std::string& file,
+                      std::vector<Finding>* findings) {
+  if (scope != Scope::kSrc) {
+    return;  // Tools and benches own their streams' flushing policy.
+  }
+  const std::vector<Token>& tokens = scan.tokens;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != Token::Kind::kIdent ||
+        (token.text != "endl" && token.text != "flush")) {
+      continue;
+    }
+    // Qualified (std::endl) or streamed (<< endl under a using-directive);
+    // a plain identifier named `flush` is someone's variable, not I/O.
+    const std::string& prev = tokens[i - 1].text;
+    if (prev != "::" && prev != "<<") {
+      continue;
+    }
+    AddFinding(findings, scan, file, token.line, "stream-flush",
+               StrFormat("'%s' in src/ flushes per line (write '\\n' and let BufWriter "
+                         "batch; Flush() once at the end)",
+                         token.text.c_str()));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Waivers
 // ---------------------------------------------------------------------------
@@ -781,6 +813,7 @@ int Run(int argc, char** argv) {
     CheckUnorderedIter(scan, rel_path, &findings);
     CheckFloatEq(scan, rel_path, &findings);
     CheckDirectIo(scan, scope, rel_path, &findings);
+    CheckStreamFlush(scan, scope, rel_path, &findings);
   }
 
   ApplyWaivers(waivers, today, &findings);

@@ -6,14 +6,21 @@
 //   pdpa_sim --workload w1 --events_out ev.jsonl
 //   pdpa_report ev.jsonl
 //   pdpa_report ev.jsonl --jobs 3,7 --no-timeline
+//
+// The report body goes through a BufWriter over stdout (one write per
+// ~64 KiB instead of one printf per line); number fields are formatted
+// with the src/common/fmt.h appenders. Diagnostics stay on stderr.
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/common/bufwriter.h"
 #include "src/common/flags.h"
+#include "src/common/fmt.h"
 #include "src/common/strings.h"
 #include "src/obs/event_log.h"
 
@@ -42,6 +49,25 @@ double Seconds(const Fields& fields, const std::string& key) {
   double us = 0.0;
   (void)ParseDouble(Get(fields, key), &us);
   return us / 1e6;
+}
+
+// printf "%<width>.3f"-style cell: fixed 3 decimals, space-padded on the
+// left to at least `width` characters.
+void AppendFixed3Padded(std::string* out, double value, std::size_t width) {
+  const std::size_t start = out->size();
+  AppendFixed(out, value, 3);
+  const std::size_t len = out->size() - start;
+  if (len < width) {
+    out->insert(start, width - len, ' ');
+  }
+}
+
+// printf "%-<width>s"-style cell: space-padded on the right.
+void AppendLeftAligned(std::string* out, std::string_view text, std::size_t width) {
+  out->append(text);
+  if (text.size() < width) {
+    out->append(width - text.size(), ' ');
+  }
 }
 
 // One timeline entry: formatted text, keyed by (time, input order) so each
@@ -100,6 +126,10 @@ int Run(int argc, char** argv) {
   long long order = 0;
   int segment = 0;
 
+  BufWriter writer(&std::cout);
+  std::string row;
+  row.reserve(160);
+
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) {
@@ -118,15 +148,35 @@ int Run(int argc, char** argv) {
 
     if (type == "run_start") {
       ++segment;
-      std::printf("run %d: policy %s, workload %s, load %s, seed %s, %s cpus\n", segment,
-                  Get(fields, "policy").c_str(), Get(fields, "workload").c_str(),
-                  Get(fields, "load").c_str(), Get(fields, "seed").c_str(),
-                  Get(fields, "cpus").c_str());
+      row.clear();
+      row.append("run ");
+      AppendInt(&row, segment);
+      row.append(": policy ");
+      row.append(Get(fields, "policy"));
+      row.append(", workload ");
+      row.append(Get(fields, "workload"));
+      row.append(", load ");
+      row.append(Get(fields, "load"));
+      row.append(", seed ");
+      row.append(Get(fields, "seed"));
+      row.append(", ");
+      row.append(Get(fields, "cpus"));
+      row.append(" cpus\n");
+      writer.Append(row);
       continue;
     }
     if (type == "run_end") {
-      std::printf("run %d: ended at %.3f s, %s jobs, completed=%s\n", segment, t_s,
-                  Get(fields, "jobs").c_str(), Get(fields, "completed").c_str());
+      row.clear();
+      row.append("run ");
+      AppendInt(&row, segment);
+      row.append(": ended at ");
+      AppendFixed(&row, t_s, 3);
+      row.append(" s, ");
+      row.append(Get(fields, "jobs"));
+      row.append(" jobs, completed=");
+      row.append(Get(fields, "completed"));
+      row.push_back('\n');
+      writer.Append(row);
       continue;
     }
     if (type == "cpu_handoffs") {
@@ -147,27 +197,56 @@ int Run(int argc, char** argv) {
     entry.order = order;
     if (type == "job_submit") {
       job_class[job] = Get(fields, "class");
-      entry.text = StrFormat("submitted (class %s, request %s%s)", Get(fields, "class").c_str(),
-                             Get(fields, "request").c_str(),
-                             Get(fields, "rigid") == "true" ? ", rigid" : "");
+      entry.text.append("submitted (class ");
+      entry.text.append(Get(fields, "class"));
+      entry.text.append(", request ");
+      entry.text.append(Get(fields, "request"));
+      if (Get(fields, "rigid") == "true") {
+        entry.text.append(", rigid");
+      }
+      entry.text.push_back(')');
     } else if (type == "job_start") {
-      entry.text = StrFormat("started with %s cpus (running %s, queued %s)",
-                             Get(fields, "alloc").c_str(), Get(fields, "running").c_str(),
-                             Get(fields, "queued").c_str());
+      entry.text.append("started with ");
+      entry.text.append(Get(fields, "alloc"));
+      entry.text.append(" cpus (running ");
+      entry.text.append(Get(fields, "running"));
+      entry.text.append(", queued ");
+      entry.text.append(Get(fields, "queued"));
+      entry.text.push_back(')');
     } else if (type == "job_finish") {
       const double wait_s = Seconds(fields, "start_us") - Seconds(fields, "submit_us");
       const double exec_s = t_s - Seconds(fields, "start_us");
-      entry.text = StrFormat("finished (wait %.1f s, exec %.1f s)", wait_s, exec_s);
+      entry.text.append("finished (wait ");
+      AppendFixed(&entry.text, wait_s, 1);
+      entry.text.append(" s, exec ");
+      AppendFixed(&entry.text, exec_s, 1);
+      entry.text.append(" s)");
     } else if (type == "pdpa_transition") {
       ++transition_targets[Get(fields, "to")];
-      entry.text = StrFormat("%s -> %s, alloc %s -> %s (S=%s, eff=%s, target=%s, %s)",
-                             Get(fields, "from").c_str(), Get(fields, "to").c_str(),
-                             Get(fields, "from_alloc").c_str(), Get(fields, "to_alloc").c_str(),
-                             Get(fields, "speedup").c_str(), Get(fields, "eff").c_str(),
-                             Get(fields, "target").c_str(), Get(fields, "trigger").c_str());
+      entry.text.append(Get(fields, "from"));
+      entry.text.append(" -> ");
+      entry.text.append(Get(fields, "to"));
+      entry.text.append(", alloc ");
+      entry.text.append(Get(fields, "from_alloc"));
+      entry.text.append(" -> ");
+      entry.text.append(Get(fields, "to_alloc"));
+      entry.text.append(" (S=");
+      entry.text.append(Get(fields, "speedup"));
+      entry.text.append(", eff=");
+      entry.text.append(Get(fields, "eff"));
+      entry.text.append(", target=");
+      entry.text.append(Get(fields, "target"));
+      entry.text.append(", ");
+      entry.text.append(Get(fields, "trigger"));
+      entry.text.push_back(')');
     } else if (type == "perf_sample") {
-      entry.text = StrFormat("measured S=%s on %s cpus (eff %s)", Get(fields, "speedup").c_str(),
-                             Get(fields, "procs").c_str(), Get(fields, "eff").c_str());
+      entry.text.append("measured S=");
+      entry.text.append(Get(fields, "speedup"));
+      entry.text.append(" on ");
+      entry.text.append(Get(fields, "procs"));
+      entry.text.append(" cpus (eff ");
+      entry.text.append(Get(fields, "eff"));
+      entry.text.push_back(')');
     } else {
       entry.text = type;
     }
@@ -181,31 +260,66 @@ int Run(int argc, char** argv) {
         continue;
       }
       const auto cls = job_class.find(job);
-      std::printf("\njob %s%s%s:\n", job.c_str(), cls == job_class.end() ? "" : " class ",
-                  cls == job_class.end() ? "" : cls->second.c_str());
+      row.clear();
+      row.append("\njob ");
+      row.append(job);
+      if (cls != job_class.end()) {
+        row.append(" class ");
+        row.append(cls->second);
+      }
+      row.append(":\n");
+      writer.Append(row);
       for (const TimelineEntry& entry : entries) {
-        std::printf("  %10.3f s  %s\n", entry.t_s, entry.text.c_str());
+        row.clear();
+        row.append("  ");
+        AppendFixed3Padded(&row, entry.t_s, 10);
+        row.append(" s  ");
+        row.append(entry.text);
+        row.push_back('\n');
+        writer.Append(row);
       }
     }
   }
 
-  std::printf("\nevent counts:\n");
+  writer.Append("\nevent counts:\n");
   for (const auto& [type, count] : type_counts) {
-    std::printf("  %-20s %lld\n", type.c_str(), count);
+    row.clear();
+    row.append("  ");
+    AppendLeftAligned(&row, type, 20);
+    row.push_back(' ');
+    AppendInt(&row, count);
+    row.push_back('\n');
+    writer.Append(row);
   }
   if (!transition_targets.empty()) {
-    std::printf("\npdpa transitions by target state:\n");
+    writer.Append("\npdpa transitions by target state:\n");
     for (const auto& [state, count] : transition_targets) {
-      std::printf("  %-10s %lld\n", state.c_str(), count);
+      row.clear();
+      row.append("  ");
+      AppendLeftAligned(&row, state, 10);
+      row.push_back(' ');
+      AppendInt(&row, count);
+      row.push_back('\n');
+      writer.Append(row);
     }
   }
   if (moved_total > 0 || migrations_total > 0) {
-    std::printf("\ncpu handoffs: %lld moved, %lld job-to-job migrations\n", moved_total,
-                migrations_total);
+    row.clear();
+    row.append("\ncpu handoffs: ");
+    AppendInt(&row, moved_total);
+    row.append(" moved, ");
+    AppendInt(&row, migrations_total);
+    row.append(" job-to-job migrations\n");
+    writer.Append(row);
   }
   if (holds > 0) {
-    std::printf("admission holds: %lld\n", holds);
+    row.clear();
+    row.append("admission holds: ");
+    AppendInt(&row, holds);
+    row.push_back('\n');
+    writer.Append(row);
   }
+  writer.Flush();
   if (bad_lines > 0) {
     std::fprintf(stderr, "warning: %lld malformed lines skipped\n", bad_lines);
   }

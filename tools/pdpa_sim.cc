@@ -242,6 +242,7 @@ int Run(int argc, char** argv) {
     std::printf("Paraver config written to %s\n", pcf_out.c_str());
   }
   if (events.enabled()) {
+    events.Flush();  // The log buffers; push bytes out before reporting.
     std::printf("event log: %lld events written to %s\n", events.lines_written(),
                 events_out.c_str());
   }
