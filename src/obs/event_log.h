@@ -34,6 +34,7 @@
 #include "src/common/ids.h"
 #include "src/common/mutex.h"
 #include "src/common/time_types.h"
+#include "src/obs/prof.h"
 
 namespace pdpa {
 
@@ -143,9 +144,15 @@ class EventLog {
   // destructor also flushes).
   void Flush() {
     if (out_ != nullptr) {
+      ProfScope prof_scope(profiler_, SpanId::kObsFlush);
       writer_.Flush();
     }
   }
+
+  // Borrowed host-time profiler; null (the default) disables span timing.
+  // When set, every serialized record is wrapped in an obs.serialize span
+  // and Flush in an obs.flush span.
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
 
   // Test-only: route every record through the retained PR-4 serializer
   // (per-field StrFormat temporaries, unbuffered per-line ostream writes)
@@ -196,6 +203,7 @@ class EventLog {
     if (out_ == nullptr) {
       return;
     }
+    ProfScope prof_scope(profiler_, SpanId::kObsSerialize);
     confinement_.AssertConfined("EventLog");
     if (legacy_for_test_) {
       internal::LegacyJsonObjectWriter writer;
@@ -222,6 +230,7 @@ class EventLog {
       type_alloc_decision_, type_cpu_handoffs_;
   long long lines_ = 0;
   bool legacy_for_test_ = false;
+  Profiler* profiler_ = nullptr;
   // The log is not mutex-protected by design: every EventLog belongs to one
   // run and is only written by the thread driving that run (the sweep engine
   // gives each cell a private sink). Audit builds enforce that confinement.

@@ -1,0 +1,187 @@
+#include "src/obs/prof.h"
+
+// The single sanctioned host-clock translation unit in src/ — the pdpa_lint
+// wall-clock rule allows steady_clock here and nowhere else, which is what
+// keeps the rule meaningful with a profiler in the tree. Do not read the
+// clock anywhere else in src/; call prof::NowNanos().
+#include <chrono>
+
+#include <string_view>
+
+#include "src/common/fmt.h"
+#include "src/obs/event_log.h"
+
+namespace pdpa {
+
+namespace prof {
+
+long long NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace prof
+
+const char* SpanName(SpanId id) {
+  switch (id) {
+    case SpanId::kSimEventPush:
+      return "sim.event_push";
+    case SpanId::kSimEventPop:
+      return "sim.event_pop";
+    case SpanId::kRmTick:
+      return "rm.tick";
+    case SpanId::kRmQuantum:
+      return "rm.quantum";
+    case SpanId::kPolicyDecide:
+      return "policy.decide";
+    case SpanId::kObsSerialize:
+      return "obs.serialize";
+    case SpanId::kObsFlush:
+      return "obs.flush";
+    case SpanId::kSweepCell:
+      return "sweep.cell";
+    case SpanId::kCount:
+      break;
+  }
+  return "?";
+}
+
+void Profiler::Merge(const Profiler& other) {
+  for (int i = 0; i < kNumSpanIds; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    stats_[idx].hits += other.stats_[idx].hits;
+    stats_[idx].total_ns += other.stats_[idx].total_ns;
+    stats_[idx].self_ns += other.stats_[idx].self_ns;
+  }
+}
+
+long long Profiler::TotalHits() const {
+  long long hits = 0;
+  for (const SpanStats& stats : stats_) {
+    hits += stats.hits;
+  }
+  return hits;
+}
+
+namespace {
+
+// The per-thread span stack. Fixed depth: the deepest static nesting today
+// is event_pop -> rm.tick -> policy.decide -> obs.serialize (4); 32 leaves
+// generous headroom for future instrumentation without heap involvement.
+// Scopes opened beyond the limit are counted but not timed, so hit counts
+// stay exact even if the stack ever saturates.
+constexpr int kMaxDepth = 32;
+
+struct Frame {
+  SpanId id = SpanId::kCount;
+  long long start_ns = 0;
+  // Host time spent in directly nested scopes, accumulated as they close;
+  // subtracting it from the elapsed time yields this frame's self time.
+  long long child_ns = 0;
+};
+
+thread_local Frame t_stack[kMaxDepth];
+thread_local int t_depth = 0;
+
+}  // namespace
+
+ProfScope::ProfScope(Profiler* profiler, SpanId id) : profiler_(profiler) {
+  if (profiler_ == nullptr) {
+    return;
+  }
+  if (t_depth >= kMaxDepth) {
+    profiler_->stats(id).hits += 1;
+    profiler_ = nullptr;  // Count the hit, skip the timing.
+    return;
+  }
+  Frame& frame = t_stack[t_depth++];
+  frame.id = id;
+  frame.start_ns = prof::NowNanos();
+  frame.child_ns = 0;
+}
+
+ProfScope::~ProfScope() {
+  if (profiler_ == nullptr) {
+    return;
+  }
+  const Frame& frame = t_stack[--t_depth];
+  const long long elapsed = prof::NowNanos() - frame.start_ns;
+  SpanStats& stats = profiler_->stats(frame.id);
+  stats.hits += 1;
+  stats.total_ns += elapsed;
+  stats.self_ns += elapsed - frame.child_ns;
+  if (t_depth > 0) {
+    t_stack[t_depth - 1].child_ns += elapsed;
+  }
+}
+
+namespace {
+
+// Right-aligns the bytes appended by `append` to at least `width` columns.
+template <typename Fn>
+void AppendRightAligned(std::string* out, std::size_t width, Fn&& append) {
+  const std::size_t start = out->size();
+  append(out);
+  const std::size_t len = out->size() - start;
+  if (len < width) {
+    out->insert(start, width - len, ' ');
+  }
+}
+
+}  // namespace
+
+void AppendProfTable(const Profiler& profiler, std::string* out) {
+  out->append("span                  hits    total_ms     self_ms    ns/hit\n");
+  for (int i = 0; i < kNumSpanIds; ++i) {
+    const SpanId id = static_cast<SpanId>(i);
+    const SpanStats& stats = profiler.stats(id);
+    if (stats.hits == 0) {
+      continue;
+    }
+    const std::string_view name = SpanName(id);
+    out->append(name);
+    for (std::size_t pad = name.size(); pad < 16; ++pad) {
+      out->push_back(' ');
+    }
+    AppendRightAligned(out, 10, [&](std::string* o) { AppendInt(o, stats.hits); });
+    AppendRightAligned(out, 12, [&](std::string* o) {
+      AppendFixed(o, static_cast<double>(stats.total_ns) / 1e6, 3);
+    });
+    AppendRightAligned(out, 12, [&](std::string* o) {
+      AppendFixed(o, static_cast<double>(stats.self_ns) / 1e6, 3);
+    });
+    AppendRightAligned(out, 10, [&](std::string* o) { AppendInt(o, stats.total_ns / stats.hits); });
+    out->push_back('\n');
+  }
+}
+
+void AppendProfJsonl(const Profiler& profiler, const char* tool, std::string* out) {
+  int spans = 0;
+  for (int i = 0; i < kNumSpanIds; ++i) {
+    spans += profiler.stats(static_cast<SpanId>(i)).hits > 0 ? 1 : 0;
+  }
+  {
+    JsonObjectWriter writer(out);
+    writer.Field("type", "prof_meta").Field("tool", tool).Field("spans", spans);
+    writer.Finish();
+    out->push_back('\n');
+  }
+  for (int i = 0; i < kNumSpanIds; ++i) {
+    const SpanId id = static_cast<SpanId>(i);
+    const SpanStats& stats = profiler.stats(id);
+    if (stats.hits == 0) {
+      continue;
+    }
+    JsonObjectWriter writer(out);
+    writer.Field("type", "prof_span")
+        .Field("span", SpanName(id))
+        .Field("hits", stats.hits)
+        .Field("total_ns", stats.total_ns)
+        .Field("self_ns", stats.self_ns);
+    writer.Finish();
+    out->push_back('\n');
+  }
+}
+
+}  // namespace pdpa

@@ -1,0 +1,94 @@
+#include "src/obs/slowdown.h"
+
+#include <cmath>
+
+namespace pdpa {
+
+namespace {
+
+// 2^(j/8) for j = 0..8, to full double precision. Hard-coded so bucketing
+// never calls libm pow/log (whose last-bit rounding varies across libms);
+// frexp + these comparisons give bit-identical bucket indices everywhere.
+constexpr double kOctaveBounds[9] = {
+    1.0,
+    1.0905077326652577,  // 2^(1/8)
+    1.189207115002721,   // 2^(2/8)
+    1.2968395546510096,  // 2^(3/8)
+    1.4142135623730951,  // 2^(4/8)
+    1.5422108254079407,  // 2^(5/8)
+    1.681792830507429,   // 2^(6/8)
+    1.8340080864093424,  // 2^(7/8)
+    2.0,
+};
+
+}  // namespace
+
+void LogHistogram::Observe(double value) {
+  ++total_;
+  if (!(value > 0.0)) {  // zero, negative or NaN: underflow by convention
+    ++counts_[0];
+    return;
+  }
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // mantissa in [0.5, 1)
+  if (exp < kMinExp) {
+    ++counts_[0];
+    return;
+  }
+  if (exp > kMaxExp || std::isinf(value)) {
+    ++counts_[kNumBuckets - 1];
+    return;
+  }
+  int sub = kSubBuckets - 1;
+  for (int j = 0; j < kSubBuckets - 1; ++j) {
+    if (mantissa < 0.5 * kOctaveBounds[j + 1]) {
+      sub = j;
+      break;
+    }
+  }
+  ++counts_[(exp - kMinExp) * kSubBuckets + sub + 1];
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts_[static_cast<std::size_t>(i)] += other.counts_[static_cast<std::size_t>(i)];
+  }
+  total_ += other.total_;
+}
+
+double LogHistogram::BucketUpperBound(int index) {
+  if (index <= 0) {
+    return std::ldexp(1.0, kMinExp - 1);  // underflow edge: 2^-4
+  }
+  if (index >= kNumBuckets - 1) {
+    return std::ldexp(1.0, kMaxExp);  // overflow saturates at 2^20
+  }
+  const int rel = index - 1;
+  const int exp = kMinExp + rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  // Bucket (exp, sub) covers [2^(exp-1) * 2^(sub/8), 2^(exp-1) * 2^((sub+1)/8)).
+  return std::ldexp(kOctaveBounds[sub + 1], exp - 1);
+}
+
+double LogHistogram::Percentile(double p) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  long long rank = static_cast<long long>(std::ceil(p / 100.0 * static_cast<double>(total_)));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > total_) {
+    rank = total_;
+  }
+  long long seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += counts_[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      return BucketUpperBound(i);
+    }
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+}  // namespace pdpa

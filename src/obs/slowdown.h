@@ -1,0 +1,63 @@
+// Log-bucketed histogram for per-job slowdown distributions.
+//
+// Slowdown = response time / execution time (>= 1 by construction). The
+// slowdown-centric evaluations in the related work (heSRPT, "Towards
+// Optimality in Parallel Job Scheduling") compare *distributions* with tail
+// percentiles, which the scalar per-class means in the sweep CSV cannot
+// express — this histogram is the measurement substrate for them.
+//
+// Determinism contract: bucketing uses frexp (exact mantissa/exponent
+// split) plus comparisons against hard-coded 2^(j/8) boundary constants —
+// no libm log, so the bucket index of a value is bit-identical on every
+// conforming platform. Counts are integers, so Merge is exact, associative
+// and commutative: merging per-cell histograms across sweep seeds in any
+// grouping yields identical aggregate percentiles (the property the sweep
+// aggregate rows rely on).
+//
+// Bucket scheme: 8 geometric sub-buckets per octave (boundaries at
+// 2^(k + j/8)), octaves covering [2^-4, 2^20), plus one underflow and one
+// overflow bucket — resolution ~9% per bucket over 24 decades of range.
+// Percentile() is nearest-rank and returns the upper bound of the selected
+// bucket ("le" semantics, matching the counters-registry Histogram).
+#ifndef SRC_OBS_SLOWDOWN_H_
+#define SRC_OBS_SLOWDOWN_H_
+
+#include <array>
+
+namespace pdpa {
+
+class LogHistogram {
+ public:
+  // Sub-buckets per octave (power of two between successive octaves).
+  static constexpr int kSubBuckets = 8;
+  // frexp exponents covered: values in [2^(kMinExp-1), 2^kMaxExp).
+  static constexpr int kMinExp = -3;  // lowest octave starts at 2^-4
+  static constexpr int kMaxExp = 20;  // highest octave ends at 2^20
+  static constexpr int kNumBuckets =
+      (kMaxExp - kMinExp + 1) * kSubBuckets + 2;  // + underflow + overflow
+
+  void Observe(double value);
+
+  // Element-wise integer sums: exact, associative, commutative.
+  void Merge(const LogHistogram& other);
+
+  long long count() const { return total_; }
+
+  // Nearest-rank percentile (p in [0, 100]): the upper bound of the bucket
+  // holding the ceil(p/100 * count)-th observation. Returns 0 when empty.
+  // Underflow saturates to 2^-4, overflow to 2^20.
+  double Percentile(double p) const;
+
+  // Upper bound of bucket `index` (the "le" edge).
+  static double BucketUpperBound(int index);
+
+  const std::array<long long, kNumBuckets>& buckets() const { return counts_; }
+
+ private:
+  std::array<long long, kNumBuckets> counts_{};
+  long long total_ = 0;
+};
+
+}  // namespace pdpa
+
+#endif  // SRC_OBS_SLOWDOWN_H_

@@ -1,0 +1,266 @@
+#include "src/obs/trace_export.h"
+
+#include <map>
+#include <ostream>
+
+#include "src/common/fmt.h"
+#include "src/common/strings.h"
+#include "src/obs/event_log.h"
+
+namespace pdpa {
+
+TraceEventWriter::TraceEventWriter(std::ostream* out) : writer_(out) {
+  scratch_.reserve(256);
+  writer_.Append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+}
+
+void TraceEventWriter::BeginRecord(const char* ph) {
+  scratch_.clear();
+  scratch_.append(events_ == 0 ? "\n" : ",\n");
+  scratch_.append("{\"ph\":\"");
+  scratch_.append(ph);
+  scratch_.push_back('"');
+}
+
+void TraceEventWriter::EndRecord() {
+  scratch_.push_back('}');
+  writer_.Append(scratch_);
+  ++events_;
+}
+
+namespace {
+
+void AppendNumField(std::string* out, const char* key, long long value) {
+  out->append(",\"");
+  out->append(key);
+  out->append("\":");
+  AppendInt(out, value);
+}
+
+void AppendStrField(std::string* out, const char* key, std::string_view value) {
+  out->append(",\"");
+  out->append(key);
+  out->append("\":");
+  JsonEscapeTo(out, value);
+}
+
+}  // namespace
+
+void TraceEventWriter::ProcessName(long long pid, std::string_view name) {
+  BeginRecord("M");
+  AppendNumField(&scratch_, "pid", pid);
+  AppendStrField(&scratch_, "name", "process_name");
+  scratch_.append(",\"args\":{\"name\":");
+  JsonEscapeTo(&scratch_, name);
+  scratch_.push_back('}');
+  EndRecord();
+}
+
+void TraceEventWriter::ThreadName(long long pid, long long tid, std::string_view name) {
+  BeginRecord("M");
+  AppendNumField(&scratch_, "pid", pid);
+  AppendNumField(&scratch_, "tid", tid);
+  AppendStrField(&scratch_, "name", "thread_name");
+  scratch_.append(",\"args\":{\"name\":");
+  JsonEscapeTo(&scratch_, name);
+  scratch_.push_back('}');
+  EndRecord();
+}
+
+void TraceEventWriter::AsyncBegin(long long pid, std::string_view cat, long long id,
+                                  std::string_view name, long long ts_us) {
+  BeginRecord("b");
+  AppendNumField(&scratch_, "pid", pid);
+  AppendNumField(&scratch_, "tid", 0);
+  AppendStrField(&scratch_, "cat", cat);
+  AppendNumField(&scratch_, "id", id);
+  AppendStrField(&scratch_, "name", name);
+  AppendNumField(&scratch_, "ts", ts_us);
+  EndRecord();
+}
+
+void TraceEventWriter::AsyncInstant(long long pid, std::string_view cat, long long id,
+                                    std::string_view name, long long ts_us) {
+  BeginRecord("n");
+  AppendNumField(&scratch_, "pid", pid);
+  AppendNumField(&scratch_, "tid", 0);
+  AppendStrField(&scratch_, "cat", cat);
+  AppendNumField(&scratch_, "id", id);
+  AppendStrField(&scratch_, "name", name);
+  AppendNumField(&scratch_, "ts", ts_us);
+  EndRecord();
+}
+
+void TraceEventWriter::AsyncEnd(long long pid, std::string_view cat, long long id,
+                                long long ts_us) {
+  BeginRecord("e");
+  AppendNumField(&scratch_, "pid", pid);
+  AppendNumField(&scratch_, "tid", 0);
+  AppendStrField(&scratch_, "cat", cat);
+  AppendNumField(&scratch_, "id", id);
+  AppendNumField(&scratch_, "ts", ts_us);
+  EndRecord();
+}
+
+void TraceEventWriter::Counter(long long pid, std::string_view name, long long ts_us,
+                               const std::vector<std::pair<std::string, long long>>& series) {
+  BeginRecord("C");
+  AppendNumField(&scratch_, "pid", pid);
+  AppendStrField(&scratch_, "name", name);
+  AppendNumField(&scratch_, "ts", ts_us);
+  scratch_.append(",\"args\":{");
+  bool first = true;
+  for (const auto& [key, value] : series) {
+    if (!first) {
+      scratch_.push_back(',');
+    }
+    first = false;
+    JsonEscapeTo(&scratch_, key);
+    scratch_.push_back(':');
+    AppendInt(&scratch_, value);
+  }
+  scratch_.push_back('}');
+  EndRecord();
+}
+
+void TraceEventWriter::Complete(long long pid, long long tid, std::string_view name,
+                                long long ts_us, long long dur_us) {
+  BeginRecord("X");
+  AppendNumField(&scratch_, "pid", pid);
+  AppendNumField(&scratch_, "tid", tid);
+  AppendStrField(&scratch_, "name", name);
+  AppendNumField(&scratch_, "ts", ts_us);
+  AppendNumField(&scratch_, "dur", dur_us);
+  EndRecord();
+}
+
+void TraceEventWriter::Instant(long long pid, std::string_view name, long long ts_us) {
+  BeginRecord("i");
+  AppendNumField(&scratch_, "pid", pid);
+  AppendNumField(&scratch_, "tid", 0);
+  AppendStrField(&scratch_, "name", name);
+  AppendNumField(&scratch_, "ts", ts_us);
+  AppendStrField(&scratch_, "s", "t");
+  EndRecord();
+}
+
+void TraceEventWriter::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  writer_.Append("\n]}\n");
+  writer_.Flush();
+}
+
+namespace {
+
+using Fields = std::map<std::string, std::string>;
+
+std::string Get(const Fields& fields, const char* key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+long long GetInt(const Fields& fields, const char* key) {
+  long long value = 0;
+  (void)ParseInt64(Get(fields, key), &value);
+  return value;
+}
+
+}  // namespace
+
+long long ExportSimTrace(const std::string& events_jsonl, long long pid,
+                         std::string_view process_name, TraceEventWriter* writer) {
+  writer->ProcessName(pid, process_name);
+  // Current allocation per live job, rebuilt from alloc_decision plans.
+  // std::map keeps counter series in job-id order (deterministic output).
+  std::map<long long, long long> allocs;
+  long long total_cpus = 0;
+  long long bad_lines = 0;
+
+  const auto emit_counters = [&](long long t_us) {
+    std::vector<std::pair<std::string, long long>> series;
+    series.reserve(allocs.size());
+    long long used = 0;
+    for (const auto& [job, alloc] : allocs) {
+      std::string key = "J";
+      AppendInt(&key, job);
+      series.emplace_back(std::move(key), alloc);
+      used += alloc;
+    }
+    if (!series.empty()) {
+      writer->Counter(pid, "alloc", t_us, series);
+    }
+    if (total_cpus > 0) {
+      writer->Counter(pid, "machine", t_us,
+                      {{"used", used}, {"free", total_cpus - used}});
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos < events_jsonl.size()) {
+    std::size_t end = events_jsonl.find('\n', pos);
+    if (end == std::string::npos) {
+      end = events_jsonl.size();
+    }
+    const std::string_view line(events_jsonl.data() + pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) {
+      continue;
+    }
+    Fields fields;
+    if (!ParseFlatJson(line, &fields)) {
+      ++bad_lines;
+      continue;
+    }
+    const std::string type = Get(fields, "type");
+    const long long t_us = GetInt(fields, "t_us");
+    const long long job = GetInt(fields, "job");
+    if (type == "run_start") {
+      total_cpus = GetInt(fields, "cpus");
+    } else if (type == "job_submit") {
+      std::string name = "J";
+      AppendInt(&name, job);
+      name.push_back(' ');
+      name.append(Get(fields, "class"));
+      writer->AsyncBegin(pid, "job", job, name, t_us);
+    } else if (type == "job_start") {
+      std::string name = "start alloc=";
+      name.append(Get(fields, "alloc"));
+      writer->AsyncInstant(pid, "job", job, name, t_us);
+    } else if (type == "pdpa_transition") {
+      std::string name = Get(fields, "from");
+      name.append("->");
+      name.append(Get(fields, "to"));
+      writer->AsyncInstant(pid, "job", job, name, t_us);
+    } else if (type == "job_finish") {
+      writer->AsyncEnd(pid, "job", job, t_us);
+      if (allocs.erase(job) > 0) {
+        // Re-emit so the finished job's series visibly drops to idle.
+        allocs[job] = 0;
+        emit_counters(t_us);
+        allocs.erase(job);
+      }
+    } else if (type == "alloc_decision") {
+      // plan is "job:cpus job:cpus ..." — only jobs the plan names change.
+      for (const std::string& token : SplitTokens(Get(fields, "plan"), ' ')) {
+        const std::size_t colon = token.find(':');
+        long long plan_job = 0;
+        long long cpus = 0;
+        if (colon == std::string::npos || !ParseInt64(token.substr(0, colon), &plan_job) ||
+            !ParseInt64(token.substr(colon + 1), &cpus)) {
+          continue;
+        }
+        allocs[plan_job] = cpus;
+      }
+      emit_counters(t_us);
+    } else if (type == "admit_hold") {
+      writer->Instant(pid, "admit_hold", t_us);
+    }
+    // perf_sample / cpu_handoffs / run_end carry no track of their own.
+  }
+  return bad_lines;
+}
+
+}  // namespace pdpa

@@ -1,0 +1,92 @@
+// Chrome/Perfetto trace-event export for flight-recorder captures.
+//
+// TraceEventWriter emits the JSON object format the Perfetto UI and
+// chrome://tracing load directly: {"displayTimeUnit":"ms","traceEvents":
+// [...]} with one event object per record. Supported phases:
+//   "M"  metadata (process_name / thread_name)
+//   "b"/"n"/"e"  async begin / instant / end (cat + id required) — the
+//        per-job lifecycle tracks
+//   "C"  counter (multi-series args) — per-quantum allocation tracks
+//   "X"  complete span (ts + dur) — host-time sweep-worker tracks
+//   "i"  instant
+// Timestamps ("ts"/"dur") are microseconds: simulation records use SimTime
+// verbatim, host records use prof::NowNanos()/1000 relative to an epoch.
+//
+// Every record is one flat JSON object except for the single nested "args"
+// object the format requires; records are built with the src/common/fmt.h
+// appenders into a reusable scratch string and batched through BufWriter —
+// the same zero-allocation fast path as the event log.
+//
+// ExportSimTrace() reconstructs the simulation-time tracks from a captured
+// event-log JSONL string (the PR-1 flight recorder is the source of truth;
+// the exporter is a pure post-processor, so tracing never perturbs a run).
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/bufwriter.h"
+
+namespace pdpa {
+
+class TraceEventWriter {
+ public:
+  // `out` is borrowed and must outlive the writer. The JSON prologue is
+  // written immediately; call Finish() exactly once to close the array.
+  explicit TraceEventWriter(std::ostream* out);
+
+  TraceEventWriter(const TraceEventWriter&) = delete;
+  TraceEventWriter& operator=(const TraceEventWriter&) = delete;
+
+  void ProcessName(long long pid, std::string_view name);
+  void ThreadName(long long pid, long long tid, std::string_view name);
+
+  // Async track events; Perfetto groups them by (cat, id).
+  void AsyncBegin(long long pid, std::string_view cat, long long id, std::string_view name,
+                  long long ts_us);
+  void AsyncInstant(long long pid, std::string_view cat, long long id, std::string_view name,
+                    long long ts_us);
+  void AsyncEnd(long long pid, std::string_view cat, long long id, long long ts_us);
+
+  // Counter event: one track named `name`, one series per (key, value).
+  void Counter(long long pid, std::string_view name, long long ts_us,
+               const std::vector<std::pair<std::string, long long>>& series);
+
+  void Complete(long long pid, long long tid, std::string_view name, long long ts_us,
+                long long dur_us);
+
+  void Instant(long long pid, std::string_view name, long long ts_us);
+
+  // Closes the traceEvents array and flushes. Must be the last call.
+  void Finish();
+
+  long long events_written() const { return events_; }
+
+ private:
+  // Opens the next record (comma handling) in scratch_; the Emit* helpers
+  // close and hand it to the BufWriter.
+  void BeginRecord(const char* ph);
+  void EndRecord();
+
+  BufWriter writer_;
+  std::string scratch_;
+  long long events_ = 0;
+  bool finished_ = false;
+};
+
+// Replays a flight-recorder JSONL capture (EventLog output) into sim-time
+// trace tracks under process `pid`: per-job async lifecycle spans (submit ->
+// start/transition instants -> finish), allocation counter tracks rebuilt
+// from alloc_decision plans, machine used/free counters, and admit_hold
+// instants. `process_name` labels the pid ("w1_1.00_PDPA"); malformed lines
+// are skipped and counted in the return value.
+long long ExportSimTrace(const std::string& events_jsonl, long long pid,
+                         std::string_view process_name, TraceEventWriter* writer);
+
+}  // namespace pdpa
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

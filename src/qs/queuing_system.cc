@@ -120,6 +120,10 @@ void QueuingSystem::OnJobFinish(JobId job, SimTime finish_time) {
   in_flight_.erase(it);
   outcome.finish = finish_time;
   outcomes_.push_back(outcome);
+  const double exec_s = outcome.ExecSeconds();
+  if (exec_s > 0.0) {
+    slowdown_[outcome.app_class].Observe(outcome.ResponseSeconds() / exec_s);
+  }
   --running_;
   finishes_->Increment();
   if (events_ != nullptr) {

@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "src/obs/slowdown.h"
 #include "src/qs/job.h"
 #include "src/rm/resource_manager.h"
 #include "src/sim/simulation.h"
@@ -58,6 +59,11 @@ class QueuingSystem {
 
   const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
 
+  // Per-class slowdown (response / execution) distributions, observed at
+  // completion. Deterministic: bucket counts are a function of the simulated
+  // schedule only, so replicas merge exactly (LogHistogram::Merge).
+  const std::map<AppClass, LogHistogram>& slowdown() const { return slowdown_; }
+
   // Multiprogramming level over time: (time, running jobs) recorded at every
   // start and finish.
   const std::vector<std::pair<SimTime, int>>& ml_timeline() const { return ml_timeline_; }
@@ -80,6 +86,7 @@ class QueuingSystem {
   std::deque<JobSpec> queue_;
   std::map<JobId, JobOutcome> in_flight_;
   std::vector<JobOutcome> outcomes_;
+  std::map<AppClass, LogHistogram> slowdown_;
   std::vector<std::pair<SimTime, int>> ml_timeline_;
   int running_ = 0;
   int max_ml_ = 0;

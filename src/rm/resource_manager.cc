@@ -124,6 +124,7 @@ int ResourceManager::AllocateSlot() {
 }
 
 bool ResourceManager::CanStartJob() const {
+  ProfScope prof_scope(profiler_, SpanId::kPolicyDecide);
   return policy_->ShouldAdmit(FillContext(sim_->now()));
 }
 
@@ -175,13 +176,19 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
     NthLibBinding& b = *slots_[static_cast<std::size_t>(slot)].binding;
     b.app().SetAllocation(effective_request, now);
     b.app().Start(now);
-    (void)policy_->OnJobStart(FillContext(now), job);
+    {
+      ProfScope prof_scope(profiler_, SpanId::kPolicyDecide);
+      (void)policy_->OnJobStart(FillContext(now), job);
+    }
     PDPA_LOG(Info) << "job " << job << " started (time-sharing, " << effective_request
                    << " threads)";
     return;
   }
 
-  const AllocationPlan plan = policy_->OnJobStart(FillContext(now), job);
+  const AllocationPlan plan = [&] {
+    ProfScope prof_scope(profiler_, SpanId::kPolicyDecide);
+    return policy_->OnJobStart(FillContext(now), job);
+  }();
   ApplyPlan(plan, now, "start");
   NthLibBinding& b = *slots_[static_cast<std::size_t>(slot)].binding;
   PDPA_CHECK_GT(b.app().allocated(), 0)
@@ -336,7 +343,10 @@ void ResourceManager::DrainReports(SimTime now) {
       if (events_ != nullptr) {
         events_->PerfSample(now, report.job, report.procs, report.speedup, report.efficiency);
       }
-      const AllocationPlan plan = policy_->OnReport(FillContext(now), report);
+      const AllocationPlan plan = [&] {
+        ProfScope prof_scope(profiler_, SpanId::kPolicyDecide);
+        return policy_->OnReport(FillContext(now), report);
+      }();
       ApplyPlan(plan, now, "report");
     }
   }
@@ -417,7 +427,10 @@ void ResourceManager::CheckCompletions(SimTime now) {
     running.binding.reset();
     free_slots_.push_back(slot);
     PDPA_RM_AUDIT("release");
-    const AllocationPlan plan = policy_->OnJobFinish(FillContext(now), job);
+    const AllocationPlan plan = [&] {
+      ProfScope prof_scope(profiler_, SpanId::kPolicyDecide);
+      return policy_->OnJobFinish(FillContext(now), job);
+    }();
     ApplyPlan(plan, now, "finish");
     if (on_finish_) {
       on_finish_(job, finish_time);
@@ -573,13 +586,16 @@ void ResourceManager::ScheduleNextTick(SimTime now) {
 }
 
 void ResourceManager::OnTick(SimTime now) {
+  ProfScope prof_scope(profiler_, SpanId::kRmTick);
   ticks_fired_->Increment();
   const SimDuration dt = now - advanced_to_;
 
   if (policy_->is_time_sharing()) {
     std::vector<CpuHandoff> handoffs;
-    const std::map<JobId, TimeShare> shares =
-        policy_->TimeShareTick(machine_, FillContext(now), dt, &handoffs);
+    const std::map<JobId, TimeShare> shares = [&] {
+      ProfScope decide_scope(profiler_, SpanId::kPolicyDecide);
+      return policy_->TimeShareTick(machine_, FillContext(now), dt, &handoffs);
+    }();
     if (trace_ != nullptr) {
       trace_->OnHandoffs(advanced_to_, handoffs);
     }
@@ -618,10 +634,14 @@ void ResourceManager::OnTick(SimTime now) {
 }
 
 void ResourceManager::OnQuantum(SimTime now) {
+  ProfScope prof_scope(profiler_, SpanId::kRmQuantum);
   if (policy_->is_time_sharing()) {
     return;
   }
-  const AllocationPlan plan = policy_->OnQuantum(FillContext(now));
+  const AllocationPlan plan = [&] {
+    ProfScope decide_scope(profiler_, SpanId::kPolicyDecide);
+    return policy_->OnQuantum(FillContext(now));
+  }();
   if (plan.empty()) {
     return;
   }

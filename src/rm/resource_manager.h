@@ -79,6 +79,10 @@ class ResourceManager {
   // before Start().
   void set_event_log(EventLog* log) { events_ = log; }
   void set_timeseries(TimeSeriesSampler* sampler) { timeseries_ = sampler; }
+  // Borrowed host-time profiler; null (the default) disables span timing.
+  // Wraps the progress tick (rm.tick), the quantum scan (rm.quantum) and
+  // every policy callback (policy.decide).
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
   // Lets machine samples include the queuing system's backlog.
   void set_queue_depth_provider(std::function<int()> provider) {
     queue_depth_ = std::move(provider);
@@ -254,6 +258,7 @@ class ResourceManager {
 
   EventLog* events_ = nullptr;               // may be null
   TimeSeriesSampler* timeseries_ = nullptr;  // may be null
+  Profiler* profiler_ = nullptr;             // may be null
   std::function<int()> queue_depth_;
   SimTime next_ts_sample_ = 0;
 

@@ -15,6 +15,7 @@ constexpr EventId MakeId(std::uint32_t slot, std::uint32_t generation) {
 }  // namespace
 
 EventId EventQueue::Schedule(SimTime when, EventCallback callback) {
+  ProfScope prof_scope(profiler_, SpanId::kSimEventPush);
   PDPA_CHECK_GE(when, last_popped_);
   std::uint32_t slot;
   if (free_slots_.empty()) {
@@ -66,6 +67,7 @@ SimTime EventQueue::NextTime() const {
 }
 
 SimTime EventQueue::RunNext() {
+  ProfScope prof_scope(profiler_, SpanId::kSimEventPop);
   SkipStale();
   PDPA_CHECK(!heap_.empty());
   const Entry entry = heap_.top();

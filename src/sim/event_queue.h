@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/time_types.h"
+#include "src/obs/prof.h"
 
 namespace pdpa {
 
@@ -50,6 +51,12 @@ class EventQueue {
   // Pops and runs the earliest pending event. Returns its time.
   SimTime RunNext();
 
+  // Borrowed host-time profiler; null (the default) disables span timing.
+  // When set, Schedule records sim.event_push spans and RunNext records
+  // sim.event_pop spans (whose self time isolates queue overhead from the
+  // dispatched callback's own spans).
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+
  private:
   // Stable home of one callback while its event is pending. `generation`
   // advances every time the slot is released, so an (id, heap entry) minted
@@ -88,6 +95,7 @@ class EventQueue {
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
   SimTime last_popped_ = 0;
+  Profiler* profiler_ = nullptr;
 };
 
 }  // namespace pdpa

@@ -79,6 +79,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                      Rng(config.seed ^ 0x5EEDULL));
   rm.set_event_log(config.event_log);
   rm.set_timeseries(config.timeseries);
+  rm.set_profiler(config.profiler);
+  sim.events().set_profiler(config.profiler);
+  if (config.event_log != nullptr) {
+    config.event_log->set_profiler(config.profiler);
+  }
 
   std::vector<JobSpec> jobs = config.jobs_override;
   if (jobs.empty()) {
@@ -119,6 +124,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.max_ml = qs.max_ml();
   result.reallocations = rm.total_reallocations();
   result.outcomes = qs.outcomes();
+  result.slowdown = qs.slowdown();
   result.ml_timeline_s.reserve(qs.ml_timeline().size());
   for (const auto& [when, ml] : qs.ml_timeline()) {
     result.ml_timeline_s.emplace_back(TimeToSeconds(when), ml);

@@ -5,6 +5,7 @@
 #ifndef SRC_WORKLOAD_EXPERIMENT_H_
 #define SRC_WORKLOAD_EXPERIMENT_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +71,12 @@ struct ExperimentConfig {
   EventLog* event_log = nullptr;
   TimeSeriesSampler* timeseries = nullptr;
 
+  // Host-time self-profiler (borrowed, optional). When set, the runner wires
+  // it through the event queue, RM, and event log; span hit counts are a
+  // deterministic function of the simulated schedule, nanosecond totals are
+  // host-dependent. Like the registry, concurrent runs need their own.
+  Profiler* profiler = nullptr;
+
   // Counter/gauge/histogram registry for this run (borrowed, optional).
   // Null falls back to the process-global Registry::Default(). Concurrent
   // RunExperiment calls (the sweep engine) MUST each pass their own registry:
@@ -101,6 +108,10 @@ struct ExperimentResult {
 
   // Per-job outcomes (submit/start/finish), for observability cross-checks.
   std::vector<JobOutcome> outcomes;
+
+  // Per-class slowdown (response / exec) distributions from the QS. Always
+  // populated; integer bucket counts merge exactly across replicas.
+  std::map<AppClass, LogHistogram> slowdown;
 };
 
 // Builds the policy instance for `config`.

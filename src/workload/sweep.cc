@@ -60,7 +60,8 @@ std::vector<SweepCell> ExpandGrid(const SweepGrid& grid) {
 namespace {
 
 // Runs one cell with its private observability context.
-void RunCell(const SweepCell& cell, const SweepOptions& options, SweepCellResult* out) {
+void RunCell(const SweepCell& cell, const SweepOptions& options, int worker,
+             SweepCellResult* out) {
   Registry registry;
   ExperimentConfig config = cell.config;
   config.registry = &registry;
@@ -75,7 +76,18 @@ void RunCell(const SweepCell& cell, const SweepOptions& options, SweepCellResult
     config.timeseries = &timeseries;
   }
   out->cell = cell;
-  out->result = RunExperiment(config);
+  out->worker = worker;
+  if (options.capture_prof) {
+    config.profiler = &out->profile;
+    out->host_begin_ns = prof::NowNanos();
+  }
+  {
+    ProfScope cell_scope(options.capture_prof ? &out->profile : nullptr, SpanId::kSweepCell);
+    out->result = RunExperiment(config);
+  }
+  if (options.capture_prof) {
+    out->host_end_ns = prof::NowNanos();
+  }
   if (options.capture_counters) {
     out->counters = registry.Snapshot();
   }
@@ -125,7 +137,7 @@ std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions&
   jobs = std::clamp(jobs, 1, static_cast<int>(cells.size()));
   if (jobs == 1) {
     for (const SweepCell& cell : cells) {
-      RunCell(cell, options, &results[cell.index]);
+      RunCell(cell, options, 0, &results[cell.index]);
       FinishCell(&state, options, cells.size(), cell.index);
     }
     return results;
@@ -136,7 +148,7 @@ std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions&
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(jobs));
   for (int i = 0; i < jobs; ++i) {
-    workers.emplace_back([&cells, &results, &options, &state] {
+    workers.emplace_back([&cells, &results, &options, &state, i] {
       for (;;) {
         std::size_t index = 0;
         {
@@ -146,7 +158,7 @@ std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions&
           }
           index = state.next_cell++;
         }
-        RunCell(cells[index], options, &results[index]);
+        RunCell(cells[index], options, i, &results[index]);
         FinishCell(&state, options, cells.size(), index);
       }
     });
@@ -155,6 +167,14 @@ std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions&
     worker.join();
   }
   return results;
+}
+
+Profiler MergeProfiles(const std::vector<SweepCellResult>& results) {
+  Profiler merged;
+  for (const SweepCellResult& r : results) {
+    merged.Merge(r.profile);
+  }
+  return merged;
 }
 
 namespace {
@@ -184,6 +204,9 @@ CellAggregate AggregateSeeds(const std::vector<SweepCellResult>& results, std::s
     aggregate.all_completed = aggregate.all_completed && r.result.completed;
     for (const auto& [app_class, metrics] : r.result.metrics.per_class) {
       by_class[app_class].push_back(metrics);
+    }
+    for (const auto& [app_class, histogram] : r.result.slowdown) {
+      aggregate.per_class[app_class].slowdown.Merge(histogram);
     }
   }
   aggregate.makespan_s = Stat(std::move(makespans));
@@ -233,8 +256,18 @@ void AppendFixed2Cell(std::string* row, double value) {
   row->push_back(',');
 }
 
+// The optional slowdown_p50/p95/p99 cells. Bucket upper bounds carry ~9%
+// resolution, so three decimals preserve them without noise digits.
+void AppendSlowdownCells(std::string* row, const LogHistogram& histogram) {
+  for (const double p : {50.0, 95.0, 99.0}) {
+    row->push_back(',');
+    AppendFixed(row, histogram.Percentile(p), 3);
+  }
+}
+
+// `slowdown` null keeps the row byte-identical to the pre-slowdown format.
 void AppendReplicaRow(std::string* row, const SweepCellResult& r, AppClass app_class,
-                      const ClassMetrics& m) {
+                      const ClassMetrics& m, const LogHistogram* slowdown) {
   row->append(WorkloadName(r.cell.workload));
   row->push_back(',');
   AppendFixed2Cell(row, r.cell.load);
@@ -258,12 +291,15 @@ void AppendReplicaRow(std::string* row, const SweepCellResult& r, AppClass app_c
   AppendInt(row, r.result.reallocations);
   row->push_back(',');
   AppendInt(row, r.result.completed ? 1 : 0);
+  if (slowdown != nullptr) {
+    AppendSlowdownCells(row, *slowdown);
+  }
   row->push_back('\n');
 }
 
 void AppendAggregateRow(std::string* row, const SweepCellResult& head,
                         const CellAggregate& aggregate, AppClass app_class,
-                        const ClassAggregate& agg, const Pick& pick) {
+                        const ClassAggregate& agg, const Pick& pick, bool slowdown_columns) {
   row->append(WorkloadName(head.cell.workload));
   row->push_back(',');
   AppendFixed2Cell(row, head.cell.load);
@@ -284,25 +320,44 @@ void AppendAggregateRow(std::string* row, const SweepCellResult& head,
   AppendFixed2Cell(row, pick.get(aggregate.max_ml));
   AppendFixed2Cell(row, pick.get(aggregate.reallocations));
   AppendInt(row, aggregate.all_completed ? 1 : 0);
+  if (slowdown_columns) {
+    // The merged histogram's percentiles are exact regardless of merge
+    // grouping, so all three pick rows carry the same distribution values.
+    AppendSlowdownCells(row, agg.slowdown);
+  }
   row->push_back('\n');
 }
 
 }  // namespace
 
 void SweepCsv(const std::vector<SweepCellResult>& results, std::size_t seeds_per_group,
-              std::ostream& out) {
+              std::ostream& out, bool slowdown_columns) {
   PDPA_CHECK_GE(seeds_per_group, 1u);
   PDPA_CHECK_EQ(results.size() % seeds_per_group, 0u);
   BufWriter writer(&out);
-  writer.Append(kSweepCsvHeader);
+  if (slowdown_columns) {
+    const std::string_view header(kSweepCsvHeader);
+    writer.Append(header.substr(0, header.size() - 1));  // drop the newline
+    writer.Append(",slowdown_p50,slowdown_p95,slowdown_p99\n");
+  } else {
+    writer.Append(kSweepCsvHeader);
+  }
   std::string row;
   row.reserve(200);
+  // Empty stand-in for a class missing from a replica's slowdown map (all
+  // its jobs had zero exec time); percentiles read as 0.
+  static const LogHistogram kEmptyHistogram;
   for (std::size_t group = 0; group < results.size(); group += seeds_per_group) {
     for (std::size_t i = group; i < group + seeds_per_group; ++i) {
       const SweepCellResult& r = results[i];
       for (const auto& [app_class, m] : r.result.metrics.per_class) {
         row.clear();
-        AppendReplicaRow(&row, r, app_class, m);
+        const LogHistogram* slowdown = nullptr;
+        if (slowdown_columns) {
+          const auto it = r.result.slowdown.find(app_class);
+          slowdown = it != r.result.slowdown.end() ? &it->second : &kEmptyHistogram;
+        }
+        AppendReplicaRow(&row, r, app_class, m, slowdown);
         writer.Append(row);
       }
     }
@@ -314,7 +369,7 @@ void SweepCsv(const std::vector<SweepCellResult>& results, std::size_t seeds_per
     for (const auto& [app_class, agg] : aggregate.per_class) {
       for (const Pick& pick : kPicks) {
         row.clear();
-        AppendAggregateRow(&row, head, aggregate, app_class, agg, pick);
+        AppendAggregateRow(&row, head, aggregate, app_class, agg, pick, slowdown_columns);
         writer.Append(row);
       }
     }

@@ -28,6 +28,8 @@
 
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
+#include "src/obs/prof.h"
+#include "src/obs/slowdown.h"
 #include "src/workload/experiment.h"
 
 namespace pdpa {
@@ -83,6 +85,11 @@ struct SweepOptions {
   bool capture_counters = false;
   bool capture_events = false;
   bool capture_timeseries = false;
+  // Capture a host-time profile per cell (span hit counts + nanosecond
+  // totals) plus the cell's host begin/end stamps and worker index. Hit
+  // counts are deterministic (serial == parallel, run to run); only the
+  // nanosecond totals vary with the host.
+  bool capture_prof = false;
   // Invoked once per completed cell, from whichever thread finished it. The
   // engine holds its progress mutex across the call, so invocations are
   // serialized and need no locking of their own — but must stay quick and
@@ -117,10 +124,21 @@ struct SweepCellResult {
   RegistrySnapshot counters;
   std::string events_jsonl;
   std::string timeseries_csv;
+  // Filled when SweepOptions::capture_prof: the cell's host-time profile,
+  // the worker thread that ran it (0 for an inline sweep), and the cell's
+  // host-clock begin/end stamps (prof::NowNanos), for trace export.
+  Profiler profile;
+  int worker = 0;
+  long long host_begin_ns = 0;
+  long long host_end_ns = 0;
 };
 
 // Runs every cell of the grid; returns results in grid (ExpandGrid) order.
 std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions& options = {});
+
+// Merges the per-cell profiles in grid order (deterministic: integer hit
+// counts add exactly; nanosecond totals add but stay host-dependent).
+Profiler MergeProfiles(const std::vector<SweepCellResult>& results);
 
 // Element-wise mean / median / 95th percentile of one metric across seed
 // replicas.
@@ -141,6 +159,9 @@ struct ClassAggregate {
   AggStat avg_exec_s;
   AggStat avg_wait_s;
   AggStat avg_alloc;
+  // Exact bucket-count merge of the replicas' slowdown histograms; the
+  // aggregate percentiles come from here (independent of merge grouping).
+  LogHistogram slowdown;
 };
 
 struct CellAggregate {
@@ -160,9 +181,11 @@ CellAggregate AggregateSeeds(const std::vector<SweepCellResult>& results, std::s
 // Writes the sweep CSV: header, one row per (replica, class) in grid order,
 // and, when seeds_per_group > 1, three aggregate rows per class (seed column
 // "mean" / "p50" / "p95") after each group's replica rows. `seeds_per_group`
-// must divide results.size().
+// must divide results.size(). `slowdown_columns` appends slowdown_p50/p95/
+// p99 columns (per-replica and merged-across-replicas percentiles); off by
+// default so existing pinned outputs stay byte-identical.
 void SweepCsv(const std::vector<SweepCellResult>& results, std::size_t seeds_per_group,
-              std::ostream& out);
+              std::ostream& out, bool slowdown_columns = false);
 
 namespace internal {
 

@@ -1,10 +1,12 @@
 # ctest driver for tool CLI contracts. Invoked as
-#   cmake -DREPORT=<pdpa_report> -DPRV=<prv_stats> -DWORKDIR=<scratch> -P cli_cases.cmake
+#   cmake -DREPORT=<pdpa_report> -DPRV=<prv_stats> -DSIM=<pdpa_sim>
+#         -DBATCH=<pdpa_batch> -DWORKDIR=<scratch> -P cli_cases.cmake
 # Bad invocations must be usage errors (exit 2 with a pointed message), not
 # silently-wrong output; --help is exit 0.
 
-if(NOT REPORT OR NOT PRV OR NOT WORKDIR)
-  message(FATAL_ERROR "usage: cmake -DREPORT=... -DPRV=... -DWORKDIR=... -P cli_cases.cmake")
+if(NOT REPORT OR NOT PRV OR NOT SIM OR NOT BATCH OR NOT WORKDIR)
+  message(FATAL_ERROR
+          "usage: cmake -DREPORT=... -DPRV=... -DSIM=... -DBATCH=... -DWORKDIR=... -P cli_cases.cmake")
 endif()
 file(MAKE_DIRECTORY ${WORKDIR})
 
@@ -41,10 +43,50 @@ file(WRITE ${WORKDIR}/ev.jsonl
 "{\"type\":\"run_start\",\"policy\":\"PDPA\",\"workload\":\"w1\",\"load\":\"0.6\",\"seed\":\"42\",\"cpus\":\"60\"}\n")
 expect_cli(0 out "run 1: policy PDPA" ${REPORT} ${WORKDIR}/ev.jsonl)
 
+# A prof_span record renders as the host-time profile table (hits column is
+# the deterministic part; the report echoes the ns fields as milliseconds).
+file(WRITE ${WORKDIR}/prof.jsonl
+"{\"type\":\"prof_meta\",\"tool\":\"pdpa_sim\",\"spans\":1}\n{\"type\":\"prof_span\",\"span\":\"rm.quantum\",\"hits\":123,\"total_ns\":4000000,\"self_ns\":1000000}\n")
+expect_cli(0 out "host-time profile .hits are deterministic" ${REPORT} ${WORKDIR}/prof.jsonl)
+expect_cli(0 out "rm\\.quantum +123 +4\\.000 +1\\.000" ${REPORT} ${WORKDIR}/prof.jsonl)
+
 # prv_stats
 expect_cli(0 out "usage: prv_stats" ${PRV} --help)
 expect_cli(2 err "usage: prv_stats" ${PRV})
 expect_cli(2 err "unknown flag --bogus" ${PRV} --bogus ${WORKDIR}/t.prv)
 expect_cli(2 err "cannot open" ${PRV} ${WORKDIR}/does_not_exist.prv)
+
+# pdpa_sim: the profiling/tracing flags are documented, malformed values are
+# usage errors, and the smoke run actually produces a profile and a trace.
+expect_cli(0 out "--trace_out" ${SIM} --help)
+expect_cli(0 out "--prof_out" ${SIM} --help)
+expect_cli(2 err "unknown flag --bogus" ${SIM} --bogus)
+expect_cli(2 err "malformed flag value" ${SIM} --workload w1 --load not-a-number)
+expect_cli(0 out "host-time profile .hits are deterministic" ${SIM} --workload w1 --load 0.6 --prof)
+expect_cli(0 out "trace events written to" ${SIM} --workload w1 --load 0.6
+           --trace_out ${WORKDIR}/sim_trace.json)
+if(NOT EXISTS ${WORKDIR}/sim_trace.json)
+  message(SEND_ERROR "pdpa_sim --trace_out did not create sim_trace.json")
+endif()
+expect_cli(0 out "span hits written to" ${SIM} --workload w1 --load 0.6
+           --prof_out ${WORKDIR}/sim_prof.jsonl)
+expect_cli(0 out "rm.quantum" ${REPORT} ${WORKDIR}/sim_prof.jsonl)
+
+# pdpa_batch: same contract for the sweep driver.
+expect_cli(0 out "usage: pdpa_batch" ${BATCH} --help)
+expect_cli(0 out "--slowdown" ${BATCH} --help)
+expect_cli(0 out "--prof_out" ${BATCH} --help)
+expect_cli(2 err "unknown flag --bogus" ${BATCH} --bogus)
+expect_cli(2 err "malformed flag value" ${BATCH} --workloads w1 --loads 0.6 --jobs not-a-number)
+expect_cli(0 out "slowdown_p50,slowdown_p95,slowdown_p99"
+           ${BATCH} --workloads w1 --loads 0.6 --policies equip --seeds 1 --slowdown)
+expect_cli(0 err "host-time profile .hits are deterministic"
+           ${BATCH} --workloads w1 --loads 0.6 --policies equip --seeds 1 --prof)
+expect_cli(0 err "trace events written to"
+           ${BATCH} --workloads w1 --loads 0.6 --policies equip --seeds 1
+           --trace_out ${WORKDIR}/batch_trace.json)
+if(NOT EXISTS ${WORKDIR}/batch_trace.json)
+  message(SEND_ERROR "pdpa_batch --trace_out did not create batch_trace.json")
+endif()
 
 message(STATUS "cli contract checks done")

@@ -59,6 +59,17 @@ stream_flush_violation.cc:7: stream-flush: 'flush' in src/ flushes per line (wri
 stream_flush_violation.cc:9: stream-flush: 'endl' in src/ flushes per line (write '\\n' and let BufWriter batch; Flush() once at the end)
 ")
 
+# Sanctioned host clock: steady_clock is allowed in src/obs/prof.cc only.
+# The allowance is token-specific (system_clock in the same file still
+# fires) and file-specific (steady_clock anywhere else still fires).
+expect_lint(src/obs/prof.cc 1
+"src/obs/prof.cc:10: wall-clock: nondeterministic source 'system_clock' in sim code (use SimTime)
+")
+
+expect_lint(src/obs/not_prof.cc 1
+"src/obs/not_prof.cc:6: wall-clock: nondeterministic source 'steady_clock' in sim code (use SimTime)
+")
+
 # Tools own their streams' flushing policy: rule scoped to src/ only.
 expect_lint(stream_flush_violation.cc 0 "" --treat-as tools)
 

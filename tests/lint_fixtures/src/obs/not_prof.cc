@@ -1,0 +1,8 @@
+// Fixture: steady_clock outside the sanctioned TU is still a violation.
+#include <chrono>
+
+namespace pdpa {
+long long Nanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace pdpa

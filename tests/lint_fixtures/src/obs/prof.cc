@@ -1,0 +1,12 @@
+// Fixture: the sanctioned host-clock TU. steady_clock is allowed here (and
+// only here); every other wall-clock source stays banned even in this file.
+#include <chrono>
+
+namespace pdpa {
+long long NowNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+long long WallNanos() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+}  // namespace pdpa

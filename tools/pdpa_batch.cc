@@ -12,19 +12,61 @@
 //   pdpa_batch --counters               # per-cell counter dumps to stderr
 //   pdpa_batch --counters_out c_        # ... or to c_<cell>.txt files
 //   pdpa_batch --jobs 8 --progress      # completion ticker on stderr
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/prof.h"
+#include "src/obs/trace_export.h"
 #include "src/workload/sweep.h"
 
 namespace pdpa {
 namespace {
+
+constexpr const char* kUsage = R"(usage: pdpa_batch [flags]
+
+grid axes:
+  --workloads LIST         comma list of w1..w4 (default w1,w2,w3,w4)
+  --loads LIST             comma list of load fractions (default 0.6,0.8,1.0)
+  --policies LIST          comma list of irix,equip,equal_eff,pdpa,dynamic
+                           (default irix,equip,equal_eff,pdpa)
+  --seed N                 first RNG seed (default 42)
+  --seeds N                replicas per cell under consecutive seeds
+                           (default 1); adds per-class mean/p50/p95 rows
+  --untuned                override every request to 30 CPUs
+  --exact_ticks            fire the progress tick at every grid point
+
+execution:
+  --jobs N                 worker threads (default: hardware concurrency)
+  --progress               completion ticker on stderr
+
+output (CSV on stdout):
+  --slowdown               append slowdown_p50/p95/p99 columns (per-replica
+                           and merged-across-replica percentiles)
+
+flight recorder (per-cell files, <prefix><cell>.<ext>):
+  --events_out P           event logs (JSONL)
+  --timeseries_out P       time-series (CSV)
+  --counters_out P         counter snapshots (TXT)
+  --counters               per-cell counter dumps to stderr
+
+profiling & tracing:
+  --trace_out FILE         write one Chrome/Perfetto trace of the whole
+                           sweep: per-cell sim-time tracks, plus host-time
+                           worker spans when --prof is also set
+  --prof                   print the merged host-time profiler breakdown on
+                           stderr (hit counts deterministic; ns are not)
+  --prof_out FILE          write the merged profiler spans as JSONL
+  --log_level LEVEL        debug|info|warning|error|none (default warning)
+  --help                   this text
+)";
 
 bool WriteFile(const std::string& path, const std::string& content) {
   std::ofstream out(path);
@@ -38,6 +80,10 @@ bool WriteFile(const std::string& path, const std::string& content) {
 
 int Run(int argc, char** argv) {
   FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
 
   const std::string log_level = flags.GetString("log_level", "warning");
   LogLevel level = LogLevel::kWarning;
@@ -117,9 +163,14 @@ int Run(int argc, char** argv) {
   const std::string timeseries_prefix = flags.GetString("timeseries_out", "");
   const std::string counters_prefix = flags.GetString("counters_out", "");
   const bool want_counters = flags.GetBool("counters", false);
-  options.capture_events = !events_prefix.empty();
+  const bool want_slowdown = flags.GetBool("slowdown", false);
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const bool want_prof = flags.GetBool("prof", false);
+  const std::string prof_out = flags.GetString("prof_out", "");
+  options.capture_events = !events_prefix.empty() || !trace_out.empty();
   options.capture_timeseries = !timeseries_prefix.empty();
   options.capture_counters = want_counters || !counters_prefix.empty();
+  options.capture_prof = want_prof || !prof_out.empty();
 
   // Completion ticker for long grids. The engine serializes on_progress
   // under its progress mutex, so stderr lines never interleave.
@@ -133,13 +184,80 @@ int Run(int argc, char** argv) {
   }
 
   for (const std::string& unknown : flags.UnconsumedFlags()) {
-    std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+    std::fprintf(stderr, "unknown flag --%s (see --help)\n", unknown.c_str());
+    return 2;
+  }
+  if (flags.had_parse_error()) {
+    std::fprintf(stderr, "malformed flag value (see --help)\n");
     return 2;
   }
 
+  // Open the trace sink before the sweep so a bad path fails fast.
+  std::ofstream trace_stream;
+  if (!trace_out.empty()) {
+    trace_stream.open(trace_out);
+    if (!trace_stream) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      return 2;
+    }
+  }
+
   const std::vector<SweepCellResult> results = RunSweep(grid, options);
-  SweepCsv(results, grid.seeds.size(), std::cout);
+  SweepCsv(results, grid.seeds.size(), std::cout, want_slowdown);
   std::cout.flush();
+
+  if (!trace_out.empty()) {
+    TraceEventWriter writer(&trace_stream);
+    writer.ProcessName(1, "sweep host");
+    if (options.capture_prof && !results.empty()) {
+      // Host-time tracks: one thread row per sweep worker, one complete
+      // span per cell, timestamps relative to the earliest cell start.
+      long long epoch_ns = results.front().host_begin_ns;
+      for (const SweepCellResult& r : results) {
+        epoch_ns = std::min(epoch_ns, r.host_begin_ns);
+      }
+      std::map<int, bool> workers_named;
+      for (const SweepCellResult& r : results) {
+        if (!workers_named[r.worker]) {
+          workers_named[r.worker] = true;
+          std::string name = "worker ";
+          name += std::to_string(r.worker);
+          writer.ThreadName(1, r.worker, name);
+        }
+        writer.Complete(1, r.worker, r.cell.name, (r.host_begin_ns - epoch_ns) / 1000,
+                        (r.host_end_ns - r.host_begin_ns) / 1000);
+      }
+    }
+    long long bad_lines = 0;
+    for (const SweepCellResult& r : results) {
+      bad_lines += ExportSimTrace(r.events_jsonl, 2 + static_cast<long long>(r.cell.index),
+                                  r.cell.name, &writer);
+    }
+    writer.Finish();
+    if (bad_lines > 0) {
+      std::fprintf(stderr, "trace export skipped %lld malformed event lines\n", bad_lines);
+    }
+    std::fprintf(stderr, "trace: %lld trace events written to %s\n", writer.events_written(),
+                 trace_out.c_str());
+  }
+  if (options.capture_prof) {
+    const Profiler merged = MergeProfiles(results);
+    if (want_prof) {
+      std::string table;
+      AppendProfTable(merged, &table);
+      std::fprintf(stderr, "\nhost-time profile (hits are deterministic; times are not):\n%s",
+                   table.c_str());
+    }
+    if (!prof_out.empty()) {
+      std::string jsonl;
+      AppendProfJsonl(merged, "pdpa_batch", &jsonl);
+      if (!WriteFile(prof_out, jsonl)) {
+        return 2;
+      }
+      std::fprintf(stderr, "profile: %lld span hits written to %s\n", merged.TotalHits(),
+                   prof_out.c_str());
+    }
+  }
 
   // Per-cell recordings, written in grid order after the sweep.
   for (const SweepCellResult& r : results) {

@@ -8,6 +8,9 @@
 //                   (src/, tools/): std::rand, srand, time(, clock(,
 //                   system_clock, high_resolution_clock, steady_clock.
 //                   bench/ is exempt (benchmarks measure wall time).
+//                   Sanctioned-clock allowance: steady_clock is allowed in
+//                   src/obs/prof.cc — the self-profiler's single host-clock
+//                   TU; everything else must call prof::NowNanos().
 //   unordered-iter  no range-for over std::unordered_{map,set}: iteration
 //                   order is unspecified, so anything it feeds (output,
 //                   allocation decisions) becomes nondeterministic.
@@ -83,7 +86,8 @@ struct Rule {
 constexpr Rule kRules[] = {
     {"wall-clock",
      "no wall-clock/nondeterministic sources in sim code (src/, tools/); "
-     "simulation time is the only clock"},
+     "simulation time is the only clock (sanctioned host clock: steady_clock "
+     "in src/obs/prof.cc only)"},
     {"unordered-iter",
      "no range-for over unordered containers (unspecified order feeds output "
      "or allocation decisions); justify with // lint: ordered-ok"},
@@ -331,6 +335,13 @@ void CheckWallClock(const ScanResult& scan, Scope scope, const std::string& file
       continue;
     }
     if (kBannedIdents->contains(token.text)) {
+      // Sanctioned-clock allowance: the host-time self-profiler's one
+      // translation unit is the only place in src/ allowed to read
+      // steady_clock (everything else calls prof::NowNanos()). Only that
+      // exact token in that exact file — system_clock etc. stay banned.
+      if (token.text == "steady_clock" && file == "src/obs/prof.cc") {
+        continue;
+      }
       AddFinding(findings, scan, file, token.line, "wall-clock",
                  StrFormat("nondeterministic source '%s' in sim code (use SimTime)",
                            token.text.c_str()));

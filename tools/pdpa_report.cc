@@ -78,6 +78,15 @@ struct TimelineEntry {
   std::string text;
 };
 
+// One host-time profiler span (prof_span records from --prof_out), kept in
+// input order. Hit counts are deterministic; the nanosecond columns are not.
+struct ProfRow {
+  std::string span;
+  long long hits = 0;
+  long long total_ns = 0;
+  long long self_ns = 0;
+};
+
 int Run(int argc, char** argv) {
   FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
   if (flags.GetBool("help", false)) {
@@ -122,6 +131,7 @@ int Run(int argc, char** argv) {
   long long moved_total = 0;
   long long migrations_total = 0;
   long long holds = 0;
+  std::vector<ProfRow> prof_rows;
   long long bad_lines = 0;
   long long order = 0;
   int segment = 0;
@@ -186,6 +196,18 @@ int Run(int argc, char** argv) {
     }
     if (type == "admit_hold") {
       ++holds;
+      continue;
+    }
+    if (type == "prof_span") {
+      ProfRow prof;
+      prof.span = Get(fields, "span");
+      prof.hits = std::atoll(Get(fields, "hits").c_str());
+      prof.total_ns = std::atoll(Get(fields, "total_ns").c_str());
+      prof.self_ns = std::atoll(Get(fields, "self_ns").c_str());
+      prof_rows.push_back(std::move(prof));
+      continue;
+    }
+    if (type == "prof_meta") {
       continue;
     }
     if (job.empty()) {
@@ -318,6 +340,26 @@ int Run(int argc, char** argv) {
     AppendInt(&row, holds);
     row.push_back('\n');
     writer.Append(row);
+  }
+  if (!prof_rows.empty()) {
+    writer.Append("\nhost-time profile (hits are deterministic; times are not):\n");
+    writer.Append("  span              hits        total_ms     self_ms\n");
+    for (const ProfRow& prof : prof_rows) {
+      row.clear();
+      row.append("  ");
+      AppendLeftAligned(&row, prof.span, 16);
+      const std::size_t hits_start = row.size();
+      AppendInt(&row, prof.hits);
+      if (row.size() - hits_start < 10) {
+        row.insert(hits_start, 10 - (row.size() - hits_start), ' ');
+      }
+      row.append("  ");
+      AppendFixed3Padded(&row, static_cast<double>(prof.total_ns) / 1e6, 10);
+      row.append("  ");
+      AppendFixed3Padded(&row, static_cast<double>(prof.self_ns) / 1e6, 10);
+      row.push_back('\n');
+      writer.Append(row);
+    }
   }
   writer.Flush();
   if (bad_lines > 0) {

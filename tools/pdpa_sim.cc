@@ -10,13 +10,17 @@
 //   pdpa_sim --workload w2 --load 0.8 --swf-out w2.swf --dry-run
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "src/common/flags.h"
 #include "src/common/logging.h"
+#include "src/common/strings.h"
 #include "src/obs/counters.h"
 #include "src/obs/event_log.h"
+#include "src/obs/prof.h"
 #include "src/obs/timeseries.h"
+#include "src/obs/trace_export.h"
 #include "src/qs/swf.h"
 #include "src/trace/paraver_writer.h"
 #include "src/workload/experiment.h"
@@ -62,6 +66,13 @@ flight recorder (observability):
   --events_out FILE        write the structured event log (JSONL; feed to
                            pdpa_report for per-app timelines)
   --timeseries_out FILE    write the per-quantum allocation time-series (CSV)
+  --trace_out FILE         write a Chrome/Perfetto trace (trace-event JSON):
+                           job lifecycle tracks + allocation counters,
+                           reconstructed from the event log (load the file
+                           in ui.perfetto.dev or chrome://tracing)
+  --prof                   print the host-time self-profiler breakdown
+                           (span hit counts are deterministic; ns are not)
+  --prof_out FILE          write the profiler spans as JSONL
   --counters               print the counters-registry snapshot after the run
   --log_level LEVEL        debug|info|warning|error|none (default warning);
                            log lines are stamped with simulation time
@@ -157,6 +168,9 @@ int Run(int argc, char** argv) {
 
   const std::string events_out = flags.GetString("events_out", "");
   const std::string timeseries_out = flags.GetString("timeseries_out", "");
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const bool want_prof = flags.GetBool("prof", false);
+  const std::string prof_out = flags.GetString("prof_out", "");
   const bool want_counters = flags.GetBool("counters", false);
 
   for (const std::string& unknown : flags.UnconsumedFlags()) {
@@ -193,13 +207,35 @@ int Run(int argc, char** argv) {
       return 2;
     }
   }
-  EventLog events(events_out.empty() ? nullptr : &events_stream);
+  std::ofstream trace_stream;
+  if (!trace_out.empty()) {
+    trace_stream.open(trace_out);
+    if (!trace_stream) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      return 2;
+    }
+  }
+  // The trace exporter replays the event log, so --trace_out captures the
+  // records in memory; --events_out then writes that same byte stream (the
+  // recording is identical either way).
+  std::ostringstream events_buffer;
+  std::ostream* events_sink = nullptr;
+  if (!trace_out.empty()) {
+    events_sink = &events_buffer;
+  } else if (!events_out.empty()) {
+    events_sink = &events_stream;
+  }
+  EventLog events(events_sink);
   if (events.enabled()) {
     config.event_log = &events;
   }
   TimeSeriesSampler timeseries;
   if (!timeseries_out.empty()) {
     config.timeseries = &timeseries;
+  }
+  Profiler profiler;
+  if (want_prof || !prof_out.empty()) {
+    config.profiler = &profiler;
   }
   // A run-local registry keeps the --counters dump scoped to this run (and
   // exercises the same per-run path the sweep engine uses).
@@ -243,8 +279,26 @@ int Run(int argc, char** argv) {
   }
   if (events.enabled()) {
     events.Flush();  // The log buffers; push bytes out before reporting.
-    std::printf("event log: %lld events written to %s\n", events.lines_written(),
-                events_out.c_str());
+    if (!trace_out.empty()) {
+      const std::string captured = events_buffer.str();
+      if (!events_out.empty()) {
+        events_stream << captured;
+      }
+      TraceEventWriter writer(&trace_stream);
+      const std::string process_name =
+          StrFormat("%s_%.2f_%s", workload.c_str(), config.load, result.policy_name.c_str());
+      const long long bad_lines = ExportSimTrace(captured, 1, process_name, &writer);
+      writer.Finish();
+      if (bad_lines > 0) {
+        std::fprintf(stderr, "trace export skipped %lld malformed event lines\n", bad_lines);
+      }
+      std::printf("trace: %lld trace events written to %s\n", writer.events_written(),
+                  trace_out.c_str());
+    }
+    if (!events_out.empty()) {
+      std::printf("event log: %lld events written to %s\n", events.lines_written(),
+                  events_out.c_str());
+    }
   }
   if (!timeseries_out.empty()) {
     std::ofstream out(timeseries_out);
@@ -255,6 +309,24 @@ int Run(int argc, char** argv) {
     timeseries.WriteCsv(out);
     std::printf("time-series: %zu app windows, %zu machine samples written to %s\n",
                 timeseries.apps().size(), timeseries.machine().size(), timeseries_out.c_str());
+  }
+  if (want_prof) {
+    std::string table;
+    AppendProfTable(profiler, &table);
+    std::printf("\nhost-time profile (hits are deterministic; times are not):\n%s",
+                table.c_str());
+  }
+  if (!prof_out.empty()) {
+    std::ofstream out(prof_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", prof_out.c_str());
+      return 2;
+    }
+    std::string jsonl;
+    AppendProfJsonl(profiler, "pdpa_sim", &jsonl);
+    out << jsonl;
+    std::printf("profile: %lld span hits written to %s\n", profiler.TotalHits(),
+                prof_out.c_str());
   }
   if (want_counters) {
     std::printf("\ncounters:\n%s", registry.Snapshot().ToString().c_str());
