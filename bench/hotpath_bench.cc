@@ -17,9 +17,18 @@
 // CSV, reporting events-enabled cells/sec for both. Exits non-zero on any
 // divergence.
 //
+// Part 4 (shared-prefix fork, DESIGN.md §12): a prefix-dominated grid — a
+// job trace whose first arrival lands minutes into the run, swept across
+// the four space-sharing policies x --seeds — run with forking off (every
+// cell replays the pre-arrival region) and on (one prefix per group, forked
+// into each policy cell). Byte-compares every cell's event log and the
+// sweep CSV; on divergence, writes a per-cell diff to --divergence_out and
+// exits non-zero. Reports fork_speedup = cold wall / forked wall.
+//
 // Wall times are medians over --repeat runs (p50 in the JSON).
 //
 // Usage: hotpath_bench [--seeds N] [--repeat N] [--out BENCH_hotpath.json]
+//                      [--divergence_out fork_divergence.diff]
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -165,6 +174,87 @@ int Run(int argc, char** argv) {
                events_fast_cells_per_s, events_sweep_speedup,
                events_identical ? "identical" : "DIFFER");
 
+  // --- Part 4: shared-prefix fork, cold vs forked ------------------------
+  // A grid built to look like the sweeps the fork exists for: every cell of
+  // a (workload, seed) group replays the same pre-arrival region, and the
+  // region is long enough (first arrival ~10 sim-minutes in) that cold runs
+  // pay for it once per *cell* while forked runs pay once per *group*.
+  SweepGrid fork_grid;
+  fork_grid.workloads = {WorkloadId::kW1};
+  fork_grid.loads = {1.0};
+  fork_grid.policies = {PolicyKind::kEquipartition, PolicyKind::kEqualEfficiency,
+                        PolicyKind::kPdpa, PolicyKind::kMcCannDynamic};
+  fork_grid.seeds = grid.seeds;
+  std::vector<JobSpec> late_trace;
+  for (int i = 0; i < 1; ++i) {
+    JobSpec spec;
+    spec.id = i + 1;
+    spec.app_class = AppClass::kSwim;
+    spec.submit = 3600 * kSecond + i * kSecond;
+    spec.request = 60;
+    late_trace.push_back(spec);
+  }
+  fork_grid.base.jobs_override = late_trace;
+  // A coarser quantum is what long-horizon sweeps actually run with; it also
+  // keeps the forked cells dominated by the region, not the replan cadence.
+  fork_grid.base.rm.quantum = 250 * kMillisecond;
+  const std::size_t fork_cells = ExpandGrid(fork_grid).size();
+
+  SweepOptions fork_off;
+  fork_off.jobs = 1;
+  fork_off.capture_events = true;
+  fork_off.fork = false;
+  SweepOptions fork_on = fork_off;
+  fork_on.fork = true;
+  ForkStats fork_stats;
+  fork_on.fork_stats = &fork_stats;
+
+  std::vector<SweepCellResult> cold_results;
+  const double fork_cold_s =
+      MedianWallSeconds(repeat, [&] { cold_results = RunSweep(fork_grid, fork_off); });
+  std::vector<SweepCellResult> forked_results;
+  const double fork_on_s =
+      MedianWallSeconds(repeat, [&] { forked_results = RunSweep(fork_grid, fork_on); });
+
+  std::ostringstream fork_csv_cold, fork_csv_on;
+  SweepCsv(cold_results, fork_grid.seeds.size(), fork_csv_cold);
+  SweepCsv(forked_results, fork_grid.seeds.size(), fork_csv_on);
+  bool fork_identical = fork_csv_cold.str() == fork_csv_on.str() &&
+                        cold_results.size() == forked_results.size();
+  std::ostringstream divergence;
+  for (std::size_t i = 0; i < cold_results.size() && i < forked_results.size(); ++i) {
+    if (cold_results[i].events_jsonl != forked_results[i].events_jsonl) {
+      fork_identical = false;
+      divergence << "=== cell " << cold_results[i].cell.name << " events diverge\n"
+                 << "--- fork off\n"
+                 << cold_results[i].events_jsonl << "+++ fork on\n"
+                 << forked_results[i].events_jsonl;
+    }
+  }
+  if (fork_csv_cold.str() != fork_csv_on.str()) {
+    divergence << "=== sweep CSV diverges\n--- fork off\n"
+               << fork_csv_cold.str() << "+++ fork on\n"
+               << fork_csv_on.str();
+  }
+  if (!fork_identical) {
+    const std::string divergence_path = flags.GetString("divergence_out", "fork_divergence.diff");
+    std::ofstream diff_out(divergence_path);
+    diff_out << divergence.str();
+    std::fprintf(stderr, "fork divergence details written to %s\n", divergence_path.c_str());
+  }
+
+  const double fork_cold_cells_per_s =
+      fork_cold_s > 0 ? static_cast<double>(fork_cells) / fork_cold_s : 0;
+  const double fork_cells_per_s =
+      fork_on_s > 0 ? static_cast<double>(fork_cells) / fork_on_s : 0;
+  const double fork_speedup = fork_on_s > 0 ? fork_cold_s / fork_on_s : 0;
+  std::fprintf(stderr,
+               "shared-prefix sweep %zu cells: cold %.2fs (%.0f cells/s), forked %.2fs "
+               "(%.0f cells/s, %.2fx), %zu prefixes -> %zu forked cells, output %s\n",
+               fork_cells, fork_cold_s, fork_cold_cells_per_s, fork_on_s, fork_cells_per_s,
+               fork_speedup, fork_stats.prefixes_built, fork_stats.forked_cells,
+               fork_identical ? "identical" : "DIFFERS");
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -189,10 +279,19 @@ int Run(int argc, char** argv) {
       << "  \"events_sweep_legacy_cells_per_s\": " << events_legacy_cells_per_s << ",\n"
       << "  \"events_sweep_fast_cells_per_s\": " << events_fast_cells_per_s << ",\n"
       << "  \"events_sweep_speedup\": " << events_sweep_speedup << ",\n"
-      << "  \"events_output_identical\": " << (events_identical ? "true" : "false") << "\n"
+      << "  \"events_output_identical\": " << (events_identical ? "true" : "false") << ",\n"
+      << "  \"fork_sweep_cells\": " << fork_cells << ",\n"
+      << "  \"fork_prefixes_built\": " << fork_stats.prefixes_built << ",\n"
+      << "  \"fork_forked_cells\": " << fork_stats.forked_cells << ",\n"
+      << "  \"fork_cold_wall_s\": " << fork_cold_s << ",\n"
+      << "  \"fork_wall_s\": " << fork_on_s << ",\n"
+      << "  \"fork_cold_cells_per_s\": " << fork_cold_cells_per_s << ",\n"
+      << "  \"fork_cells_per_s\": " << fork_cells_per_s << ",\n"
+      << "  \"fork_speedup\": " << fork_speedup << ",\n"
+      << "  \"fork_output_identical\": " << (fork_identical ? "true" : "false") << "\n"
       << "}\n";
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
-  return identical && events_identical ? 0 : 1;
+  return identical && events_identical && fork_identical ? 0 : 1;
 }
 
 }  // namespace

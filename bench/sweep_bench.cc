@@ -49,16 +49,24 @@ int Run(int argc, char** argv) {
   std::vector<SweepCellResult> serial_results;
   const double serial_s =
       MedianWallSeconds(repeat, [&] { serial_results = RunSweep(grid, serial); });
-  SweepOptions parallel;
-  parallel.jobs = jobs;
-  std::vector<SweepCellResult> parallel_results;
-  const double parallel_s =
-      MedianWallSeconds(repeat, [&] { parallel_results = RunSweep(grid, parallel); });
 
-  std::ostringstream csv_serial, csv_parallel;
-  SweepCsv(serial_results, grid.seeds.size(), csv_serial);
-  SweepCsv(parallel_results, grid.seeds.size(), csv_parallel);
-  const bool identical = csv_serial.str() == csv_parallel.str();
+  // On a single-CPU runner the worker pool cannot beat the serial run — the
+  // "speedup" it would report is scheduler noise around 1.0, misleading in a
+  // committed baseline. Skip the parallel A/B and say so in the JSON
+  // (bench_check treats metrics missing from a skipped run as skips).
+  const bool single_cpu = std::thread::hardware_concurrency() == 1;
+  double parallel_s = 0.0;
+  bool identical = true;
+  if (!single_cpu) {
+    SweepOptions parallel;
+    parallel.jobs = jobs;
+    std::vector<SweepCellResult> parallel_results;
+    parallel_s = MedianWallSeconds(repeat, [&] { parallel_results = RunSweep(grid, parallel); });
+    std::ostringstream csv_serial, csv_parallel;
+    SweepCsv(serial_results, grid.seeds.size(), csv_serial);
+    SweepCsv(parallel_results, grid.seeds.size(), csv_parallel);
+    identical = csv_serial.str() == csv_parallel.str();
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -71,18 +79,27 @@ int Run(int argc, char** argv) {
       << "  \"repeat\": " << repeat << ",\n"
       << "  \"jobs\": " << jobs << ",\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"skipped_single_cpu\": " << (single_cpu ? "true" : "false") << ",\n"
       << "  \"serial_wall_s\": " << serial_s << ",\n"
-      << "  \"parallel_wall_s\": " << parallel_s << ",\n"
       << "  \"serial_cells_per_s\": "
-      << (serial_s > 0 ? static_cast<double>(cells) / serial_s : 0) << ",\n"
-      << "  \"parallel_cells_per_s\": "
-      << (parallel_s > 0 ? static_cast<double>(cells) / parallel_s : 0) << ",\n"
-      << "  \"speedup\": " << (parallel_s > 0 ? serial_s / parallel_s : 0) << ",\n"
-      << "  \"csv_identical\": " << (identical ? "true" : "false") << "\n"
-      << "}\n";
-  std::fprintf(stderr, "serial %.2fs, parallel %.2fs (%.2fx), csv %s, wrote %s\n", serial_s,
-               parallel_s, parallel_s > 0 ? serial_s / parallel_s : 0.0,
-               identical ? "identical" : "DIFFERS", out_path.c_str());
+      << (serial_s > 0 ? static_cast<double>(cells) / serial_s : 0);
+  if (!single_cpu) {
+    out << ",\n"
+        << "  \"parallel_wall_s\": " << parallel_s << ",\n"
+        << "  \"parallel_cells_per_s\": "
+        << (parallel_s > 0 ? static_cast<double>(cells) / parallel_s : 0) << ",\n"
+        << "  \"speedup\": " << (parallel_s > 0 ? serial_s / parallel_s : 0) << ",\n"
+        << "  \"csv_identical\": " << (identical ? "true" : "false");
+  }
+  out << "\n}\n";
+  if (single_cpu) {
+    std::fprintf(stderr, "serial %.2fs; parallel A/B skipped (single CPU), wrote %s\n", serial_s,
+                 out_path.c_str());
+  } else {
+    std::fprintf(stderr, "serial %.2fs, parallel %.2fs (%.2fx), csv %s, wrote %s\n", serial_s,
+                 parallel_s, parallel_s > 0 ? serial_s / parallel_s : 0.0,
+                 identical ? "identical" : "DIFFERS", out_path.c_str());
+  }
   return identical ? 0 : 1;
 }
 

@@ -179,19 +179,33 @@ AppProfileBuilder& AppProfileBuilder::WithBaselineProcs(int baseline_procs) {
 
 AppProfile AppProfileBuilder::Build() const { return profile_; }
 
-AppProfile MakeProfile(AppClass app_class) {
+AppProfile MakeProfile(AppClass app_class) { return CachedProfile(app_class); }
+
+const AppProfile& CachedProfile(AppClass app_class) {
+  // Magic statics: each profile is built once, on first use, thread-safely.
+  // The profiles are immutable and the speedup models are shared_ptr<const>,
+  // so handing out one instance process-wide is safe.
   switch (app_class) {
-    case AppClass::kSwim:
-      return MakeSwimProfile();
-    case AppClass::kBt:
-      return MakeBtProfile();
-    case AppClass::kHydro2d:
-      return MakeHydro2dProfile();
-    case AppClass::kApsi:
-      return MakeApsiProfile();
+    case AppClass::kSwim: {
+      static const AppProfile profile = MakeSwimProfile();
+      return profile;
+    }
+    case AppClass::kBt: {
+      static const AppProfile profile = MakeBtProfile();
+      return profile;
+    }
+    case AppClass::kHydro2d: {
+      static const AppProfile profile = MakeHydro2dProfile();
+      return profile;
+    }
+    case AppClass::kApsi: {
+      static const AppProfile profile = MakeApsiProfile();
+      return profile;
+    }
   }
   PDPA_CHECK(false) << "unknown app class";
-  return AppProfile{};
+  static const AppProfile kEmpty{};
+  return kEmpty;
 }
 
 }  // namespace pdpa

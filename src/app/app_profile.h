@@ -67,6 +67,12 @@ AppProfile MakeHydro2dProfile();
 AppProfile MakeApsiProfile();
 AppProfile MakeProfile(AppClass app_class);
 
+// Process-wide immutable instance of MakeProfile(app_class), built once on
+// first use (thread-safe). Hot paths that need the profile per job start —
+// the queuing system starts every job with one — should take this reference
+// instead of re-materializing the profile (the curve tables allocate).
+const AppProfile& CachedProfile(AppClass app_class);
+
 // Builder for synthetic profiles, used by tests, examples and user code to
 // model applications outside the paper's catalog.
 class AppProfileBuilder {

@@ -16,32 +16,60 @@ constexpr int kWarmupSettleMultiple = 5;
 
 }  // namespace
 
-Application::Application(JobId id, AppProfile profile, AppCosts costs)
+Application::Application(JobId id, AppProfile profile, AppCosts costs, HotStateArena* hot,
+                         int slot)
     : id_(id), profile_(std::move(profile)), costs_(costs), request_(profile_.default_request) {
   PDPA_CHECK_GT(profile_.sequential_work_s, 0.0);
   PDPA_CHECK_GT(profile_.iterations, 0);
   work_per_iter_s_ = profile_.sequential_work_s / profile_.iterations;
+  if (hot == nullptr) {
+    own_arena_ = std::make_unique<HotStateArena>();
+    hot_ = own_arena_.get();
+    slot_ = 0;
+  } else {
+    hot_ = hot;
+    slot_ = static_cast<std::size_t>(slot);
+  }
+  hot_->EnsureSlot(static_cast<int>(slot_));
+  // Reset this slot's dynamics columns (a reused slot may hold the previous
+  // tenant's values); the identity columns belong to the arena owner.
+  HotStateArena& h = *hot_;
+  h.alloc[slot_] = 0;
+  h.started[slot_] = 0;
+  h.finished[slot_] = 0;
+  h.change_epoch[slot_] = 0;
+  h.ready_at[slot_] = kHorizonNever;
+  h.next_boundary[slot_] = kHorizonNever;
+  h.seg_valid[slot_] = 0;
+  h.seg_start[slot_] = 0;
+  h.seg_end[slot_] = 0;
+  h.seg_progress[slot_] = 0.0;
+  h.seg_speed[slot_] = 0.0;
 }
 
 void Application::Start(SimTime now) {
-  PDPA_CHECK(!started_);
-  PDPA_CHECK_GT(allocated_, 0) << "job " << id_ << " started without processors";
-  started_ = true;
+  HotStateArena& h = *hot_;
+  PDPA_CHECK(!h.started[slot_]);
+  PDPA_CHECK_GT(h.alloc[slot_], 0) << "job " << id_ << " started without processors";
+  h.started[slot_] = 1;
   iter_start_wall_ = now;
   iter_clean_ = true;
   warm_procs_ = static_cast<double>(EffectiveProcs());
   warm_until_ = now;
-  ++change_epoch_;
+  ++h.change_epoch[slot_];
+  PublishHot(now);
 }
 
 void Application::SetAllocation(int procs, SimTime now) {
   PDPA_CHECK_GE(procs, 0);
-  if (procs == allocated_) {
+  HotStateArena& h = *hot_;
+  if (procs == h.alloc[slot_]) {
     return;
   }
-  const int old_effective = started_ ? EffectiveProcs() : 0;
-  allocated_ = procs;
-  if (!started_) {
+  const bool started = h.started[slot_] != 0;
+  const int old_effective = started ? EffectiveProcs() : 0;
+  h.alloc[slot_] = procs;
+  if (!started) {
     return;
   }
   const int new_effective = EffectiveProcs();
@@ -59,7 +87,8 @@ void Application::SetAllocation(int procs, SimTime now) {
     warm_until_ = now + kWarmupSettleMultiple * costs_.warmup;
   }
   iter_clean_ = false;
-  ++change_epoch_;
+  ++h.change_epoch[slot_];
+  PublishHot(now);
 }
 
 void Application::ForceProcs(int procs, SimTime now) {
@@ -67,9 +96,11 @@ void Application::ForceProcs(int procs, SimTime now) {
   if (procs == forced_procs_) {
     return;
   }
-  const int old_effective = started_ ? EffectiveProcs() : 0;
+  HotStateArena& h = *hot_;
+  const bool started = h.started[slot_] != 0;
+  const int old_effective = started ? EffectiveProcs() : 0;
   forced_procs_ = procs;
-  if (!started_) {
+  if (!started) {
     return;
   }
   const int new_effective = EffectiveProcs();
@@ -82,15 +113,17 @@ void Application::ForceProcs(int procs, SimTime now) {
       warm_until_ = now + kWarmupSettleMultiple * costs_.warmup;
     }
     iter_clean_ = false;
-    ++change_epoch_;
+    ++h.change_epoch[slot_];
+    PublishHot(now);
   }
 }
 
 int Application::EffectiveProcs() const {
+  const int alloc = hot_->alloc[slot_];
   if (forced_procs_ > 0) {
-    return std::min(allocated_, forced_procs_);
+    return std::min(alloc, forced_procs_);
   }
-  return allocated_;
+  return alloc;
 }
 
 double Application::SpeedAt(double p_eff) const {
@@ -114,7 +147,8 @@ double Application::SteadySpeed() const {
 }
 
 void Application::Advance(SimTime now, SimDuration dt) {
-  if (!started_ || finished_ || dt <= 0) {
+  HotStateArena& h = *hot_;
+  if (!h.started[slot_] || h.finished[slot_] || dt <= 0) {
     return;
   }
   const int procs = EffectiveProcs();
@@ -130,7 +164,7 @@ void Application::Advance(SimTime now, SimDuration dt) {
   if (costs_.warmup > 0) {
     if (warm_procs_ != target && now >= warm_until_) {
       warm_procs_ = target;
-      ++change_epoch_;
+      ++h.change_epoch[slot_];
     }
     if (warm_procs_ != target) {
       const double k = std::min(1.0, static_cast<double>(dt) / static_cast<double>(costs_.warmup));
@@ -142,11 +176,13 @@ void Application::Advance(SimTime now, SimDuration dt) {
     warm_procs_ = target;
   }
   Integrate(now, dt, SpeedAt(p_eff), procs);
+  PublishHot(now + dt);
 }
 
 void Application::AdvanceTimeShared(SimTime now, SimDuration dt, double effective_procs,
                                     double overhead_factor) {
-  if (!started_ || finished_ || dt <= 0) {
+  HotStateArena& h = *hot_;
+  if (!h.started[slot_] || h.finished[slot_] || dt <= 0) {
     return;
   }
   PDPA_CHECK_GT(overhead_factor, 0.0);
@@ -157,10 +193,12 @@ void Application::AdvanceTimeShared(SimTime now, SimDuration dt, double effectiv
   }
   const double speed = profile_.speedup->SpeedupAt(std::max(1.0, p)) * overhead_factor;
   Integrate(now, dt, speed, static_cast<int>(std::lround(std::max(1.0, p))));
+  PublishHot(now + dt);
 }
 
 bool Application::ElisionReady(SimTime now) const {
-  if (!started_ || finished_) {
+  const HotStateArena& h = *hot_;
+  if (!h.started[slot_] || h.finished[slot_]) {
     return false;
   }
   if (frozen_until_ > now) {
@@ -173,23 +211,44 @@ bool Application::ElisionReady(SimTime now) const {
 }
 
 SimTime Application::NextBoundaryTime(SimTime now) const {
+  const HotStateArena& h = *hot_;
   const double speed = SteadySpeed();
-  if (speed <= 0.0 || finished_) {
+  if (speed <= 0.0 || h.finished[slot_]) {
     return kHorizonNever;
   }
   // Select the anchor exactly like Integrate will: continue the live segment
   // when it abuts `now` at the same speed, else start a fresh one here.
   SimTime anchor_t = now;
   double anchor_p = progress_s_;
-  if (seg_valid_ && seg_speed_ == speed && seg_end_ == now) {
-    anchor_t = seg_start_;
-    anchor_p = seg_progress_;
+  if (h.seg_valid[slot_] && h.seg_speed[slot_] == speed && h.seg_end[slot_] == now) {
+    anchor_t = h.seg_start[slot_];
+    anchor_p = h.seg_progress[slot_];
   }
   const double next_boundary = work_per_iter_s_ * (completed_iterations_ + 1);
   return anchor_t + SecondsToTime((next_boundary - anchor_p) / speed);
 }
 
+void Application::PublishHot(SimTime now) {
+  HotStateArena& h = *hot_;
+  if (!h.started[slot_] || h.finished[slot_]) {
+    h.ready_at[slot_] = kHorizonNever;
+    h.next_boundary[slot_] = kHorizonNever;
+    return;
+  }
+  // ready_at: the thaw instant once the warmup ramp has converged, else
+  // never. The ramp's snap-to-target happens only inside Advance, so a
+  // mid-ramp job must keep reading "not ready" even past warm_until_ — the
+  // next fine tick performs the snap and republishes.
+  if (costs_.warmup > 0 && warm_procs_ != static_cast<double>(EffectiveProcs())) {
+    h.ready_at[slot_] = kHorizonNever;
+  } else {
+    h.ready_at[slot_] = frozen_until_;
+  }
+  h.next_boundary[slot_] = NextBoundaryTime(now);
+}
+
 void Application::Integrate(SimTime now, SimDuration dt, double speed, int procs_label) {
+  HotStateArena& h = *hot_;
   SimTime t = now;
   const SimTime end = now + dt;
 
@@ -198,28 +257,28 @@ void Application::Integrate(SimTime now, SimDuration dt, double speed, int procs
   if (frozen_until_ > t) {
     const SimTime thaw = std::min(frozen_until_, end);
     t = thaw;
-    seg_valid_ = false;
+    h.seg_valid[slot_] = 0;
     if (t >= end) {
       return;
     }
   }
   if (speed <= 0.0) {
-    seg_valid_ = false;
+    h.seg_valid[slot_] = 0;
     return;
   }
 
   // Continue the live constant-speed segment when this span abuts it; else
   // anchor a new segment at (t, progress).
-  if (!seg_valid_ || seg_speed_ != speed || seg_end_ != t) {
-    seg_valid_ = true;
-    seg_start_ = t;
-    seg_end_ = t;
-    seg_progress_ = progress_s_;
-    seg_speed_ = speed;
-    ++change_epoch_;
+  if (!h.seg_valid[slot_] || h.seg_speed[slot_] != speed || h.seg_end[slot_] != t) {
+    h.seg_valid[slot_] = 1;
+    h.seg_start[slot_] = t;
+    h.seg_end[slot_] = t;
+    h.seg_progress[slot_] = progress_s_;
+    h.seg_speed[slot_] = speed;
+    ++h.change_epoch[slot_];
   }
 
-  while (!finished_) {
+  while (!h.finished[slot_]) {
     const double next_boundary = work_per_iter_s_ * (completed_iterations_ + 1);
     // Boundary instant measured from the segment anchor — the same value no
     // matter how the segment was chopped into Advance spans. The anchor is
@@ -228,24 +287,25 @@ void Application::Integrate(SimTime now, SimDuration dt, double speed, int procs
     // accumulates into the next (each is within half a microsecond of the
     // continuous-time instant).
     const SimTime boundary_at =
-        seg_start_ + SecondsToTime((next_boundary - seg_progress_) / speed);
+        h.seg_start[slot_] + SecondsToTime((next_boundary - h.seg_progress[slot_]) / speed);
     if (boundary_at > end) {
       break;
     }
     progress_s_ = next_boundary;
     FinishIteration(boundary_at, procs_label);
     if (completed_iterations_ >= profile_.iterations) {
-      finished_ = true;
+      h.finished[slot_] = 1;
       finish_time_ = boundary_at;
     }
   }
-  if (!finished_) {
+  if (!h.finished[slot_]) {
     // Anchor-relative progress; the clamp keeps a boundary whose instant
     // rounded down to `end` from regressing progress below completed work.
-    progress_s_ = std::max(seg_progress_ + TimeToSeconds(end - seg_start_) * speed,
-                           work_per_iter_s_ * completed_iterations_);
+    progress_s_ =
+        std::max(h.seg_progress[slot_] + TimeToSeconds(end - h.seg_start[slot_]) * speed,
+                 work_per_iter_s_ * completed_iterations_);
   }
-  seg_end_ = end;
+  h.seg_end[slot_] = end;
 }
 
 void Application::FinishIteration(SimTime when, int procs_label) {
@@ -258,7 +318,7 @@ void Application::FinishIteration(SimTime when, int procs_label) {
   ++completed_iterations_;
   iter_start_wall_ = when;
   iter_clean_ = true;
-  ++change_epoch_;
+  ++hot_->change_epoch[slot_];
   if (on_iteration_) {
     on_iteration_(record);
   }

@@ -16,16 +16,24 @@
 // steady-state span in one call or in many produces bit-identical progress,
 // boundary instants, and finish times — the linearity fact the resource
 // manager's event-horizon tick elision relies on.
+//
+// Hot/cold split: the fields the resource manager scans every decision
+// (allocation, finished flag, elision readiness, next boundary, segment
+// anchor) live in a HotStateArena slot (see src/sim/hot_state.h); the
+// Application owns that slot's dynamics columns and republishes the derived
+// ready_at/next_boundary values after every state change via PublishHot.
+// Cold fields (profile, warmup ramp, iteration bookkeeping) stay here.
 #ifndef SRC_APP_APPLICATION_H_
 #define SRC_APP_APPLICATION_H_
 
 #include <cstdint>
 #include <functional>
-#include <limits>
+#include <memory>
 
 #include "src/app/app_profile.h"
 #include "src/common/ids.h"
 #include "src/common/time_types.h"
+#include "src/sim/hot_state.h"
 
 namespace pdpa {
 
@@ -42,11 +50,6 @@ struct AppCosts {
   // switching between its processes on shared CPUs).
   double folding_overhead = 0.85;
 };
-
-// Sentinel returned by NextBoundaryTime when the application has no
-// forthcoming iteration boundary (zero speed). Far enough in the future to
-// survive additions of grid periods without overflow.
-inline constexpr SimTime kHorizonNever = std::numeric_limits<SimTime>::max() / 4;
 
 // One completed iteration of the outer loop, as observable by the runtime.
 struct IterationRecord {
@@ -65,7 +68,13 @@ class Application {
  public:
   using IterationCallback = std::function<void(const IterationRecord&)>;
 
-  Application(JobId id, AppProfile profile, AppCosts costs = AppCosts{});
+  // When `hot` is null the application allocates a private single-slot
+  // arena (standalone use in tests); otherwise it adopts `slot` of the
+  // caller's arena and becomes the sole writer of that slot's dynamics
+  // columns. The slot's dynamics columns are reset; the identity columns
+  // (job_id, arrival, ...) are left to the arena owner.
+  Application(JobId id, AppProfile profile, AppCosts costs = AppCosts{},
+              HotStateArena* hot = nullptr, int slot = 0);
 
   JobId id() const { return id_; }
   const AppProfile& profile() const { return profile_; }
@@ -85,14 +94,14 @@ class Application {
 
   // Marks the job as running; the first allocation must already be in place.
   void Start(SimTime now);
-  bool started() const { return started_; }
-  bool finished() const { return finished_; }
+  bool started() const { return hot_->started[slot_] != 0; }
+  bool finished() const { return hot_->finished[slot_] != 0; }
   SimTime finish_time() const { return finish_time_; }
 
   // Space-sharing allocation from the RM. Charges the reconfiguration
   // freeze and restarts the warmup ramp when the count actually changes.
   void SetAllocation(int procs, SimTime now);
-  int allocated() const { return allocated_; }
+  int allocated() const { return hot_->alloc[slot_]; }
 
   // SelfAnalyzer baseline control: while `procs` > 0, the application runs
   // on min(allocated, procs) CPUs regardless of the allocation. 0 releases
@@ -123,7 +132,7 @@ class Application {
   // True when the dynamics over [now, ∞) are exactly linear until the next
   // iteration boundary: no reconfiguration freeze pending and the locality
   // warmup ramp has converged (speed is constant). Only meaningful for a
-  // started, unfinished application.
+  // started, unfinished application. Equivalent to ready_at[slot] <= now.
   bool ElisionReady(SimTime now) const;
 
   // Predicted instant of the next iteration boundary assuming steady-state
@@ -135,11 +144,15 @@ class Application {
 
   // Monotonic counter bumped whenever state that can move the next boundary
   // changes (allocation, force override, iteration completion, segment
-  // re-anchor). Lets the RM cache per-job horizons and only recompute on
-  // change.
-  std::uint64_t change_epoch() const { return change_epoch_; }
+  // re-anchor).
+  std::uint64_t change_epoch() const { return hot_->change_epoch[slot_]; }
 
  private:
+  // Republishes the derived hot columns (ready_at, next_boundary) for this
+  // slot as of `now`. Called at the end of every mutation so the arena is
+  // always current when the RM scans it.
+  void PublishHot(SimTime now);
+
   // Shared forward-integration used by both advance flavors. `speed` is
   // sequential-equivalent seconds of progress per wall second.
   void Integrate(SimTime now, SimDuration dt, double speed, int procs_label);
@@ -157,11 +170,14 @@ class Application {
   AppCosts costs_;
   int request_ = 0;
 
-  bool started_ = false;
-  bool finished_ = false;
+  // Hot-state slot: dynamics columns for this job live in (*hot_)[slot_].
+  // own_arena_ backs hot_ only in standalone construction.
+  std::unique_ptr<HotStateArena> own_arena_;
+  HotStateArena* hot_ = nullptr;
+  std::size_t slot_ = 0;
+
   SimTime finish_time_ = 0;
 
-  int allocated_ = 0;
   int forced_procs_ = 0;
   bool rigid_ = false;
 
@@ -177,19 +193,6 @@ class Application {
   int completed_iterations_ = 0;
   SimTime iter_start_wall_ = 0;
   bool iter_clean_ = true;
-
-  // Constant-speed segment anchor. While a segment is live (consecutive
-  // Advance spans at the same speed), progress at time t is
-  //   seg_progress_ + (t - seg_start_) * seg_speed_
-  // and boundary instants are seg_start_ + round((work - seg_progress_) /
-  // seg_speed_) — independent of how the segment is chopped into spans.
-  bool seg_valid_ = false;
-  SimTime seg_start_ = 0;
-  SimTime seg_end_ = 0;
-  double seg_progress_ = 0.0;
-  double seg_speed_ = 0.0;
-
-  std::uint64_t change_epoch_ = 0;
 
   IterationCallback on_iteration_;
 };

@@ -37,6 +37,15 @@ void BufWriter::Append(char c) {
   buffer_.push_back(c);
 }
 
+void BufWriter::Reset(std::ostream* out) {
+  Flush();
+  out_ = out;
+  bytes_written_ = 0;
+  if (out_ != nullptr && buffer_.capacity() < kBufferSize) {
+    buffer_.reserve(kBufferSize);
+  }
+}
+
 void BufWriter::Flush() {
   if (out_ != nullptr && !buffer_.empty()) {
     out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));

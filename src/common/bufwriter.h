@@ -40,6 +40,11 @@ class BufWriter {
   // this class exists to avoid; the stream flushes on close.
   void Flush();
 
+  // Flushes to the old sink, then retargets the writer at `out` (null
+  // disables) and zeroes bytes_written(). The coalescing buffer's capacity
+  // is kept so a reused writer stays allocation-free across runs.
+  void Reset(std::ostream* out);
+
   // Total bytes accepted (buffered + written). Used by benches.
   unsigned long long bytes_written() const { return bytes_written_; }
 

@@ -21,6 +21,8 @@ class PdpaPolicy : public SchedulingPolicy {
   AllocationPlan OnJobFinish(const PolicyContext& ctx, JobId job) override;
   AllocationPlan OnReport(const PolicyContext& ctx, const PerfReport& report) override;
   bool ShouldAdmit(const PolicyContext& ctx) const override;
+  // Automaton transitions fire on performance reports, never on the quantum.
+  bool quantum_passive() const override { return true; }
   const char* AppStateName(JobId job) const override;
 
   // State of one job's automaton, for tests and introspection.

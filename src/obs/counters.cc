@@ -36,6 +36,15 @@ void Histogram::Reset() {
   sum_ = 0.0;
 }
 
+void Histogram::Restore(const std::vector<long long>& bucket_counts, long long count,
+                        double sum) {
+  PDPA_CHECK_EQ(bucket_counts.size(), counts_.size())
+      << "histogram restore with mismatched bucket layout";
+  counts_ = bucket_counts;
+  count_ = count;
+  sum_ = sum;
+}
+
 Counter* Registry::counter(const std::string& name) {
   const MutexLock lock(&mutex_);
   auto it = counters_.find(name);
@@ -70,7 +79,7 @@ RegistrySnapshot Registry::Snapshot() const {
     snapshot.counters.push_back(CounterSnapshot{name, counter->value()});
   }
   for (const auto& [name, gauge] : gauges_) {
-    snapshot.gauges.push_back(GaugeSnapshot{name, gauge->value()});
+    snapshot.gauges.push_back(GaugeSnapshot{name, gauge->value(), gauge->has_value()});
   }
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms.push_back(HistogramSnapshot{name, histogram->upper_bounds(),
@@ -90,6 +99,23 @@ void Registry::ResetAll() {
   }
   for (auto& [name, histogram] : histograms_) {
     histogram->Reset();
+  }
+}
+
+void Registry::Restore(const RegistrySnapshot& snapshot) {
+  ResetAll();
+  for (const CounterSnapshot& c : snapshot.counters) {
+    counter(c.name)->Increment(c.value);
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    if (g.has_value) {
+      gauge(g.name)->Set(g.value);
+    } else {
+      gauge(g.name)->Reset();
+    }
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    histogram(h.name, h.upper_bounds)->Restore(h.bucket_counts, h.count, h.sum);
   }
 }
 

@@ -79,6 +79,10 @@ class Histogram {
   double sum() const { return sum_; }
   void Reset();
 
+  // Overwrites the histogram's state from a snapshot (shared-prefix fork
+  // restore). `bucket_counts` must match the registered bucket count.
+  void Restore(const std::vector<long long>& bucket_counts, long long count, double sum);
+
  private:
   std::vector<double> upper_bounds_;
   std::vector<long long> counts_;
@@ -94,6 +98,9 @@ struct CounterSnapshot {
 struct GaugeSnapshot {
   std::string name;
   double value = 0.0;
+  // Whether the gauge had ever been Set(). Restore() needs this to tell an
+  // untouched gauge apart from one explicitly set to 0.
+  bool has_value = false;
 };
 
 struct HistogramSnapshot {
@@ -134,6 +141,13 @@ class Registry {
 
   // Zeroes every instrument's value; registrations (and pointers) survive.
   void ResetAll() PDPA_EXCLUDES(mutex_);
+
+  // Overwrites instruments named in `snapshot` with the snapshotted values,
+  // registering any that do not exist yet (shared-prefix fork restore: a
+  // forked run adopts the prefix run's instrument state so its final counter
+  // dump matches a cold run byte for byte). Instruments registered here but
+  // absent from the snapshot are reset to zero.
+  void Restore(const RegistrySnapshot& snapshot) PDPA_EXCLUDES(mutex_);
 
   // Process-wide fallback registry for components constructed without a
   // per-run one. Concurrent runs must each use their own Registry instead.

@@ -315,6 +315,25 @@ EventLog::EventLog(std::ostream* out) : out_(out), writer_(out) {
     return;  // Disabled log: no buffers, no interning, every emitter no-ops.
   }
   scratch_.reserve(256);
+  InternTypes();
+}
+
+void EventLog::Reset(std::ostream* out) {
+  Flush();
+  out_ = out;
+  writer_.Reset(out);
+  lines_ = 0;
+  if (out_ != nullptr) {
+    if (scratch_.capacity() < 256) {
+      scratch_.reserve(256);
+    }
+    // Idempotent: a log constructed (or previously reset) with a live sink
+    // already interned the vocabulary, and Intern dedups by content.
+    InternTypes();
+  }
+}
+
+void EventLog::InternTypes() {
   type_run_start_ = interner_.Intern("run_start");
   type_run_end_ = interner_.Intern("run_end");
   type_job_submit_ = interner_.Intern("job_submit");

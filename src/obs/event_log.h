@@ -136,6 +136,13 @@ class EventLog {
   EventLog(const EventLog&) = delete;
   EventLog& operator=(const EventLog&) = delete;
 
+  // Flushes to the old sink, then rebinds the log to `out` (null disables)
+  // and zeroes lines_written(). The string interner — and with it the
+  // already-escaped vocabulary — is kept, which is what makes per-worker
+  // EventLog reuse across sweep cells cheaper than reconstruction. Interned
+  // views stay content-deterministic, so reuse cannot change output bytes.
+  void Reset(std::ostream* out);
+
   bool enabled() const { return out_ != nullptr; }
   long long lines_written() const { return lines_; }
 
@@ -195,6 +202,9 @@ class EventLog {
   void Emit(const std::string& json_line);
 
  private:
+  // Interns the fixed event-type vocabulary (construction and Reset).
+  void InternTypes();
+
   // Shared emit shell: `fill` applies the record's .Field(...) chain to
   // whichever serializer is active (fast buffer writer or retained legacy
   // writer), so each typed emitter states its schema exactly once.

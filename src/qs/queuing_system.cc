@@ -1,6 +1,7 @@
 #include "src/qs/queuing_system.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -14,7 +15,13 @@ QueuingSystem::QueuingSystem(Simulation* sim, ResourceManager* rm, std::vector<J
 
 QueuingSystem::QueuingSystem(Simulation* sim, ResourceManager* rm, std::vector<JobSpec> workload,
                              Options options)
+    : QueuingSystem(sim, rm,
+                    std::make_shared<const std::vector<JobSpec>>(std::move(workload)), options) {}
+
+QueuingSystem::QueuingSystem(Simulation* sim, ResourceManager* rm,
+                             std::shared_ptr<const std::vector<JobSpec>> workload, Options options)
     : sim_(sim), rm_(rm), workload_(std::move(workload)), options_(options) {
+  PDPA_CHECK(workload_ != nullptr);
   PDPA_CHECK(sim != nullptr);
   PDPA_CHECK(rm != nullptr);
   Registry& registry = sim->registry();
@@ -34,7 +41,7 @@ JobSpec QueuingSystem::PopNext() {
     double best_demand = 0.0;
     for (std::size_t i = 0; i < queue_.size(); ++i) {
       const JobSpec& spec = queue_[i];
-      const AppProfile profile = MakeProfile(spec.app_class);
+      const AppProfile& profile = CachedProfile(spec.app_class);
       const double demand = profile.IdealExecSeconds(spec.request) * spec.request;
       if (i == 0 || demand < best_demand) {
         best_demand = demand;
@@ -53,8 +60,10 @@ void QueuingSystem::Start() {
   rm_->set_job_finish_callback(
       [this](JobId job, SimTime finish_time) { OnJobFinish(job, finish_time); });
   rm_->set_state_change_callback([this](SimTime now) { TryStartJobs(now); });
-  for (const JobSpec& spec : workload_) {
-    sim_->events().Schedule(spec.submit, [this, spec] { OnArrival(spec); });
+  // Index capture, not a JobSpec copy per closure: the workload vector is
+  // immutable for the lifetime of the run (shared with forked cells).
+  for (std::size_t i = 0; i < workload_->size(); ++i) {
+    sim_->events().Schedule((*workload_)[i].submit, [this, i] { OnArrival((*workload_)[i]); });
   }
 }
 
@@ -105,7 +114,7 @@ void QueuingSystem::TryStartJobs(SimTime now) {
     RecordMl(now);
     starts_->Increment();
     wait_seconds_->Observe(TimeToSeconds(now - spec.submit));
-    rm_->StartJob(spec.id, MakeProfile(spec.app_class), spec.request, now, spec.rigid);
+    rm_->StartJob(spec.id, CachedProfile(spec.app_class), spec.request, now, spec.rigid);
     if (events_ != nullptr) {
       events_->JobStart(now, spec.id, AppClassName(spec.app_class), spec.request,
                         rm_->AllocationOf(spec.id), running_, queued());

@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/obs/slowdown.h"
@@ -43,6 +44,10 @@ class QueuingSystem {
                 QueueOrder order = QueueOrder::kFcfs);
   QueuingSystem(Simulation* sim, ResourceManager* rm, std::vector<JobSpec> workload,
                 Options options);
+  // Shared-workload overload: forked sweep cells replay the same immutable
+  // trace, so they alias one vector instead of copying it per cell.
+  QueuingSystem(Simulation* sim, ResourceManager* rm,
+                std::shared_ptr<const std::vector<JobSpec>> workload, Options options);
 
   QueuingSystem(const QueuingSystem&) = delete;
   QueuingSystem& operator=(const QueuingSystem&) = delete;
@@ -53,7 +58,7 @@ class QueuingSystem {
   // Schedules the arrival events and hooks the RM callbacks; call once.
   void Start();
 
-  bool AllJobsDone() const { return outcomes_.size() == workload_.size(); }
+  bool AllJobsDone() const { return outcomes_.size() == workload_->size(); }
   int running() const { return running_; }
   int queued() const { return static_cast<int>(queue_.size()); }
 
@@ -80,7 +85,7 @@ class QueuingSystem {
 
   Simulation* sim_;
   ResourceManager* rm_;
-  std::vector<JobSpec> workload_;
+  std::shared_ptr<const std::vector<JobSpec>> workload_;
   Options options_;
 
   std::deque<JobSpec> queue_;

@@ -18,6 +18,8 @@ class Equipartition : public SchedulingPolicy {
   AllocationPlan OnJobStart(const PolicyContext& ctx, JobId job) override;
   AllocationPlan OnJobFinish(const PolicyContext& ctx, JobId job) override;
   bool ShouldAdmit(const PolicyContext& ctx) const override;
+  // Reallocates only at job arrival and completion.
+  bool quantum_passive() const override { return true; }
 
   // Water-filling equal split capped by requests; exposed for tests.
   static AllocationPlan EqualSplit(const PolicyContext& ctx);

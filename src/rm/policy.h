@@ -109,6 +109,14 @@ class SchedulingPolicy {
     return AllocationPlan{};
   }
 
+  // True when OnQuantum is a guaranteed no-op (the policy reallocates only
+  // at job starts/finishes/reports). Lets the resource manager skip the
+  // quantum periodic entirely under tick elision: between materialized
+  // instants nothing observable can change, so the quantum cap on the
+  // elision horizon is unnecessary. Must stay false for any policy whose
+  // OnQuantum can return a non-empty plan or mutate policy state.
+  virtual bool quantum_passive() const { return false; }
+
   // Multiprogramming-level coordination: may the queuing system start one
   // more job right now? Baseline policies enforce a fixed ML; PDPA applies
   // its coordinated rule.

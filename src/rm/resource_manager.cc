@@ -53,13 +53,68 @@ void ResourceManager::Start() {
   tick_origin_ = sim_->now();
   advanced_to_ = tick_origin_;
   elide_ = !params_.exact_ticks && !policy_->is_time_sharing() && trace_ == nullptr;
+  quantum_passive_ = elide_ && policy_->quantum_passive();
   next_ts_sample_ = sim_->now() + params_.quantum;
   // The tick is scheduled before the quantum task so that when tick ==
   // quantum their first firings keep the historical tick-then-quantum order.
   tick_active_ = true;
   ScheduleTickAt(tick_origin_ + params_.tick);
-  quantum_task_ = sim_->SchedulePeriodic(sim_->now() + params_.quantum, params_.quantum,
-                                         [this](SimTime now) { OnQuantum(now); });
+  // A quantum-passive policy's OnQuantum is a guaranteed no-op, so under
+  // elision the periodic task would only force materializations that change
+  // nothing observable; skip it entirely and let the horizon run free.
+  if (!quantum_passive_) {
+    quantum_task_ = sim_->SchedulePeriodic(sim_->now() + params_.quantum, params_.quantum,
+                                           [this](SimTime now) { OnQuantum(now); });
+  }
+}
+
+ResourceManager::ResumeState ResourceManager::ResumeStateNow() const {
+  PDPA_CHECK(tick_active_);
+  ResumeState state;
+  state.origin = tick_origin_;
+  state.advanced_to = advanced_to_;
+  state.next_ts_sample = next_ts_sample_;
+  return state;
+}
+
+void ResourceManager::StartResumed(const ResumeState& state) {
+  PDPA_CHECK(!tick_active_);
+  PDPA_CHECK(order_.empty()) << "StartResumed on a non-quiescent resource manager";
+  tick_origin_ = state.origin;
+  advanced_to_ = state.advanced_to;
+  elide_ = !params_.exact_ticks && !policy_->is_time_sharing() && trace_ == nullptr;
+  quantum_passive_ = elide_ && policy_->quantum_passive();
+  next_ts_sample_ = state.next_ts_sample;
+  tick_active_ = true;
+  // Recreate the cold run's pending tick. Tick before quantum, as in
+  // Start(), so same-instant firings keep the tick-then-quantum order.
+  if (!elide_) {
+    // Fine grid: the cold run's last prefix tick fired at advanced_to.
+    ScheduleTickAt(advanced_to_ + params_.tick);
+  } else if (quantum_passive_) {
+    // The sentinel prefix ran the exact elision schedule of a cold run of
+    // this policy, so recomputing the horizon from the resume state
+    // reproduces the cold run's pending tick — or leaves it parked.
+    // Computed directly instead of via ScheduleNextTick: the elision
+    // counter bump for this parking decision happened in the prefix and is
+    // already part of the restored registry state.
+    const SimTime horizon = ElisionHorizon(advanced_to_);
+    if (horizon < kHorizonNever) {
+      ScheduleTickAt(std::max(horizon, advanced_to_ + params_.tick));
+    }
+  } else {
+    // A non-passive policy resumed from the quantum-passive sentinel
+    // prefix: the sentinel parked earlier than a cold run of this policy
+    // would have (its advanced_to may lie several quanta back), so jump
+    // straight to the cold run's pending tick — the first quantum after the
+    // divergence point. Elision counters of non-passive resumes are not
+    // part of the byte contract.
+    ScheduleTickAt(GridCeil(NextQuantumAfter(sim_->now())));
+  }
+  if (!quantum_passive_) {
+    quantum_task_ = sim_->SchedulePeriodic(NextQuantumAfter(sim_->now()), params_.quantum,
+                                           [this](SimTime now) { OnQuantum(now); });
+  }
 }
 
 void ResourceManager::Stop() {
@@ -87,7 +142,7 @@ void ResourceManager::Stop() {
   if (timeseries_ != nullptr) {
     const SimTime now = sim_->now();
     for (int slot : order_) {
-      FlushAppSample(slots_[static_cast<std::size_t>(slot)], now);
+      FlushAppSample(slot, now);
     }
   }
 }
@@ -97,17 +152,19 @@ const PolicyContext& ResourceManager::FillContext(SimTime now) const {
   scratch_ctx_.free_cpus = machine_.FreeCpus();
   scratch_ctx_.now = now;
   scratch_ctx_.jobs.clear();
+  // Straight gather from the slot-parallel hot-state arrays; no Application
+  // dereference on this path.
   for (int slot : order_) {
-    const RunningJob& running = slots_[static_cast<std::size_t>(slot)];
-    if (running.id == kIdleJob) {
+    const std::size_t s = static_cast<std::size_t>(slot);
+    if (hot_.job_id[s] == kIdleJob) {
       continue;  // Freed mid-CheckCompletions; compacted after the loop.
     }
     PolicyJobInfo info;
-    info.id = running.id;
-    info.request = running.request;
-    info.alloc = running.binding->app().allocated();
-    info.arrival = running.arrival;
-    info.rigid = running.rigid;
+    info.id = hot_.job_id[s];
+    info.request = hot_.request[s];
+    info.alloc = hot_.alloc[s];
+    info.arrival = hot_.arrival[s];
+    info.rigid = hot_.rigid[s] != 0;
     scratch_ctx_.jobs.push_back(info);
   }
   return scratch_ctx_;
@@ -139,7 +196,12 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
   // running jobs to the same point before the machine changes under them.
   CatchUp(now);
 
-  auto app = std::make_unique<Application>(job, profile, params_.app_costs);
+  // The slot index must exist before the Application is built: the app
+  // adopts the slot's dynamics columns in the shared hot-state arena.
+  const int slot = AllocateSlot();
+  hot_.EnsureSlot(slot);
+  auto app =
+      std::make_unique<Application>(job, profile, params_.app_costs, &hot_, slot);
   app->set_request(effective_request);
   app->set_rigid(rigid);
   auto binding = std::make_unique<NthLibBinding>(std::move(app), params_.analyzer, rng_.Fork(),
@@ -147,21 +209,20 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
   binding->set_report_callback(
       [this](const PerfReport& report) { pending_reports_.push_back(report); });
 
-  const int slot = AllocateSlot();
   {
     RunningJob& running = slots_[static_cast<std::size_t>(slot)];
     running.binding = std::move(binding);
     running.id = job;
-    running.arrival = now;
-    running.request = effective_request;
-    running.rigid = rigid;
+    const std::size_t s = static_cast<std::size_t>(slot);
+    hot_.job_id[s] = job;
+    hot_.arrival[s] = now;
+    hot_.request[s] = effective_request;
+    hot_.rigid[s] = rigid ? 1 : 0;
+    hot_.alloc_integral_us[s] = 0.0;
     running.last_speedup = 0.0;
     running.last_efficiency = 0.0;
     running.sampled_integral_us = 0.0;
     running.last_sample = now;
-    running.alloc_integral_us = 0.0;
-    running.horizon_epoch = ~0ull;
-    running.horizon = 0;
   }
   if (static_cast<std::size_t>(job) >= slot_of_job_.size()) {
     slot_of_job_.resize(static_cast<std::size_t>(job) + 1, -1);
@@ -211,14 +272,14 @@ void ResourceManager::StartJob(JobId job, const AppProfile& profile, int request
 
 int ResourceManager::AllocationOf(JobId job) const {
   const int slot = SlotOf(job);
-  return slot < 0 ? 0 : slots_[static_cast<std::size_t>(slot)].binding->app().allocated();
+  return slot < 0 ? 0 : hot_.alloc[static_cast<std::size_t>(slot)];
 }
 
 std::map<JobId, double> ResourceManager::alloc_integral_us() const {
   std::map<JobId, double> merged = finished_integral_us_;
   for (int slot : order_) {
-    const RunningJob& running = slots_[static_cast<std::size_t>(slot)];
-    merged[running.id] = running.alloc_integral_us;
+    const std::size_t s = static_cast<std::size_t>(slot);
+    merged[hot_.job_id[s]] = hot_.alloc_integral_us[s];
   }
   return merged;
 }
@@ -274,7 +335,7 @@ void ResourceManager::ApplyPlan(const AllocationPlan& plan, SimTime now, const c
     if (slot < 0) {
       continue;  // Finished in the meantime.
     }
-    const int clamped = std::clamp(count, 1, slots_[static_cast<std::size_t>(slot)].request);
+    const int clamped = std::clamp(count, 1, hot_.request[static_cast<std::size_t>(slot)]);
     plan_scratch_.emplace_back(job, clamped);
     if (events_ != nullptr) {
       if (!plan_text.empty()) {
@@ -352,11 +413,13 @@ void ResourceManager::DrainReports(SimTime now) {
   }
 }
 
-void ResourceManager::FlushAppSample(RunningJob& running, SimTime now) {
+void ResourceManager::FlushAppSample(int slot, SimTime now) {
   if (timeseries_ == nullptr) {
     return;
   }
-  const double delta = running.alloc_integral_us - running.sampled_integral_us;
+  RunningJob& running = slots_[static_cast<std::size_t>(slot)];
+  const double integral = hot_.alloc_integral_us[static_cast<std::size_t>(slot)];
+  const double delta = integral - running.sampled_integral_us;
   // Windows must have positive width for the alloc column to integrate back
   // to the delta; clamp the degenerate zero-width case (job finished at the
   // exact instant of the previous sample) to one microsecond.
@@ -373,7 +436,7 @@ void ResourceManager::FlushAppSample(RunningJob& running, SimTime now) {
   point.efficiency = running.last_efficiency;
   point.state = policy_->AppStateName(running.id);
   timeseries_->AddApp(std::move(point));
-  running.sampled_integral_us = running.alloc_integral_us;
+  running.sampled_integral_us = integral;
   running.last_sample = t_end;
 }
 
@@ -384,7 +447,7 @@ void ResourceManager::SampleTimeseries(SimTime now) {
     return;
   }
   for (int slot : order_) {
-    FlushAppSample(slots_[static_cast<std::size_t>(slot)], now);
+    FlushAppSample(slot, now);
   }
   TimeSeriesSampler::MachinePoint point;
   point.t = now;
@@ -406,14 +469,17 @@ void ResourceManager::CheckCompletions(SimTime now) {
   // and compacted once at the end — no per-finisher O(n) erase.
   for (std::size_t i = 0; i < order_.size(); ++i) {
     const int slot = order_[i];
-    RunningJob& running = slots_[static_cast<std::size_t>(slot)];
-    if (running.id == kIdleJob || !running.binding->app().finished()) {
+    const std::size_t s = static_cast<std::size_t>(slot);
+    RunningJob& running = slots_[s];
+    // Linear finished-flag scan over the hot-state array; the binding is
+    // only touched for actual finishers.
+    if (hot_.job_id[s] == kIdleJob || !hot_.finished[s]) {
       continue;
     }
     const JobId job = running.id;
     const SimTime finish_time = running.binding->app().finish_time();
     // Final partial window, so per-job time-series integrals are exact.
-    FlushAppSample(running, finish_time);
+    FlushAppSample(slot, finish_time);
     const std::vector<CpuHandoff> handoffs = machine_.ReleaseJob(job);
     if (trace_ != nullptr) {
       trace_->OnHandoffs(now, handoffs);
@@ -421,10 +487,11 @@ void ResourceManager::CheckCompletions(SimTime now) {
     cpu_handoffs_->Increment(static_cast<long long>(handoffs.size()));
     jobs_finished_->Increment();
     PDPA_LOG(Info) << "job " << job << " finished";
-    finished_integral_us_[job] = running.alloc_integral_us;
+    finished_integral_us_[job] = hot_.alloc_integral_us[s];
     slot_of_job_[static_cast<std::size_t>(job)] = -1;
     running.id = kIdleJob;
     running.binding.reset();
+    hot_.ResetSlot(slot);
     free_slots_.push_back(slot);
     PDPA_RM_AUDIT("release");
     const AllocationPlan plan = [&] {
@@ -451,13 +518,12 @@ void ResourceManager::CheckCompletions(SimTime now) {
 
 void ResourceManager::AdvanceSpan(SimTime from, SimDuration dt) {
   for (int slot : order_) {
-    RunningJob& running = slots_[static_cast<std::size_t>(slot)];
-    running.binding->Tick(from, dt);
+    const std::size_t s = static_cast<std::size_t>(slot);
+    slots_[s].binding->Tick(from, dt);
     // Exact under elision: allocation x integer-microsecond products are
     // integer-valued doubles, so one span-sized addend equals the per-tick
     // sum a fine run accumulates.
-    running.alloc_integral_us +=
-        static_cast<double>(running.binding->app().allocated()) * static_cast<double>(dt);
+    hot_.alloc_integral_us[s] += static_cast<double>(hot_.alloc[s]) * static_cast<double>(dt);
   }
 }
 
@@ -528,44 +594,27 @@ void ResourceManager::OnTickEvent() {
 }
 
 SimTime ResourceManager::ElisionHorizon(SimTime now) {
-  if (!order_.empty()) {
-    for (int slot : order_) {
-      if (!slots_[static_cast<std::size_t>(slot)].binding->app().ElisionReady(now)) {
-        return 0;
-      }
+  // One cache-linear pass over the slot-parallel hot-state arrays: every
+  // Application republishes its ready_at/next_boundary after each state
+  // change, so the values are current as of this instant (the per-tick
+  // Advance just ran) and no Application is dereferenced here.
+  SimTime min_boundary = kHorizonNever;
+  const SimTime* ready_at = hot_.ready_at.data();
+  const SimTime* next_boundary = hot_.next_boundary.data();
+  for (int slot : order_) {
+    if (ready_at[slot] > now) {
+      return 0;  // Unsteady (frozen or mid-warmup): stay on the fine grid.
     }
-    // Refresh the lazy min-heap of per-job boundary horizons: recompute only
-    // jobs whose application epoch moved since the cached value.
-    for (int slot : order_) {
-      RunningJob& running = slots_[static_cast<std::size_t>(slot)];
-      const std::uint64_t epoch = running.binding->app().change_epoch();
-      if (running.horizon_epoch != epoch) {
-        running.horizon_epoch = epoch;
-        running.horizon = running.binding->app().NextBoundaryTime(now);
-        horizon_heap_.push_back(HorizonEntry{running.horizon, slot, epoch});
-        std::push_heap(horizon_heap_.begin(), horizon_heap_.end(), HorizonLater{});
-      }
-    }
-    // Pop entries whose slot no longer caches exactly this (epoch, when)
-    // pair — superseded recomputations and finished/reused slots.
-    while (!horizon_heap_.empty()) {
-      const HorizonEntry& top = horizon_heap_.front();
-      const RunningJob& running = slots_[static_cast<std::size_t>(top.slot)];
-      if (running.id != kIdleJob && running.horizon_epoch == top.epoch &&
-          running.horizon == top.when) {
-        break;
-      }
-      std::pop_heap(horizon_heap_.begin(), horizon_heap_.end(), HorizonLater{});
-      horizon_heap_.pop_back();
-    }
+    min_boundary = std::min(min_boundary, next_boundary[slot]);
   }
   // Earliest forced materialization: the first job boundary (so the span's
   // last tick crosses it exactly as a fine run would), capped by the next
-  // quantum (event-order parity with the periodic task) and the next
-  // time-series sample instant.
-  SimTime horizon = GridCeil(NextQuantumAfter(now));
-  if (!order_.empty() && !horizon_heap_.empty()) {
-    horizon = std::min(horizon, GridCeil(horizon_heap_.front().when));
+  // quantum — unless the policy is quantum-passive, in which case the
+  // periodic is not even scheduled — and the next time-series sample
+  // instant.
+  SimTime horizon = quantum_passive_ ? kHorizonNever : GridCeil(NextQuantumAfter(now));
+  if (min_boundary < kHorizonNever) {
+    horizon = std::min(horizon, GridCeil(min_boundary));
   }
   if (timeseries_ != nullptr) {
     horizon = std::min(horizon, GridCeil(next_ts_sample_));
@@ -577,6 +626,18 @@ void ResourceManager::ScheduleNextTick(SimTime now) {
   SimTime next = now + params_.tick;
   if (elide_) {
     const SimTime horizon = ElisionHorizon(now);
+    if (horizon >= kHorizonNever) {
+      // Unbounded horizon (idle machine, quantum-passive policy, no
+      // sampling): nothing can materialize state until an external event —
+      // a job start or a quantum plan — pulls the tick back via
+      // ScheduleTickAt. Park it unscheduled rather than enqueueing a
+      // far-future sentinel the end-of-run drain would dispatch.
+      if (tick_pending_) {
+        sim_->events().Cancel(tick_event_);
+        tick_pending_ = false;
+      }
+      return;
+    }
     if (horizon > next) {
       ticks_elided_->Increment((horizon - next) / params_.tick);
       next = horizon;
@@ -602,10 +663,10 @@ void ResourceManager::OnTick(SimTime now) {
     for (const auto& [job, share] : shares) {
       const int slot = SlotOf(job);
       if (slot >= 0) {
-        RunningJob& running = slots_[static_cast<std::size_t>(slot)];
-        running.binding->app().AdvanceTimeShared(advanced_to_, dt, share.effective_procs,
-                                                 share.overhead);
-        running.alloc_integral_us += share.effective_procs * static_cast<double>(dt);
+        const std::size_t s = static_cast<std::size_t>(slot);
+        slots_[s].binding->app().AdvanceTimeShared(advanced_to_, dt, share.effective_procs,
+                                                   share.overhead);
+        hot_.alloc_integral_us[s] += share.effective_procs * static_cast<double>(dt);
       }
     }
     advanced_to_ = now;

@@ -9,16 +9,24 @@
 //   * Running jobs live in a dense slot-indexed vector with a free list and
 //     a stable JobId -> slot map; iteration order is a compact vector of
 //     slot indices in arrival order. No per-tick map lookups.
+//   * Per-job hot state (allocations, elision readiness, next-boundary
+//     instants, segment anchors) lives in a slot-indexed HotStateArena
+//     (src/sim/hot_state.h) shared with the Applications, so the horizon
+//     min and the policy-context fill are linear scans over parallel
+//     arrays.
 //   * Event-horizon tick elision: the progress "tick" is a one-shot event
 //     the RM reschedules itself. Whenever every running application is in
 //     steady state (warmup converged, no reconfiguration freeze), dynamics
 //     are exactly linear until the next iteration boundary, so the RM parks
-//     the tick at the event horizon — the earliest of the next boundary
-//     (per-job min-heap), the next scheduler quantum, and the next
-//     time-series sample — and advances the whole span in one closed-form
-//     Advance. Coarsened runs are byte-identical to fine-tick runs
-//     (segment-anchored integration in Application); `Params::exact_ticks`
-//     is the escape hatch that forces a tick at every grid point.
+//     the tick at the event horizon — the earliest of the next boundary,
+//     the next scheduler quantum (unless the policy is quantum-passive),
+//     and the next time-series sample — and advances the whole span in one
+//     closed-form Advance. When nothing bounds the horizon (idle machine,
+//     passive policy, no sampling) the tick is parked unscheduled until a
+//     job start pulls it back. Coarsened runs are byte-identical to
+//     fine-tick runs (segment-anchored integration in Application);
+//     `Params::exact_ticks` is the escape hatch that forces a tick at every
+//     grid point.
 #ifndef SRC_RM_RESOURCE_MANAGER_H_
 #define SRC_RM_RESOURCE_MANAGER_H_
 
@@ -36,6 +44,7 @@
 #include "src/obs/timeseries.h"
 #include "src/rm/policy.h"
 #include "src/runtime/nth_lib.h"
+#include "src/sim/hot_state.h"
 #include "src/sim/simulation.h"
 #include "src/trace/trace_recorder.h"
 
@@ -91,6 +100,25 @@ class ResourceManager {
   // Registers the tick and quantum tasks; call once before running.
   void Start();
 
+  // Scheduling-machinery state at a quiescent instant (no running jobs, no
+  // pending reports): everything needed to resume the tick/quantum cadence
+  // of a run whose prefix was simulated elsewhere. Used by shared-prefix
+  // forking (see RunExperimentFrom in src/workload/experiment.h).
+  struct ResumeState {
+    SimTime origin = 0;       // grid phase (simulation time at Start())
+    SimTime advanced_to = 0;  // last grid instant the prefix ticked at
+    SimTime next_ts_sample = 0;
+  };
+  // Captures the resume state of this (running, idle-machine) RM.
+  ResumeState ResumeStateNow() const;
+  // Start() variant for forked runs: adopts the prefix's grid phase and
+  // cadence instead of anchoring at sim->now(). Call with the simulation
+  // clock already restored to the divergence instant, after the queuing
+  // system has scheduled its arrivals (event-order parity: the resumed
+  // tick/quantum events must carry later sequence numbers than the arrival
+  // events, exactly as in the cold run they replace).
+  void StartResumed(const ResumeState& state);
+
   // Stops the periodic tasks (end of experiment drain). Under elision this
   // first advances every job to the last grid instant at or before now, so
   // cutoff runs observe exactly the state a fine-tick run would have.
@@ -127,38 +155,19 @@ class ResourceManager {
   const Params& params() const { return params_; }
 
  private:
+  // Cold per-slot companion of the hot-state arena: the binding plus
+  // sampling bookkeeping. Identity fields (arrival, request, rigid) live in
+  // the arena's slot-parallel arrays.
   struct RunningJob {
     std::unique_ptr<NthLibBinding> binding;
-    // kIdleJob marks a free slot.
+    // kIdleJob marks a free slot (mirrored in hot_.job_id).
     JobId id = kIdleJob;
-    SimTime arrival = 0;
-    int request = 0;
-    bool rigid = false;
     // Latest SelfAnalyzer measurement, for the time-series sampler.
     double last_speedup = 0.0;
     double last_efficiency = 0.0;
     // Allocation-integral watermark of the last emitted time-series window.
     double sampled_integral_us = 0.0;
     SimTime last_sample = 0;
-    // Running cpu-microsecond integral (was a side map keyed by JobId).
-    double alloc_integral_us = 0.0;
-    // Horizon cache: the application epoch `horizon` was computed at.
-    std::uint64_t horizon_epoch = ~0ull;
-    SimTime horizon = 0;
-  };
-
-  // Min-heap entry of one job's predicted next-boundary instant. Entries
-  // are invalidated lazily: one is live only while its slot still holds the
-  // same cached (epoch, horizon) pair.
-  struct HorizonEntry {
-    SimTime when = 0;
-    int slot = -1;
-    std::uint64_t epoch = 0;
-  };
-  struct HorizonLater {
-    bool operator()(const HorizonEntry& a, const HorizonEntry& b) const {
-      return a.when > b.when;
-    }
   };
 
   // Fills and returns the reusable scratch context (no per-call allocation
@@ -185,12 +194,15 @@ class ResourceManager {
 
   // (Re)schedules the one-shot tick event at `when`; no-op if already there.
   void ScheduleTickAt(SimTime when);
-  // End of OnTick: park the next tick at the event horizon, or one tick
-  // ahead when any job is unsteady (or elision is off).
+  // End of OnTick: park the next tick at the event horizon — unscheduled
+  // entirely when the horizon is unbounded — or one tick ahead when any job
+  // is unsteady (or elision is off).
   void ScheduleNextTick(SimTime now);
-  // Earliest instant the next tick must fire at, grid-aligned: min over
-  // per-job boundary horizons (maintained in the min-heap), the next
-  // quantum, and the next time-series sample. 0 when some job is unsteady.
+  // Earliest instant the next tick must fire at, grid-aligned: min over the
+  // per-job published boundary horizons (a linear scan of the hot-state
+  // arrays), the next quantum (skipped for quantum-passive policies), and
+  // the next time-series sample. 0 when some job is unsteady;
+  // kHorizonNever when nothing bounds the horizon.
   SimTime ElisionHorizon(SimTime now);
 
   SimTime GridCeil(SimTime t) const;
@@ -212,7 +224,7 @@ class ResourceManager {
   void DrainReports(SimTime now);
   void CheckCompletions(SimTime now);
   // Emits the [last_sample, now) time-series window for one job.
-  void FlushAppSample(RunningJob& running, SimTime now);
+  void FlushAppSample(int slot, SimTime now);
   // Emits app windows for every running job plus one machine point.
   void SampleTimeseries(SimTime now);
 
@@ -224,7 +236,10 @@ class ResourceManager {
   Machine machine_;
 
   // Dense job table: stable slots + free list + JobId -> slot + arrival
-  // order (slot indices, batch-compacted when jobs finish).
+  // order (slot indices, batch-compacted when jobs finish). Hot per-job
+  // state is slot-parallel in hot_; the Applications own and publish the
+  // dynamics columns of their slots.
+  HotStateArena hot_;
   std::vector<RunningJob> slots_;
   std::vector<int> free_slots_;
   std::vector<int> slot_of_job_;
@@ -239,7 +254,6 @@ class ResourceManager {
 
   mutable PolicyContext scratch_ctx_;
   std::vector<std::pair<JobId, int>> plan_scratch_;
-  std::vector<HorizonEntry> horizon_heap_;
 
   JobFinishCallback on_finish_;
   StateChangeCallback on_state_change_;
@@ -248,6 +262,9 @@ class ResourceManager {
   // periodic task) so it can be parked at the event horizon and pulled back
   // to the fine grid on mid-span mutations.
   bool elide_ = false;
+  // elide_ plus a policy whose OnQuantum is a guaranteed no-op: the quantum
+  // periodic is not scheduled at all and does not cap the elision horizon.
+  bool quantum_passive_ = false;
   bool tick_active_ = false;   // Start() .. Stop()
   bool tick_pending_ = false;  // a tick event is outstanding
   EventId tick_event_ = 0;

@@ -46,6 +46,13 @@ void Simulation::FirePeriodic(int handle, SimTime when) {
   }
 }
 
+void Simulation::Restore(SimTime now) {
+  PDPA_CHECK(events_.empty()) << "Restore() on a simulation with pending events";
+  PDPA_CHECK_GE(now, now_);
+  now_ = now;
+  SetLogSimTimeUs(now_);
+}
+
 SimTime Simulation::RunUntil(SimTime until) {
   stop_requested_ = false;
   while (!events_.empty() && !stop_requested_) {

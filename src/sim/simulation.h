@@ -55,6 +55,15 @@ class Simulation {
   // Requests that the run loop stop after the current event.
   void RequestStop() { stop_requested_ = true; }
 
+  // Shared-prefix forking support. Snapshot() reads the clock of a quiesced
+  // simulation; Restore() stamps that clock onto a *fresh* simulation whose
+  // components will be reconstructed from their own resume state. Restore
+  // deliberately requires an empty event queue: closures cannot be copied
+  // across simulations, so components re-schedule themselves after the clock
+  // is restored (QueuingSystem::Start, ResourceManager::StartResumed).
+  SimTime Snapshot() const { return now_; }
+  void Restore(SimTime now);
+
  private:
   struct PeriodicTask {
     SimDuration period = 0;

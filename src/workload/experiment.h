@@ -12,6 +12,8 @@
 
 #include "src/core/pdpa.h"
 #include "src/metrics/metrics.h"
+#include "src/obs/counters.h"
+#include "src/obs/timeseries.h"
 #include "src/qs/queuing_system.h"
 #include "src/rm/policy.h"
 #include "src/rm/resource_manager.h"
@@ -118,6 +120,75 @@ struct ExperimentResult {
 std::unique_ptr<SchedulingPolicy> MakePolicy(const ExperimentConfig& config);
 
 ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+// RunExperiment with a pre-resolved job trace (must equal what BuildJobs
+// would produce for `config`). Lets the sweep engine share one immutable
+// trace across the cells of a group instead of regenerating it per cell.
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               std::shared_ptr<const std::vector<JobSpec>> jobs);
+
+// ---- Shared-prefix forking (DESIGN.md §12) ---------------------------------
+//
+// A sweep grid re-runs the same workload trace under many policies. Until
+// the first job arrives, the simulation's observable state is policy-
+// independent: no job-visible policy callback can fire, only the clock, the
+// tick/quantum machinery and the pre-arrival machine samples advance. The
+// sweep engine therefore runs that prefix once per (workload, load, seed)
+// group and forks every policy x cell from the stored snapshot. Outputs are
+// byte-identical to cold runs (events JSONL, time-series CSV, sweep CSV,
+// metrics); registry counters additionally match exactly for quantum-passive
+// policies.
+
+// Resolves the job trace for `config` (jobs_override or BuildWorkload) as an
+// immutable shared vector, so forked cells alias one copy.
+std::shared_ptr<const std::vector<JobSpec>> BuildJobs(const ExperimentConfig& config);
+
+// Everything needed to start a cell at the divergence point instead of t=0.
+// Built once per group by BuildPrefixSnapshot; read-only afterwards, so
+// concurrent forked cells may share one snapshot without locking.
+struct PrefixSnapshot {
+  // Simulation clock at the end of the prefix run (< first arrival).
+  SimTime divergence = 0;
+  ResourceManager::ResumeState rm;
+  // Prefix instrument state, restored into each forked cell's registry so a
+  // quantum-passive cell's final counter dump matches a cold run exactly.
+  RegistrySnapshot registry;
+  // Pre-arrival machine samples; replayed into the forked cell's sampler.
+  // Only populated when the snapshot was built with a time-series sampler.
+  std::vector<TimeSeriesSampler::MachinePoint> machine_points;
+  bool with_timeseries = false;
+  // The workload trace, shared read-only by every forked cell.
+  std::shared_ptr<const std::vector<JobSpec>> jobs;
+};
+
+// Policy-independent prefix feasibility: the group's prefix can be run once
+// and snapshotted. Requires a non-empty trace whose first arrival lies
+// beyond the first scheduler quantum (so the cold run's pending tick and
+// quantum events were rescheduled after the arrivals were enqueued, which is
+// what makes same-instant event order reproducible) and before the cutoff;
+// CPU-ownership traces record the prefix and cannot fork.
+bool PrefixForkable(const ExperimentConfig& config, const std::vector<JobSpec>& jobs);
+
+// Full per-cell eligibility: PrefixForkable plus a policy without its own
+// per-tick randomness (IRIX time-sharing draws from a policy-owned Rng and
+// never elides, so it replays the prefix cold).
+bool ForkEligible(const ExperimentConfig& config, const std::vector<JobSpec>& jobs);
+
+// Runs the policy-independent prefix of `config`'s group once, under a
+// sentinel policy that aborts on any job-visible callback (so a snapshot
+// can only exist for a genuinely policy-independent prefix), and captures
+// the divergence-point state. The snapshot records pre-arrival machine
+// samples iff config.timeseries is set; every cell forked from it must make
+// the same choice. Requires PrefixForkable(config, *jobs).
+PrefixSnapshot BuildPrefixSnapshot(const ExperimentConfig& config,
+                                   std::shared_ptr<const std::vector<JobSpec>> jobs);
+
+// RunExperiment, but starting from `snapshot` instead of t=0. Requires
+// ForkEligible(config, *snapshot.jobs) and a timeseries setting matching the
+// snapshot's. Byte-identical to RunExperiment(config) for events JSONL,
+// time-series CSV and every ExperimentResult field.
+ExperimentResult RunExperimentFrom(const ExperimentConfig& config,
+                                   const PrefixSnapshot& snapshot);
 
 }  // namespace pdpa
 

@@ -59,21 +59,51 @@ std::vector<SweepCell> ExpandGrid(const SweepGrid& grid) {
 
 namespace {
 
-// Runs one cell with its private observability context.
-void RunCell(const SweepCell& cell, const SweepOptions& options, int worker,
-             SweepCellResult* out) {
+// The shared-prefix state of one (workload, load, seed) group (DESIGN.md
+// §12). The first of the group's cells to reach RunCell resolves the job
+// trace and — when the group is forkable — runs and snapshots the prefix,
+// all under the group mutex; the fields are immutable afterwards, and every
+// later reader's own acquisition of the mutex publishes them.
+struct ForkGroup {
+  Mutex mutex;
+  bool built PDPA_GUARDED_BY(mutex) = false;
+  // Written once before `built` flips; read-only afterwards (so reads after
+  // the mutex round-trip are race-free without holding the lock).
+  std::shared_ptr<const std::vector<JobSpec>> jobs;
+  PrefixSnapshot snapshot;
+  bool forkable = false;
+};
+
+// Per-worker scratch reused across that worker's cells: the event sink
+// string, the event log (keeping its interned vocabulary and 64 KiB write
+// buffer across Reset) and the time-series sampler (keeping its vectors'
+// capacity across Clear). Recordings are content-deterministic, so reuse
+// cannot change output bytes. The Registry is deliberately NOT reused: a
+// recycled registry would carry instruments registered by earlier cells as
+// ghost zero-valued entries in the next cell's counter snapshot.
+struct CellScratch {
+  std::ostringstream events;
+  EventLog event_log{nullptr};
+  TimeSeriesSampler timeseries;
+};
+
+// Runs one cell with its private observability context. `forked` is the
+// cell's slot in the sweep-wide fork flags (distinct per cell, so writes
+// need no lock).
+void RunCell(const SweepCell& cell, const SweepOptions& options, int worker, ForkGroup* group,
+             CellScratch* scratch, char* forked, SweepCellResult* out) {
   Registry registry;
   ExperimentConfig config = cell.config;
   config.registry = &registry;
-  std::ostringstream events;
-  EventLog event_log(options.capture_events ? &events : nullptr);
+  scratch->events.str(std::string());
+  scratch->event_log.Reset(options.capture_events ? &scratch->events : nullptr);
   if (options.capture_events) {
-    event_log.set_legacy_serialization_for_test(options.legacy_serialization_for_test);
-    config.event_log = &event_log;
+    scratch->event_log.set_legacy_serialization_for_test(options.legacy_serialization_for_test);
+    config.event_log = &scratch->event_log;
   }
-  TimeSeriesSampler timeseries;
+  scratch->timeseries.Clear();
   if (options.capture_timeseries) {
-    config.timeseries = &timeseries;
+    config.timeseries = &scratch->timeseries;
   }
   out->cell = cell;
   out->worker = worker;
@@ -83,7 +113,29 @@ void RunCell(const SweepCell& cell, const SweepOptions& options, int worker,
   }
   {
     ProfScope cell_scope(options.capture_prof ? &out->profile : nullptr, SpanId::kSweepCell);
-    out->result = RunExperiment(config);
+    bool fork_this_cell = false;
+    if (options.fork) {
+      const MutexLock lock(&group->mutex);
+      if (!group->built) {
+        group->jobs = BuildJobs(config);
+        if (PrefixForkable(config, *group->jobs)) {
+          group->snapshot = BuildPrefixSnapshot(config, group->jobs);
+          group->forkable = true;
+        }
+        group->built = true;
+      }
+      fork_this_cell = group->forkable && ForkEligible(config, *group->jobs);
+    }
+    if (fork_this_cell) {
+      out->result = RunExperimentFrom(config, group->snapshot);
+      *forked = 1;
+    } else if (options.fork) {
+      // Cold cell of a fork-enabled sweep (ineligible policy or prefix):
+      // still reuse the group's immutable job trace instead of rebuilding.
+      out->result = RunExperiment(config, group->jobs);
+    } else {
+      out->result = RunExperiment(config);
+    }
   }
   if (options.capture_prof) {
     out->host_end_ns = prof::NowNanos();
@@ -92,15 +144,15 @@ void RunCell(const SweepCell& cell, const SweepOptions& options, int worker,
     out->counters = registry.Snapshot();
   }
   if (options.capture_events) {
-    event_log.Flush();  // The log buffers; push bytes out before reading.
-    out->events_jsonl = events.str();
+    scratch->event_log.Flush();  // The log buffers; push bytes out before reading.
+    out->events_jsonl = scratch->events.str();
   }
   if (options.capture_timeseries) {
     std::ostringstream csv;
     if (options.legacy_serialization_for_test) {
-      internal::WriteTimeSeriesCsvLegacy(timeseries, csv);
+      internal::WriteTimeSeriesCsvLegacy(scratch->timeseries, csv);
     } else {
-      timeseries.WriteCsv(csv);
+      scratch->timeseries.WriteCsv(csv);
     }
     out->timeseries_csv = csv.str();
   }
@@ -126,9 +178,26 @@ void FinishCell(internal::SweepWorkState* state, const SweepOptions& options, st
 std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions& options) {
   const std::vector<SweepCell> cells = ExpandGrid(grid);
   std::vector<SweepCellResult> results(cells.size());
+  if (options.fork_stats != nullptr) {
+    *options.fork_stats = ForkStats{};
+  }
   if (cells.empty()) {
     return results;
   }
+  // One ForkGroup per (workload, load, seed) combination. The grid's nested
+  // order (workload x load x policy x seed) maps a cell to its group by
+  // stripping the policy axis out of the index.
+  const std::size_t num_seeds = grid.seeds.size();
+  const std::size_t num_policies = grid.policies.size();
+  const std::size_t num_loads = grid.loads.size();
+  std::vector<ForkGroup> groups(grid.workloads.size() * num_loads * num_seeds);
+  const auto group_of = [num_seeds, num_policies, num_loads](std::size_t index) {
+    const std::size_t seed = index % num_seeds;
+    const std::size_t load = (index / (num_seeds * num_policies)) % num_loads;
+    const std::size_t workload = index / (num_seeds * num_policies * num_loads);
+    return (workload * num_loads + load) * num_seeds + seed;
+  };
+  std::vector<char> forked(cells.size(), 0);
   internal::SweepWorkState state;
   int jobs = options.jobs;
   if (jobs <= 0) {
@@ -136,35 +205,52 @@ std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions&
   }
   jobs = std::clamp(jobs, 1, static_cast<int>(cells.size()));
   if (jobs == 1) {
+    CellScratch scratch;
     for (const SweepCell& cell : cells) {
-      RunCell(cell, options, 0, &results[cell.index]);
+      RunCell(cell, options, 0, &groups[group_of(cell.index)], &scratch, &forked[cell.index],
+              &results[cell.index]);
       FinishCell(&state, options, cells.size(), cell.index);
     }
-    return results;
-  }
-  // The mutex-guarded cursor feeds all workers (one claim per whole
-  // simulation, so the lock is noise); each claimed cell writes its result
-  // at its own grid index, so result order never depends on scheduling.
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(jobs));
-  for (int i = 0; i < jobs; ++i) {
-    workers.emplace_back([&cells, &results, &options, &state, i] {
-      for (;;) {
-        std::size_t index = 0;
-        {
-          const MutexLock lock(&state.mutex);
-          if (state.next_cell >= cells.size()) {
-            return;
+  } else {
+    // The mutex-guarded cursor feeds all workers (one claim per whole
+    // simulation, so the lock is noise); each claimed cell writes its result
+    // at its own grid index, so result order never depends on scheduling.
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) {
+      workers.emplace_back([&cells, &results, &options, &state, &groups, &forked, group_of, i] {
+        CellScratch scratch;
+        for (;;) {
+          std::size_t index = 0;
+          {
+            const MutexLock lock(&state.mutex);
+            if (state.next_cell >= cells.size()) {
+              return;
+            }
+            index = state.next_cell++;
           }
-          index = state.next_cell++;
+          RunCell(cells[index], options, i, &groups[group_of(index)], &scratch, &forked[index],
+                  &results[index]);
+          FinishCell(&state, options, cells.size(), index);
         }
-        RunCell(cells[index], options, i, &results[index]);
-        FinishCell(&state, options, cells.size(), index);
-      }
-    });
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
   }
-  for (std::thread& worker : workers) {
-    worker.join();
+  if (options.fork_stats != nullptr) {
+    // Workers have joined (or the loop ran inline): the groups and flags are
+    // quiescent and safe to read from the calling thread.
+    ForkStats stats;
+    stats.groups = groups.size();
+    for (const ForkGroup& group : groups) {
+      stats.prefixes_built += group.forkable ? 1 : 0;
+    }
+    for (const char cell_forked : forked) {
+      (cell_forked != 0 ? stats.forked_cells : stats.cold_cells) += 1;
+    }
+    *options.fork_stats = stats;
   }
   return results;
 }

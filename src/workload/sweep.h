@@ -74,6 +74,20 @@ struct SweepProgress {
   std::size_t cell_index = 0;
 };
 
+// What the shared-prefix fork machinery actually did during one RunSweep,
+// for reporting and non-vacuity tests. A fork saves work whenever
+// forked_cells exceeds prefixes_built: those cells skipped the pre-arrival
+// simulation entirely.
+struct ForkStats {
+  // (workload, load, seed) groups in the grid.
+  std::size_t groups = 0;
+  // Groups whose shared prefix was actually run and snapshotted.
+  std::size_t prefixes_built = 0;
+  // Cells started from a group snapshot vs. run cold from t=0.
+  std::size_t forked_cells = 0;
+  std::size_t cold_cells = 0;
+};
+
 struct SweepOptions {
   // Worker threads. <= 0 means std::thread::hardware_concurrency(); the
   // value is clamped to [1, number of cells]. jobs == 1 runs inline on the
@@ -95,6 +109,14 @@ struct SweepOptions {
   // serialized and need no locking of their own — but must stay quick and
   // must not call back into RunSweep.
   std::function<void(const SweepProgress&)> on_progress;
+  // Shared-prefix forking (DESIGN.md §12): run each (workload, load, seed)
+  // group's policy-independent prefix once and fork the group's eligible
+  // cells from the snapshot. Outputs are byte-identical either way; off is
+  // the escape hatch (--no_fork) for bisecting and for exactness audits.
+  bool fork = true;
+  // When set, receives what the fork machinery did (written after the sweep
+  // completes, from the calling thread).
+  ForkStats* fork_stats = nullptr;
   // Test-only: capture each cell's events/time-series through the retained
   // pre-fast-path serializers (see DESIGN.md §9) so golden fixtures and
   // benches can compare recordings byte for byte against the fast path.

@@ -70,7 +70,9 @@ if(NOT EXISTS ${WORKDIR}/sim_trace.json)
 endif()
 expect_cli(0 out "span hits written to" ${SIM} --workload w1 --load 0.6
            --prof_out ${WORKDIR}/sim_prof.jsonl)
-expect_cli(0 out "rm.quantum" ${REPORT} ${WORKDIR}/sim_prof.jsonl)
+# rm.tick, not rm.quantum: the default policy (PDPA) is quantum-passive, so
+# a live profile has tick spans but no quantum spans.
+expect_cli(0 out "rm.tick" ${REPORT} ${WORKDIR}/sim_prof.jsonl)
 
 # pdpa_batch: same contract for the sweep driver.
 expect_cli(0 out "usage: pdpa_batch" ${BATCH} --help)
@@ -87,6 +89,23 @@ expect_cli(0 err "trace events written to"
            --trace_out ${WORKDIR}/batch_trace.json)
 if(NOT EXISTS ${WORKDIR}/batch_trace.json)
   message(SEND_ERROR "pdpa_batch --trace_out did not create batch_trace.json")
+endif()
+
+# --no_fork is the shared-prefix escape hatch: both modes must exit 0 and
+# produce byte-identical CSV (the fork log line is info-level, on stderr).
+expect_cli(0 out "workload,load,policy" ${BATCH} --workloads w2 --loads 1.0
+           --policies equip,pdpa --seeds 2 --no_fork)
+expect_cli(0 err "cells forked" ${BATCH} --workloads w2 --loads 1.0
+           --policies equip,pdpa --seeds 2 --log_level info)
+execute_process(COMMAND ${BATCH} --workloads w2 --loads 1.0 --policies equip,pdpa --seeds 2
+                OUTPUT_VARIABLE forked_csv RESULT_VARIABLE forked_exit ERROR_QUIET)
+execute_process(COMMAND ${BATCH} --workloads w2 --loads 1.0 --policies equip,pdpa --seeds 2
+                --no_fork
+                OUTPUT_VARIABLE cold_csv RESULT_VARIABLE cold_exit ERROR_QUIET)
+if(NOT forked_exit EQUAL 0 OR NOT cold_exit EQUAL 0)
+  message(SEND_ERROR "pdpa_batch fork A/B exited ${forked_exit}/${cold_exit}")
+elseif(NOT forked_csv STREQUAL cold_csv)
+  message(SEND_ERROR "pdpa_batch --no_fork changed the sweep CSV bytes")
 endif()
 
 message(STATUS "cli contract checks done")

@@ -78,9 +78,11 @@ bool EndsWith(const std::string& name, const char* suffix) {
 }
 
 // Hardware-dependent or run-shape metrics: reported, never compared.
+// skipped_single_cpu is a run-shape fact about the machine (sweep_bench
+// omits its parallel A/B on 1-CPU runners), so it can never "regress".
 bool IsInformational(const std::string& name) {
   return EndsWith(name, "_wall_s") || EndsWith(name, "_per_s") || name == "jobs" ||
-         name == "repeat" || name == "hardware_concurrency";
+         name == "repeat" || name == "hardware_concurrency" || name == "skipped_single_cpu";
 }
 
 // Ratio of two same-machine measurements (or a deterministic ratio):
@@ -152,6 +154,12 @@ int Run(int argc, char** argv) {
                 fresh_text.c_str());
   };
 
+  // A fresh run flagged skipped_single_cpu legitimately omits its parallel
+  // A/B metrics: a baseline recorded on a multi-core machine then has fields
+  // a 1-CPU runner cannot produce. Tolerate those as skips, not regressions.
+  const auto skipped_it = fresh.find("skipped_single_cpu");
+  const bool fresh_skipped = skipped_it != fresh.end() && skipped_it->second == "true";
+
   for (const auto& [name, base_text] : baseline) {
     if (ignored.contains(name)) {
       std::printf("skip %-32s (--ignore)\n", name.c_str());
@@ -159,7 +167,11 @@ int Run(int argc, char** argv) {
     }
     const auto it = fresh.find(name);
     if (it == fresh.end()) {
-      fail(name, "missing from fresh run", base_text, "<absent>");
+      if (fresh_skipped) {
+        std::printf("skip %-32s (fresh run skipped on single CPU)\n", name.c_str());
+      } else {
+        fail(name, "missing from fresh run", base_text, "<absent>");
+      }
       continue;
     }
     const std::string& fresh_text = it->second;

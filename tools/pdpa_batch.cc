@@ -45,6 +45,9 @@ grid axes:
 
 execution:
   --jobs N                 worker threads (default: hardware concurrency)
+  --no_fork                run every cell cold from t=0 instead of forking
+                           eligible cells from their group's shared-prefix
+                           snapshot (output is byte-identical either way)
   --progress               completion ticker on stderr
 
 output (CSV on stdout):
@@ -156,6 +159,10 @@ int Run(int argc, char** argv) {
   SweepOptions options;
   // Worker threads; 0 (the default) auto-detects hardware concurrency.
   options.jobs = flags.GetInt("jobs", 0);
+  // Escape hatch for the shared-prefix fork (DESIGN.md §12).
+  options.fork = !flags.GetBool("no_fork", false);
+  ForkStats fork_stats;
+  options.fork_stats = &fork_stats;
 
   // Flight-recorder prefixes: each grid cell writes
   // <prefix><workload>_<load>_<policy>[_s<seed>].jsonl / .csv.
@@ -203,6 +210,9 @@ int Run(int argc, char** argv) {
   }
 
   const std::vector<SweepCellResult> results = RunSweep(grid, options);
+  PDPA_LOG(Info) << "fork: " << fork_stats.prefixes_built << "/" << fork_stats.groups
+                 << " group prefixes built, " << fork_stats.forked_cells << " cells forked, "
+                 << fork_stats.cold_cells << " cold";
   SweepCsv(results, grid.seeds.size(), std::cout, want_slowdown);
   std::cout.flush();
 
