@@ -23,25 +23,17 @@ struct RunResult {
 
 RunResult RunClustered(const std::vector<JobSpec>& jobs, int num_nodes, int cpus_per_node,
                        PlacementPolicy placement) {
-  Simulation sim;
-  ResourceManager::Params rm_params;
-  Cluster cluster(
-      &sim, num_nodes, cpus_per_node,
-      [] { return std::make_unique<PdpaPolicy>(PdpaParams{}, PdpaMlParams{}); }, rm_params,
-      Rng(99));
-  ClusterQueuingSystem qs(&sim, &cluster, jobs, placement);
-  cluster.Start();
-  qs.Start();
-  SimTime horizon = 0;
-  while (!qs.AllJobsDone() && sim.now() < 4 * 3600 * kSecond) {
-    horizon += 60 * kSecond;
-    sim.RunUntil(horizon);
-  }
-  cluster.Stop();
+  ClusterOptions options;
+  options.num_nodes = num_nodes;
+  options.cpus_per_node = cpus_per_node;
+  options.placement = placement;
+  options.make_policy = [] { return std::make_unique<PdpaPolicy>(PdpaParams{}, PdpaMlParams{}); };
+  options.seed = 99;
+  options.max_sim_time = 4 * 3600 * kSecond;
+  const ClusterResult run = RunCluster(jobs, options);
   RunResult result;
-  result.completed = qs.AllJobsDone();
-  std::map<JobId, double> empty_integral;
-  result.metrics = ComputeMetrics(qs.outcomes(), empty_integral);
+  result.completed = run.completed;
+  result.metrics = ComputeMetrics(run.outcomes, run.alloc_integral_us);
   return result;
 }
 

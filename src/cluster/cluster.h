@@ -1,28 +1,50 @@
 // Cluster of SMPs (the paper's second future-work direction, Sec. 6): a
 // set of shared-memory nodes, each managed by its own NANOS RM running its
-// own scheduling policy, plus a cluster-level queuing system that places
-// each arriving job on one node ("cooperation between the scheduling
-// policies running on the different machines").
+// own scheduling policy, plus a cluster-level controller that queues each
+// arriving job and places it on one node ("cooperation between the
+// scheduling policies running on the different machines").
 //
 // Jobs are node-local: a malleable OpenMP application cannot span nodes, so
 // the interesting new decision is *placement*, and the new failure mode is
 // node-boundary fragmentation (a 30-CPU request cannot use 2x15 free CPUs
-// on two different nodes).
+// on two different machines).
+//
+// Sharded execution (DESIGN.md §13): every node owns a private Simulation
+// and advances independently, so the cluster is a conservative parallel
+// discrete-event simulation. Nodes are partitioned over `shards` event
+// loops (node k lives on shard k % shards); each shard interleaves its
+// nodes one event at a time in global (time, node) order and runs freely up
+// to the controller's barrier — the next job arrival (or the cutoff),
+// before which no new cross-node interaction can possibly occur. The only
+// cross-node facts are job completions and admission flips, which shards
+// surface to the controller at their exact timestamps; the controller
+// handles each completion batch, places queued jobs, and resumes. Every
+// controller decision is made in canonical (time, node-index) order
+// regardless of the shard count, so a run with `shards == 1` (which
+// executes inline on the calling thread, with zero synchronization) and a
+// run with N worker threads produce byte-identical event logs, time-series
+// CSVs and counters. tests/cluster_test.cc asserts exactly that.
 #ifndef SRC_CLUSTER_CLUSTER_H_
 #define SRC_CLUSTER_CLUSTER_H_
 
-#include <deque>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/app/app_profile.h"
+#include "src/obs/counters.h"
 #include "src/qs/job.h"
 #include "src/rm/resource_manager.h"
-#include "src/sim/simulation.h"
 
 namespace pdpa {
 
-// How the cluster QS picks the node for the next job.
+// How the cluster controller picks the node for the next queued job. All
+// three break ties toward the lowest node index, which keeps placement —
+// and therefore the whole run — deterministic.
 enum class PlacementPolicy : int {
   // Rotate over nodes that can admit the job.
   kRoundRobin = 0,
@@ -34,77 +56,69 @@ enum class PlacementPolicy : int {
 };
 
 const char* PlacementPolicyName(PlacementPolicy policy);
+// Compact suffix for sweep-cell names: "rr", "mf", "ll".
+const char* PlacementPolicyShortName(PlacementPolicy policy);
+// Accepts both the long and the short names. Returns false on anything
+// else, leaving *out untouched.
+bool ParsePlacementPolicy(std::string_view text, PlacementPolicy* out);
 
-class Cluster {
- public:
-  struct NodeStats {
-    int free_cpus = 0;
-    int running_jobs = 0;
-    bool can_admit = false;
-  };
-
-  // Builds `num_nodes` nodes, each with `cpus_per_node` processors and its
-  // own policy instance from `make_policy`.
-  Cluster(Simulation* sim, int num_nodes, int cpus_per_node,
-          const std::function<std::unique_ptr<SchedulingPolicy>()>& make_policy,
-          ResourceManager::Params rm_params, Rng rng);
-
-  Cluster(const Cluster&) = delete;
-  Cluster& operator=(const Cluster&) = delete;
-
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  ResourceManager& node(int index) { return *nodes_[static_cast<std::size_t>(index)]; }
-
-  NodeStats StatsOf(int index) const;
-
-  // Registers the periodic RM tasks on every node.
-  void Start();
-  void Stop();
-
-  // Installs callbacks shared by all nodes.
-  void set_job_finish_callback(ResourceManager::JobFinishCallback callback);
-  void set_state_change_callback(ResourceManager::StateChangeCallback callback);
-
- private:
-  std::vector<std::unique_ptr<ResourceManager>> nodes_;
+struct ClusterOptions {
+  int num_nodes = 1;
+  int cpus_per_node = 60;
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+  // Fresh policy instance per node; required.
+  std::function<std::unique_ptr<SchedulingPolicy>()> make_policy;
+  // Per-node RM parameters; num_cpus is overridden with cpus_per_node.
+  ResourceManager::Params rm_params;
+  // Root seed; node k's RM gets the k-th fork, independent of sharding.
+  std::uint64_t seed = 1;
+  // Worker event loops. 1 (the default) runs the whole cluster inline on
+  // the calling thread — the serial reference. Clamped to [1, num_nodes].
+  int shards = 1;
+  // Simulation-time cutoff; 0 means run until the workload drains.
+  SimTime max_sim_time = 0;
+  // Flight-recorder capture. Events and time-series are merged across the
+  // controller and all nodes into single deterministic artifacts; the
+  // "queued" column of machine samples is always 0 in cluster mode (the
+  // backlog lives in the controller, not in any node's RM).
+  bool capture_events = false;
+  bool capture_timeseries = false;
+  // App profile lookup; null means CachedProfile().
+  std::function<const AppProfile&(AppClass)> profile_source;
 };
 
-// Cluster-level queuing system: FCFS queue + placement.
-class ClusterQueuingSystem {
- public:
-  ClusterQueuingSystem(Simulation* sim, Cluster* cluster, std::vector<JobSpec> workload,
-                       PlacementPolicy placement);
-
-  ClusterQueuingSystem(const ClusterQueuingSystem&) = delete;
-  ClusterQueuingSystem& operator=(const ClusterQueuingSystem&) = delete;
-
-  void Start();
-
-  bool AllJobsDone() const { return outcomes_.size() == workload_.size(); }
-  const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
-  // Node each job ran on, parallel to outcomes().
-  const std::vector<int>& outcome_nodes() const { return outcome_nodes_; }
-  int queued() const { return static_cast<int>(queue_.size()); }
-
- private:
-  void OnArrival(const JobSpec& spec);
-  void TryStartJobs(SimTime now);
-  // Returns the chosen node for the head job, or -1 when no node admits it.
-  int ChooseNode();
-
-  Simulation* sim_;
-  Cluster* cluster_;
-  std::vector<JobSpec> workload_;
-  PlacementPolicy placement_;
-
-  std::deque<JobSpec> queue_;
-  std::map<JobId, JobOutcome> in_flight_;
-  std::map<JobId, int> job_node_;
-  std::vector<JobOutcome> outcomes_;
-  std::vector<int> outcome_nodes_;
-  int round_robin_next_ = 0;
-  bool started_ = false;
+struct ClusterResult {
+  // Completion order: by finish time, then node index, then per-node
+  // completion order. outcome_nodes[i] is the node outcomes[i] ran on.
+  std::vector<JobOutcome> outcomes;
+  std::vector<int> outcome_nodes;
+  bool completed = true;
+  // Last completion time, or the cutoff when the run timed out.
+  SimTime end_time = 0;
+  int shards_used = 1;
+  // High-water mark of per-node multiprogramming level.
+  int max_node_running = 0;
+  long long total_reallocations = 0;
+  // Keyed by global job id (per-node integrals remapped).
+  std::map<JobId, double> alloc_integral_us;
+  // Merged JSONL, ordered by (t_us, stream, line): stream 0 is the
+  // controller (job_submit / place / job_finish / run_end), stream k+1 is
+  // node k (records carry a trailing "node":k field). Empty unless
+  // capture_events.
+  std::string events_jsonl;
+  // Merged per-node CSV with a leading "node" column (see
+  // WriteClusterTimeSeriesCsv). Empty unless capture_timeseries.
+  std::string timeseries_csv;
+  // Controller + per-node registries merged (counters summed); includes
+  // cluster.* controller counters, e.g. cluster.placements.
+  RegistrySnapshot counters;
 };
+
+// Simulates `workload` (submit-sorted, unique job ids) on the cluster
+// described by `options` and returns the merged result. The output contract
+// is that every field of ClusterResult is a pure function of (workload,
+// options minus shards): the shard count only changes wall-clock time.
+ClusterResult RunCluster(const std::vector<JobSpec>& workload, const ClusterOptions& options);
 
 }  // namespace pdpa
 

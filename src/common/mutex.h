@@ -76,6 +76,13 @@ class ThreadConfinementChecker {
     }
   }
 
+  // Releases the binding so the next AssertConfined re-binds to its caller.
+  // For deliberate ownership transfers with external synchronization (the
+  // cluster engine hands node sinks between shard workers and the
+  // controller across a happens-before edge); not an escape hatch for
+  // genuinely concurrent access.
+  void Handoff() { owner_.store(std::thread::id{}); }
+
  private:
   std::atomic<std::thread::id> owner_{};
 };
@@ -83,6 +90,7 @@ class ThreadConfinementChecker {
 class ThreadConfinementChecker {
  public:
   void AssertConfined(const char*) {}
+  void Handoff() {}
 };
 #endif
 

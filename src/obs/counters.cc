@@ -124,6 +124,48 @@ Registry& Registry::Default() {
   return *registry;
 }
 
+RegistrySnapshot MergeRegistrySnapshots(const std::vector<const RegistrySnapshot*>& parts) {
+  RegistrySnapshot merged;
+  std::map<std::string, long long> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  for (const RegistrySnapshot* part : parts) {
+    for (const CounterSnapshot& c : part->counters) {
+      counters[c.name] += c.value;
+    }
+    for (const GaugeSnapshot& g : part->gauges) {
+      auto [it, inserted] = gauges.emplace(g.name, g);
+      if (!inserted && g.has_value && (!it->second.has_value || g.value > it->second.value)) {
+        it->second = g;
+      }
+    }
+    for (const HistogramSnapshot& h : part->histograms) {
+      auto [it, inserted] = histograms.emplace(h.name, h);
+      if (inserted) {
+        continue;
+      }
+      HistogramSnapshot& acc = it->second;
+      PDPA_CHECK(acc.upper_bounds == h.upper_bounds)
+          << "histogram " << h.name << " bounds differ across merged snapshots";
+      for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+        acc.bucket_counts[i] += h.bucket_counts[i];
+      }
+      acc.count += h.count;
+      acc.sum += h.sum;
+    }
+  }
+  for (auto& [name, value] : counters) {
+    merged.counters.push_back(CounterSnapshot{name, value});
+  }
+  for (auto& [name, gauge] : gauges) {
+    merged.gauges.push_back(gauge);
+  }
+  for (auto& [name, histogram] : histograms) {
+    merged.histograms.push_back(std::move(histogram));
+  }
+  return merged;
+}
+
 std::string RegistrySnapshot::ToString() const {
   std::string out;
   for (const CounterSnapshot& c : counters) {

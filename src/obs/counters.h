@@ -121,6 +121,13 @@ struct RegistrySnapshot {
   std::string ToString() const;
 };
 
+// Deterministic union of per-node snapshots into one cluster-wide view:
+// counters sum by name; histograms with identical bounds merge bucket-wise
+// (mismatched bounds are a caller bug and abort); gauges keep the maximum
+// set value per name — commutative, so the result is independent of input
+// order. Inputs must each be name-sorted (as Registry::Snapshot produces).
+RegistrySnapshot MergeRegistrySnapshots(const std::vector<const RegistrySnapshot*>& parts);
+
 // Owns the instruments. Registration is idempotent: asking for an existing
 // name returns the same pointer, so independent modules can share an
 // instrument by name. Pointers stay valid for the registry's lifetime.

@@ -310,6 +310,84 @@ bool ParseFlatJson(std::string_view line, std::map<std::string, std::string>* fi
   }
 }
 
+namespace {
+
+// Extracts the integer after `"t_us":` from one JSONL record without a full
+// parse; records with no timestamp (run_start) merge as t=0 so they lead
+// their stream.
+long long RecordTimeUs(std::string_view line) {
+  static constexpr std::string_view kKey = "\"t_us\":";
+  const std::size_t at = line.find(kKey);
+  if (at == std::string_view::npos) {
+    return 0;
+  }
+  long long t = 0;
+  for (std::size_t pos = at + kKey.size(); pos < line.size(); ++pos) {
+    const char c = line[pos];
+    if (c < '0' || c > '9') {
+      break;
+    }
+    t = t * 10 + (c - '0');
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string MergeEventStreams(const std::vector<std::string>& streams) {
+  struct Cursor {
+    std::string_view rest;     // unconsumed tail of the stream
+    std::string_view line;     // current record, without the trailing '\n'
+    long long t_us = 0;
+    bool done = true;
+
+    void Advance() {
+      if (rest.empty()) {
+        done = true;
+        return;
+      }
+      std::size_t eol = rest.find('\n');
+      if (eol == std::string_view::npos) {
+        eol = rest.size();
+        line = rest;
+        rest = {};
+      } else {
+        line = rest.substr(0, eol);
+        rest = rest.substr(eol + 1);
+      }
+      t_us = RecordTimeUs(line);
+      done = false;
+    }
+  };
+
+  std::vector<Cursor> cursors(streams.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    cursors[i].rest = streams[i];
+    cursors[i].Advance();
+    total += streams[i].size();
+  }
+  std::string merged;
+  merged.reserve(total);
+  // K is tiny (controller + nodes of one cluster cell being captured), so a
+  // linear scan per record beats heap bookkeeping and keeps the tie-break —
+  // lowest stream index first — explicit.
+  while (true) {
+    std::size_t best = streams.size();
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      if (!cursors[i].done && (best == streams.size() || cursors[i].t_us < cursors[best].t_us)) {
+        best = i;
+      }
+    }
+    if (best == streams.size()) {
+      return merged;
+    }
+    merged.append(cursors[best].line);
+    merged.push_back('\n');
+    cursors[best].Advance();
+  }
+}
+
 EventLog::EventLog(std::ostream* out) : out_(out), writer_(out) {
   if (out_ == nullptr) {
     return;  // Disabled log: no buffers, no interning, every emitter no-ops.

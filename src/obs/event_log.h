@@ -29,6 +29,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/bufwriter.h"
 #include "src/common/ids.h"
@@ -128,6 +129,14 @@ class LegacyJsonObjectWriter {
 // not supported — the event schema is deliberately flat.
 bool ParseFlatJson(std::string_view line, std::map<std::string, std::string>* fields);
 
+// Merges per-stream JSONL event logs into one stream, stably ordered by
+// (t_us, stream index, line order within the stream). Each input must be
+// individually time-monotone — true of every EventLog sink, which the
+// cluster engine relies on: stream 0 is the controller log and stream k+1
+// is node k, so equal-time records sort controller-first then by node
+// index. Records without a "t_us" field (run_start) sort as t=0.
+std::string MergeEventStreams(const std::vector<std::string>& streams);
+
 class EventLog {
  public:
   // `out` is borrowed and must outlive the log; null disables recording.
@@ -165,6 +174,18 @@ class EventLog {
   // (per-field StrFormat temporaries, unbuffered per-line ostream writes)
   // so golden fixtures and benches can compare it against the fast path.
   void set_legacy_serialization_for_test(bool legacy) { legacy_for_test_ = legacy; }
+
+  // Cluster mode: tag every typed record with a trailing "node":K field so
+  // merged per-node streams stay attributable. Negative (the default)
+  // leaves output bytes exactly as before — single-machine runs are
+  // unaffected. Does not apply to the raw Emit() escape hatch.
+  void set_node_tag(int node) { node_tag_ = node; }
+
+  // Releases the audit-build thread-confinement binding; the next emitter
+  // call re-binds to its calling thread. The cluster engine calls this when
+  // ownership of a node's log moves between a shard worker and the
+  // controller (the engine provides the happens-before edge).
+  void HandoffConfinement() { confinement_.Handoff(); }
 
   // --- Typed emitters -----------------------------------------------------
   // One experiment begins; no timestamp on purpose (always t=0).
@@ -218,11 +239,17 @@ class EventLog {
     if (legacy_for_test_) {
       internal::LegacyJsonObjectWriter writer;
       fill(writer);
+      if (node_tag_ >= 0) {
+        writer.Field("node", node_tag_);
+      }
       *out_ << writer.Finish() << '\n';
     } else {
       scratch_.clear();
       JsonObjectWriter writer(&scratch_);
       fill(writer);
+      if (node_tag_ >= 0) {
+        writer.Field("node", node_tag_);
+      }
       writer.Finish();
       scratch_.push_back('\n');
       writer_.Append(scratch_);
@@ -240,6 +267,7 @@ class EventLog {
       type_alloc_decision_, type_cpu_handoffs_;
   long long lines_ = 0;
   bool legacy_for_test_ = false;
+  int node_tag_ = -1;
   Profiler* profiler_ = nullptr;
   // The log is not mutex-protected by design: every EventLog belongs to one
   // run and is only written by the thread driving that run (the sweep engine

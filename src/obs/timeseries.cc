@@ -85,6 +85,63 @@ void TimeSeriesSampler::Clear() {
   machine_.clear();
 }
 
+void WriteClusterTimeSeriesCsv(const std::vector<const TimeSeriesSampler*>& nodes,
+                               std::ostream& out) {
+  BufWriter writer(&out);
+  writer.Append("node,");
+  writer.Append(kCsvHeader);
+  // Per-node cursors replay each sampler with WriteCsv's own take-app rule,
+  // so the row sequence within one node matches its single-machine CSV
+  // exactly; across nodes the earliest key time wins, ties to the lowest
+  // node index.
+  struct Cursor {
+    std::size_t a = 0;
+    std::size_t m = 0;
+  };
+  std::vector<Cursor> cursors(nodes.size());
+  const auto key_time = [&](std::size_t k, bool* take_app) -> SimTime {
+    const TimeSeriesSampler& s = *nodes[k];
+    const Cursor& c = cursors[k];
+    *take_app = c.m >= s.machine().size() ||
+                (c.a < s.apps().size() && s.apps()[c.a].t_end <= s.machine()[c.m].t);
+    return *take_app ? s.apps()[c.a].t_end : s.machine()[c.m].t;
+  };
+  std::string row;
+  row.reserve(160);
+  while (true) {
+    std::size_t best = nodes.size();
+    SimTime best_t = 0;
+    bool best_app = false;
+    for (std::size_t k = 0; k < nodes.size(); ++k) {
+      const Cursor& c = cursors[k];
+      if (c.a >= nodes[k]->apps().size() && c.m >= nodes[k]->machine().size()) {
+        continue;
+      }
+      bool take_app = false;
+      const SimTime t = key_time(k, &take_app);
+      if (best == nodes.size() || t < best_t) {
+        best = k;
+        best_t = t;
+        best_app = take_app;
+      }
+    }
+    if (best == nodes.size()) {
+      break;
+    }
+    row.clear();
+    AppendInt(&row, static_cast<int>(best));
+    row.push_back(',');
+    Cursor& c = cursors[best];
+    if (best_app) {
+      AppendAppRow(&row, nodes[best]->apps()[c.a++]);
+    } else {
+      AppendMachineRow(&row, nodes[best]->machine()[c.m++]);
+    }
+    writer.Append(row);
+  }
+  writer.Flush();
+}
+
 namespace internal {
 
 void WriteTimeSeriesCsvLegacy(const TimeSeriesSampler& series, std::ostream& out) {

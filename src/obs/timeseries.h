@@ -72,6 +72,11 @@ class TimeSeriesSampler {
 
   void Clear();
 
+  // Releases the audit-build thread-confinement binding (see
+  // EventLog::HandoffConfinement); the cluster engine calls this when a
+  // node's sampler moves between a shard worker and the controller.
+  void HandoffConfinement() { confinement_.Handoff(); }
+
  private:
   std::vector<AppPoint> apps_;
   std::vector<MachinePoint> machine_;
@@ -79,6 +84,15 @@ class TimeSeriesSampler {
   // builds verify the confinement instead of paying for a mutex.
   ThreadConfinementChecker confinement_;
 };
+
+// Cluster CSV: the single-machine schema with a leading "node" column,
+// k-way merging one sampler per node by row key time (t_end for app
+// windows, t for machine samples), ties resolved by node index and, within
+// one node, by the same recording-order rule WriteCsv uses. Row bytes after
+// the node column are identical to WriteCsv's, so a 1-node cluster CSV is
+// the single-machine CSV with "0," prefixed to every data row.
+void WriteClusterTimeSeriesCsv(const std::vector<const TimeSeriesSampler*>& nodes,
+                               std::ostream& out);
 
 namespace internal {
 

@@ -134,7 +134,10 @@ void ResourceManager::Stop() {
     tick_active_ = false;
   }
   if (quantum_task_ >= 0) {
-    sim_->StopPeriodic(quantum_task_);
+    // Cancel (not just deactivate) so no dead chain event lingers: the
+    // cluster engine parks stopped node simulations and requires their
+    // queues empty before AdvanceTo-warping the clock to the next arrival.
+    sim_->CancelPeriodic(quantum_task_);
     quantum_task_ = -1;
   }
   // Flush the tail windows of jobs still running (incomplete runs), so the

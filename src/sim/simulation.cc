@@ -23,7 +23,8 @@ int Simulation::SchedulePeriodic(SimTime start, SimDuration period,
   PDPA_CHECK_GT(period, 0);
   const int handle = static_cast<int>(periodic_.size());
   periodic_.push_back(PeriodicTask{period, std::move(callback), true});
-  events_.Schedule(start, [this, handle, start] { FirePeriodic(handle, start); });
+  periodic_.back().pending =
+      events_.Schedule(start, [this, handle, start] { FirePeriodic(handle, start); });
   return handle;
 }
 
@@ -33,8 +34,20 @@ void Simulation::StopPeriodic(int handle) {
   periodic_[static_cast<std::size_t>(handle)].active = false;
 }
 
+void Simulation::CancelPeriodic(int handle) {
+  PDPA_CHECK_GE(handle, 0);
+  PDPA_CHECK_LT(handle, static_cast<int>(periodic_.size()));
+  PeriodicTask& task = periodic_[static_cast<std::size_t>(handle)];
+  task.active = false;
+  if (task.pending != 0) {
+    events_.Cancel(task.pending);
+    task.pending = 0;
+  }
+}
+
 void Simulation::FirePeriodic(int handle, SimTime when) {
   PeriodicTask& task = periodic_[static_cast<std::size_t>(handle)];
+  task.pending = 0;
   if (!task.active) {
     return;
   }
@@ -42,8 +55,24 @@ void Simulation::FirePeriodic(int handle, SimTime when) {
   task.callback(when);
   if (task.active) {
     const SimTime next = when + task.period;
-    events_.Schedule(next, [this, handle, next] { FirePeriodic(handle, next); });
+    task.pending = events_.Schedule(next, [this, handle, next] { FirePeriodic(handle, next); });
   }
+}
+
+void Simulation::Step() {
+  PDPA_CHECK(!events_.empty()) << "Step() on an empty event queue";
+  now_ = events_.NextTime();
+  SetLogSimTimeUs(now_);
+  events_dispatched_->Increment();
+  events_.RunNext();
+}
+
+void Simulation::AdvanceTo(SimTime t) {
+  PDPA_CHECK(events_.empty() || events_.NextTime() >= t)
+      << "AdvanceTo() would skip pending events";
+  PDPA_CHECK_GE(t, now_);
+  now_ = t;
+  SetLogSimTimeUs(now_);
 }
 
 void Simulation::Restore(SimTime now) {

@@ -37,6 +37,13 @@ class Simulation {
   int SchedulePeriodic(SimTime start, SimDuration period, std::function<void(SimTime)> callback);
   void StopPeriodic(int handle);
 
+  // Like StopPeriodic, but also cancels the task's pending chain event so no
+  // dead event lingers in the queue. A fully cancelled periodic leaves the
+  // queue state exactly as if the task had never rescheduled — required by
+  // the cluster engine, which parks idle node simulations and asserts their
+  // queues empty before warping the clock with AdvanceTo.
+  void CancelPeriodic(int handle);
+
   // Runs events until the queue is empty, RequestStop() is called, or the
   // next event lies beyond `until`. Returns the final simulation time.
   //
@@ -51,6 +58,19 @@ class Simulation {
 
   // Runs until the queue drains completely.
   SimTime RunToCompletion();
+
+  // Dispatches exactly the next pending event (the queue must be non-empty),
+  // advancing now() to its time first. The cluster shard loop uses this to
+  // interleave many node simulations one event at a time in a global
+  // (time, node) order.
+  void Step();
+
+  // Warps the clock forward to `t` without dispatching anything. Requires
+  // t >= now() and that no pending event would be skipped (queue empty or
+  // next event at or after `t`). Used to wake parked node simulations at a
+  // job-arrival time and to catch a lagging node clock up to a cluster
+  // placement instant.
+  void AdvanceTo(SimTime t);
 
   // Requests that the run loop stop after the current event.
   void RequestStop() { stop_requested_ = true; }
@@ -69,6 +89,10 @@ class Simulation {
     SimDuration period = 0;
     std::function<void(SimTime)> callback;
     bool active = false;
+    // The queued chain event for the next firing, so CancelPeriodic can
+    // remove it instead of leaving a dead no-op event in the queue. Zero is
+    // never a minted EventId (generations start at 1).
+    EventId pending = 0;
   };
 
   void FirePeriodic(int handle, SimTime when);

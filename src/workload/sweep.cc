@@ -15,6 +15,7 @@
 #include "src/obs/counters.h"
 #include "src/obs/event_log.h"
 #include "src/obs/timeseries.h"
+#include "src/workload/cluster_cell.h"
 
 namespace pdpa {
 
@@ -23,33 +24,57 @@ std::vector<SweepCell> ExpandGrid(const SweepGrid& grid) {
   PDPA_CHECK(!grid.loads.empty());
   PDPA_CHECK(!grid.policies.empty());
   PDPA_CHECK(!grid.seeds.empty());
+  PDPA_CHECK_GE(grid.nodes, 1);
+  PDPA_CHECK_GE(grid.cpus_per_node, 1);
   PDPA_CHECK(grid.base.registry == nullptr) << "RunSweep installs per-cell registries";
   PDPA_CHECK(grid.base.event_log == nullptr) << "RunSweep installs per-cell event logs";
   PDPA_CHECK(grid.base.timeseries == nullptr) << "RunSweep installs per-cell samplers";
+  const bool cluster = grid.nodes > 1;
+  // Single-SMP grids always have exactly one (ignored) placement cell axis,
+  // so the classic grid shape and group arithmetic are unchanged.
+  std::vector<PlacementPolicy> placements = {PlacementPolicy::kRoundRobin};
+  if (cluster) {
+    PDPA_CHECK(!grid.placements.empty());
+    PDPA_CHECK(!grid.base.record_trace) << "CPU traces are single-node only";
+    placements = grid.placements;
+  }
   std::vector<SweepCell> cells;
   cells.reserve(grid.workloads.size() * grid.loads.size() * grid.policies.size() *
-                grid.seeds.size());
+                placements.size() * grid.seeds.size());
   for (WorkloadId workload : grid.workloads) {
     for (double load : grid.loads) {
       for (PolicyKind policy : grid.policies) {
-        for (std::uint64_t seed : grid.seeds) {
-          SweepCell cell;
-          cell.index = cells.size();
-          cell.workload = workload;
-          cell.load = load;
-          cell.policy = policy;
-          cell.seed = seed;
-          cell.name = StrFormat("%s_%.2f_%s", WorkloadShortName(workload), load,
-                                PolicyKindName(policy));
-          if (grid.seeds.size() > 1) {
-            cell.name += StrFormat("_s%llu", static_cast<unsigned long long>(seed));
+        for (PlacementPolicy placement : placements) {
+          for (std::uint64_t seed : grid.seeds) {
+            SweepCell cell;
+            cell.index = cells.size();
+            cell.workload = workload;
+            cell.load = load;
+            cell.policy = policy;
+            cell.seed = seed;
+            cell.name = StrFormat("%s_%.2f_%s", WorkloadShortName(workload), load,
+                                  PolicyKindName(policy));
+            if (cluster) {
+              cell.name += StrFormat("_%s", PlacementPolicyShortName(placement));
+            }
+            if (grid.seeds.size() > 1) {
+              cell.name += StrFormat("_s%llu", static_cast<unsigned long long>(seed));
+            }
+            cell.config = grid.base;
+            cell.config.workload = workload;
+            cell.config.load = load;
+            cell.config.policy = policy;
+            cell.config.seed = seed;
+            cell.nodes = grid.nodes;
+            cell.cpus_per_node = grid.cpus_per_node;
+            cell.cluster_shards = grid.cluster_shards;
+            cell.placement = placement;
+            if (cluster) {
+              // Arrival rates must scale with the whole cluster's capacity.
+              cell.config.num_cpus = grid.nodes * grid.cpus_per_node;
+            }
+            cells.push_back(std::move(cell));
           }
-          cell.config = grid.base;
-          cell.config.workload = workload;
-          cell.config.load = load;
-          cell.config.policy = policy;
-          cell.config.seed = seed;
-          cells.push_back(std::move(cell));
         }
       }
     }
@@ -110,6 +135,46 @@ void RunCell(const SweepCell& cell, const SweepOptions& options, int worker, For
   if (options.capture_prof) {
     config.profiler = &out->profile;
     out->host_begin_ns = prof::NowNanos();
+  }
+  if (cell.nodes > 1) {
+    // Cluster cell: RunCluster owns its observability sinks, so the scratch
+    // wiring above is unused; recordings come back by value. The fork
+    // machinery never applies (no shared prefix across per-node timelines)
+    // but the group's immutable job trace is still shared.
+    {
+      ProfScope cell_scope(options.capture_prof ? &out->profile : nullptr, SpanId::kSweepCell);
+      config.event_log = nullptr;
+      config.timeseries = nullptr;
+      ClusterCellConfig cluster;
+      cluster.nodes = cell.nodes;
+      cluster.cpus_per_node = cell.cpus_per_node;
+      cluster.placement = cell.placement;
+      cluster.shards = cell.cluster_shards;
+      cluster.capture_counters = options.capture_counters;
+      cluster.capture_events = options.capture_events;
+      cluster.capture_timeseries = options.capture_timeseries;
+      std::shared_ptr<const std::vector<JobSpec>> jobs;
+      if (options.fork) {
+        const MutexLock lock(&group->mutex);
+        if (!group->built) {
+          // Trace only; no prefix snapshot (group->forkable stays false).
+          group->jobs = BuildJobs(config);
+          group->built = true;
+        }
+        jobs = group->jobs;
+      } else {
+        jobs = BuildJobs(config);
+      }
+      ClusterCellOutput cluster_out = RunClusterCell(config, cluster, std::move(jobs));
+      out->result = std::move(cluster_out.result);
+      out->counters = std::move(cluster_out.counters);
+      out->events_jsonl = std::move(cluster_out.events_jsonl);
+      out->timeseries_csv = std::move(cluster_out.timeseries_csv);
+    }
+    if (options.capture_prof) {
+      out->host_end_ns = prof::NowNanos();
+    }
+    return;
   }
   {
     ProfScope cell_scope(options.capture_prof ? &out->profile : nullptr, SpanId::kSweepCell);
@@ -185,10 +250,13 @@ std::vector<SweepCellResult> RunSweep(const SweepGrid& grid, const SweepOptions&
     return results;
   }
   // One ForkGroup per (workload, load, seed) combination. The grid's nested
-  // order (workload x load x policy x seed) maps a cell to its group by
-  // stripping the policy axis out of the index.
+  // order (workload x load x policy x placement x seed) maps a cell to its
+  // group by stripping the policy and placement axes out of the index. A
+  // single-SMP grid expands with exactly one placement (see ExpandGrid), so
+  // num_placements must mirror that rule, not grid.placements.size().
   const std::size_t num_seeds = grid.seeds.size();
-  const std::size_t num_policies = grid.policies.size();
+  const std::size_t num_placements = grid.nodes > 1 ? grid.placements.size() : 1;
+  const std::size_t num_policies = grid.policies.size() * num_placements;
   const std::size_t num_loads = grid.loads.size();
   std::vector<ForkGroup> groups(grid.workloads.size() * num_loads * num_seeds);
   const auto group_of = [num_seeds, num_policies, num_loads](std::size_t index) {

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
 #include "src/obs/prof.h"
@@ -44,6 +45,16 @@ struct SweepGrid {
   std::vector<double> loads = {1.0};
   std::vector<PolicyKind> policies = {PolicyKind::kPdpa};
   std::vector<std::uint64_t> seeds = {42};
+  // Cluster dimensions (src/workload/cluster_cell.h). nodes == 1 is the
+  // classic single-SMP sweep and ignores placements; nodes > 1 runs every
+  // cell on a cluster of `nodes` x `cpus_per_node` (overriding
+  // base.num_cpus with their product) and sweeps the placements axis.
+  int nodes = 1;
+  int cpus_per_node = 60;
+  std::vector<PlacementPolicy> placements = {PlacementPolicy::kRoundRobin};
+  // Per-cell shard count for the cluster engine (wall-clock only; outputs
+  // are shard-count-invariant).
+  int cluster_shards = 1;
 };
 
 // One fully resolved grid cell.
@@ -53,14 +64,22 @@ struct SweepCell {
   double load = 1.0;
   PolicyKind policy = PolicyKind::kPdpa;
   std::uint64_t seed = 42;
-  // "w1_0.60_PDPA", with an "_s<seed>" suffix when the grid sweeps more
-  // than one seed. Used for per-cell recording filenames.
+  // "w1_0.60_PDPA", with a "_<placement>" suffix (e.g. "_rr") when the
+  // grid is a cluster sweep and an "_s<seed>" suffix when the grid sweeps
+  // more than one seed. Used for per-cell recording filenames.
   std::string name;
   ExperimentConfig config;
+  // Copied from the grid; nodes == 1 means a single-SMP cell.
+  int nodes = 1;
+  int cpus_per_node = 60;
+  int cluster_shards = 1;
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
 };
 
-// Expands the grid in nested order: workload (outer) x load x policy x seed
-// (inner). Cell indices are positions in this order.
+// Expands the grid in nested order: workload (outer) x load x policy x
+// placement x seed (inner); a single-SMP grid has exactly one placement, so
+// the classic workload x load x policy x seed order is unchanged. Cell
+// indices are positions in this order.
 std::vector<SweepCell> ExpandGrid(const SweepGrid& grid);
 
 // Completion progress of a running sweep, delivered to

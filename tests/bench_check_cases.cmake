@@ -34,10 +34,13 @@ set(BASE ${FIXTURES}/baseline.json)
 # Identical files compare clean.
 expect_check(0 out "bench_check: ok" ${BASE} ${BASE})
 
-# Hardware-dependent drift (wall seconds, rates, jobs) is informational; a
-# ratio within tolerance passes; new metrics are reported, not failed.
+# Hardware-dependent drift (wall seconds, rates, jobs, shards, threads) is
+# informational; a ratio within tolerance passes; new metrics are reported,
+# not failed.
 expect_check(0 out "bench_check: ok" ${BASE} ${FIXTURES}/fresh_ok.json)
 expect_check(0 out "info serial_wall_s" ${BASE} ${FIXTURES}/fresh_ok.json)
+expect_check(0 out "info shards" ${BASE} ${FIXTURES}/fresh_ok.json)
+expect_check(0 out "info threads" ${BASE} ${FIXTURES}/fresh_ok.json)
 expect_check(0 out "new  extra_metric" ${BASE} ${FIXTURES}/fresh_ok.json)
 
 # A regressed run: deterministic count changed, ratio below tolerance, and

@@ -91,6 +91,24 @@ if(NOT EXISTS ${WORKDIR}/batch_trace.json)
   message(SEND_ERROR "pdpa_batch --trace_out did not create batch_trace.json")
 endif()
 
+# Cluster mode (src/cluster): the flags are documented, bad values are usage
+# errors, incompatible single-node features are rejected, and the smoke runs
+# carry the "<policy>@<placement>" marker.
+expect_cli(0 out "--cpus_per_node" ${SIM} --help)
+expect_cli(0 out "--placement rr|mf|ll" ${SIM} --help)
+expect_cli(0 out "--shards" ${SIM} --help)
+expect_cli(2 err "unknown --placement bogus" ${SIM} --nodes 4 --placement bogus)
+expect_cli(2 err "must be >= 1" ${SIM} --nodes 0)
+expect_cli(2 err "single-node only" ${SIM} --nodes 2 --view)
+expect_cli(0 out "policy PDPA@mf, .* peak node ML" ${SIM} --workload w1 --load 0.6
+           --nodes 3 --cpus_per_node 20 --placement mf --shards 2)
+expect_cli(0 out "--cluster_shards" ${BATCH} --help)
+expect_cli(0 out "--placement LIST" ${BATCH} --help)
+expect_cli(2 err "unknown placement bogus" ${BATCH} --nodes 4 --placement bogus)
+expect_cli(2 err "must be >= 1" ${BATCH} --cluster_shards 0)
+expect_cli(0 out "PDPA@ll" ${BATCH} --workloads w1 --loads 0.6 --policies pdpa
+           --nodes 3 --cpus_per_node 20 --placement rr,ll --cluster_shards 2)
+
 # --no_fork is the shared-prefix escape hatch: both modes must exit 0 and
 # produce byte-identical CSV (the fork log line is info-level, on stderr).
 expect_cli(0 out "workload,load,policy" ${BATCH} --workloads w2 --loads 1.0

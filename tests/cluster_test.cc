@@ -1,9 +1,17 @@
-// Tests for the cluster-of-SMPs extension: per-node RMs, placement, and
-// the cluster queuing system.
+// Tests for the sharded cluster engine: placement, admission-driven
+// queueing, node-boundary fragmentation, cutoff semantics — and the core
+// contract that a sharded parallel run is byte-identical to the serial
+// single-loop reference across every captured artifact.
 #include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "src/cluster/cluster.h"
 #include "src/core/pdpa_policy.h"
+#include "src/obs/event_log.h"
 #include "src/rm/equipartition.h"
 
 namespace pdpa {
@@ -17,13 +25,12 @@ ResourceManager::Params FastParams() {
   return params;
 }
 
-std::vector<JobSpec> MakeJobs(int count, AppClass app_class, int request,
-                              SimDuration spacing = kSecond) {
+std::vector<JobSpec> MakeJobs(int count, int request, SimDuration spacing = kSecond) {
   std::vector<JobSpec> jobs;
   for (int i = 0; i < count; ++i) {
     JobSpec spec;
     spec.id = i;
-    spec.app_class = app_class;
+    spec.app_class = static_cast<AppClass>(i % kNumAppClasses);
     spec.submit = i * spacing;
     spec.request = request;
     jobs.push_back(spec);
@@ -31,92 +38,252 @@ std::vector<JobSpec> MakeJobs(int count, AppClass app_class, int request,
   return jobs;
 }
 
-TEST(ClusterTest, NodesAreIndependentMachines) {
-  Simulation sim;
-  Cluster cluster(&sim, 3, 8, [] { return std::make_unique<Equipartition>(4); }, FastParams(),
-                  Rng(1));
-  EXPECT_EQ(cluster.num_nodes(), 3);
-  for (int i = 0; i < 3; ++i) {
-    const Cluster::NodeStats stats = cluster.StatsOf(i);
-    EXPECT_EQ(stats.free_cpus, 8);
-    EXPECT_EQ(stats.running_jobs, 0);
-    EXPECT_TRUE(stats.can_admit);
+ClusterOptions BaseOptions(int num_nodes, int cpus_per_node, int ml = 4) {
+  ClusterOptions options;
+  options.num_nodes = num_nodes;
+  options.cpus_per_node = cpus_per_node;
+  options.make_policy = [ml] { return std::make_unique<Equipartition>(ml); };
+  options.rm_params = FastParams();
+  options.capture_events = true;
+  options.capture_timeseries = true;
+  return options;
+}
+
+// Reports the first line where two large artifacts diverge instead of
+// dumping both wholesale.
+void ExpectSameBytes(const std::string& expected, const std::string& actual, const char* what) {
+  if (expected == actual) {
+    return;
   }
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t limit = std::min(expected.size(), actual.size());
+  std::size_t line_start = 0;
+  while (i < limit && expected[i] == actual[i]) {
+    if (expected[i] == '\n') {
+      ++line;
+      line_start = i + 1;
+    }
+    ++i;
+  }
+  const auto line_of = [line_start](const std::string& s) {
+    const std::size_t end = s.find('\n', line_start);
+    return s.substr(line_start, end == std::string::npos ? std::string::npos : end - line_start);
+  };
+  ADD_FAILURE() << what << " diverges at line " << line << ":\n  serial:  " << line_of(expected)
+                << "\n  sharded: " << line_of(actual);
+}
+
+void ExpectIdenticalResults(const ClusterResult& serial, const ClusterResult& sharded) {
+  ASSERT_EQ(serial.outcomes.size(), sharded.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    EXPECT_EQ(serial.outcomes[i].id, sharded.outcomes[i].id) << "outcome " << i;
+    EXPECT_EQ(serial.outcomes[i].start, sharded.outcomes[i].start) << "outcome " << i;
+    EXPECT_EQ(serial.outcomes[i].finish, sharded.outcomes[i].finish) << "outcome " << i;
+  }
+  EXPECT_EQ(serial.outcome_nodes, sharded.outcome_nodes);
+  EXPECT_EQ(serial.completed, sharded.completed);
+  EXPECT_EQ(serial.end_time, sharded.end_time);
+  EXPECT_EQ(serial.max_node_running, sharded.max_node_running);
+  EXPECT_EQ(serial.total_reallocations, sharded.total_reallocations);
+  EXPECT_EQ(serial.alloc_integral_us, sharded.alloc_integral_us);
+  ExpectSameBytes(serial.events_jsonl, sharded.events_jsonl, "events_jsonl");
+  ExpectSameBytes(serial.timeseries_csv, sharded.timeseries_csv, "timeseries_csv");
+  ExpectSameBytes(serial.counters.ToString(), sharded.counters.ToString(), "counters");
+}
+
+// The tentpole contract: shard count must not change a single output byte.
+TEST(ClusterShardingTest, ShardedRunIsByteIdenticalToSerial) {
+  const std::vector<JobSpec> jobs = MakeJobs(24, 6, 700 * kMillisecond);
+  const PlacementPolicy placements[] = {PlacementPolicy::kRoundRobin,
+                                        PlacementPolicy::kMostFreeCpus,
+                                        PlacementPolicy::kLeastLoaded};
+  for (const PlacementPolicy placement : placements) {
+    for (const std::uint64_t seed : {1ULL, 7ULL}) {
+      ClusterOptions options = BaseOptions(6, 8);
+      options.placement = placement;
+      options.seed = seed;
+      options.shards = 1;
+      const ClusterResult serial = RunCluster(jobs, options);
+      ASSERT_TRUE(serial.completed);
+      ASSERT_EQ(serial.outcomes.size(), jobs.size());
+      for (const int shards : {2, 3, 4}) {
+        options.shards = shards;
+        const ClusterResult sharded = RunCluster(jobs, options);
+        SCOPED_TRACE(std::string(PlacementPolicyName(placement)) + " seed " +
+                     std::to_string(seed) + " shards " + std::to_string(shards));
+        EXPECT_EQ(sharded.shards_used, shards);
+        ExpectIdenticalResults(serial, sharded);
+      }
+    }
+  }
+}
+
+// Admission flips (PDPA ML holds) are the other visible-event kind; make
+// sure a hold-heavy run stays byte-identical too.
+TEST(ClusterShardingTest, PdpaAdmissionFlipsStayDeterministic) {
+  const std::vector<JobSpec> jobs = MakeJobs(12, 8, 400 * kMillisecond);
+  ClusterOptions options = BaseOptions(3, 8);
+  options.make_policy = [] {
+    return std::make_unique<PdpaPolicy>(PdpaParams{}, PdpaMlParams{});
+  };
+  options.placement = PlacementPolicy::kLeastLoaded;
+  options.shards = 1;
+  const ClusterResult serial = RunCluster(jobs, options);
+  ASSERT_TRUE(serial.completed);
+  for (const int shards : {2, 3}) {
+    options.shards = shards;
+    const ClusterResult sharded = RunCluster(jobs, options);
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    ExpectIdenticalResults(serial, sharded);
+  }
+}
+
+TEST(ClusterShardingTest, ShardCountIsClampedToNodes) {
+  ClusterOptions options = BaseOptions(2, 4);
+  options.shards = 16;
+  const ClusterResult result = RunCluster(MakeJobs(4, 2), options);
+  EXPECT_EQ(result.shards_used, 2);
+  EXPECT_TRUE(result.completed);
 }
 
 TEST(ClusterTest, RoundRobinSpreadsJobsAcrossNodes) {
-  Simulation sim;
-  Cluster cluster(&sim, 4, 8, [] { return std::make_unique<Equipartition>(4); }, FastParams(),
-                  Rng(1));
-  ClusterQueuingSystem qs(&sim, &cluster, MakeJobs(4, AppClass::kApsi, 2),
-                          PlacementPolicy::kRoundRobin);
-  cluster.Start();
-  qs.Start();
-  sim.RunUntil(5 * kSecond);
-  for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(cluster.StatsOf(i).running_jobs, 1) << "node " << i;
-  }
-  sim.RunUntil(2 * 3600 * kSecond);
-  ASSERT_TRUE(qs.AllJobsDone());
-  // Each job ran on a distinct node.
-  std::set<int> nodes(qs.outcome_nodes().begin(), qs.outcome_nodes().end());
+  ClusterOptions options = BaseOptions(4, 8);
+  const ClusterResult result = RunCluster(MakeJobs(4, 2), options);
+  ASSERT_TRUE(result.completed);
+  const std::set<int> nodes(result.outcome_nodes.begin(), result.outcome_nodes.end());
   EXPECT_EQ(nodes.size(), 4u);
 }
 
-TEST(ClusterTest, MostFreePlacementPicksEmptiestNode) {
-  Simulation sim;
-  Cluster cluster(&sim, 2, 16, [] { return std::make_unique<PdpaPolicy>(PdpaParams{},
-                                                                        PdpaMlParams{}); },
-                  FastParams(), Rng(1));
-  ClusterQueuingSystem qs(&sim, &cluster, MakeJobs(3, AppClass::kHydro2d, 12, 5 * kSecond),
-                          PlacementPolicy::kMostFreeCpus);
-  cluster.Start();
-  qs.Start();
-  sim.RunUntil(12 * kSecond);
-  // Job 0 -> node with most free (tie: node 0); job 1 -> the other node;
-  // job 2 -> whichever has more free after PDPA trimmed the first two.
-  EXPECT_GE(cluster.StatsOf(0).running_jobs, 1);
-  EXPECT_GE(cluster.StatsOf(1).running_jobs, 1);
-  sim.RunUntil(2 * 3600 * kSecond);
-  EXPECT_TRUE(qs.AllJobsDone());
+// All three placement policies must break ties toward the lowest node
+// index — the determinism of the whole run rests on it.
+TEST(ClusterTest, PlacementTieBreaksToLowestNodeIndex) {
+  for (const PlacementPolicy placement :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kMostFreeCpus,
+        PlacementPolicy::kLeastLoaded}) {
+    ClusterOptions options = BaseOptions(3, 8);
+    options.placement = placement;
+    const ClusterResult result = RunCluster(MakeJobs(1, 4), options);
+    ASSERT_EQ(result.outcome_nodes.size(), 1u) << PlacementPolicyName(placement);
+    EXPECT_EQ(result.outcome_nodes[0], 0) << PlacementPolicyName(placement);
+  }
 }
 
 TEST(ClusterTest, QueueHoldsJobsWhenNoNodeAdmits) {
-  Simulation sim;
-  // Single node, ML 1: the second job must queue until the first finishes.
-  Cluster cluster(&sim, 1, 8, [] { return std::make_unique<Equipartition>(1); }, FastParams(),
-                  Rng(1));
-  ClusterQueuingSystem qs(&sim, &cluster, MakeJobs(2, AppClass::kApsi, 2),
-                          PlacementPolicy::kRoundRobin);
-  cluster.Start();
-  qs.Start();
-  sim.RunUntil(5 * kSecond);
-  EXPECT_EQ(qs.queued(), 1);
-  sim.RunUntil(2 * 3600 * kSecond);
-  ASSERT_TRUE(qs.AllJobsDone());
-  // Strictly sequential: the second start is at/after the first finish.
-  const auto& outcomes = qs.outcomes();
-  ASSERT_EQ(outcomes.size(), 2u);
-  EXPECT_GE(outcomes[1].start, outcomes[0].finish);
+  // Single node, ML 1: the second job must wait for the first to finish.
+  ClusterOptions options = BaseOptions(1, 8, /*ml=*/1);
+  const ClusterResult result = RunCluster(MakeJobs(2, 2), options);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  EXPECT_GE(result.outcomes[1].start, result.outcomes[0].finish);
+}
+
+// A request wider than a node cannot span nodes; it runs capped at the
+// node's size instead of deadlocking the queue (node-boundary
+// fragmentation, the cluster's new failure mode).
+TEST(ClusterTest, RequestWiderThanNodeRunsCappedAndCompletes) {
+  ClusterOptions options = BaseOptions(2, 8);
+  options.placement = PlacementPolicy::kMostFreeCpus;
+  std::vector<JobSpec> jobs = MakeJobs(2, 30, 0);
+  const ClusterResult result = RunCluster(jobs, options);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  // Both wide jobs started immediately (one per node) — 2x8 free CPUs do
+  // not merge into 16, but neither do they block a 30-CPU request.
+  EXPECT_EQ(result.outcomes[0].start, 0);
+  EXPECT_EQ(result.outcomes[1].start, 0);
+  EXPECT_NE(result.outcome_nodes[0], result.outcome_nodes[1]);
+  // Capped at the node width: no job ever integrated more than
+  // cpus_per_node worth of allocation per microsecond of runtime.
+  for (const JobOutcome& outcome : result.outcomes) {
+    const double avg_alloc = result.alloc_integral_us.at(outcome.id) /
+                             static_cast<double>(outcome.finish - outcome.start);
+    EXPECT_LE(avg_alloc, 8.0 + 1e-9) << "job " << outcome.id;
+  }
+}
+
+TEST(ClusterTest, CutoffReportsIncompleteRun) {
+  ClusterOptions options = BaseOptions(2, 4);
+  options.max_sim_time = 2 * kSecond;
+  const ClusterResult result = RunCluster(MakeJobs(8, 4), options);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.end_time, 2 * kSecond);
+  EXPECT_LT(result.outcomes.size(), 8u);
 }
 
 TEST(ClusterTest, PerNodePdpaStillTrimsUnscalableJobs) {
-  Simulation sim;
-  Cluster cluster(&sim, 2, 16, [] { return std::make_unique<PdpaPolicy>(PdpaParams{},
-                                                                        PdpaMlParams{}); },
-                  FastParams(), Rng(1));
-  ClusterQueuingSystem qs(&sim, &cluster, MakeJobs(2, AppClass::kApsi, 16, kSecond),
-                          PlacementPolicy::kLeastLoaded);
-  cluster.Start();
-  qs.Start();
-  sim.RunUntil(60 * kSecond);
-  // Both apsi jobs (placed on different nodes) must have been walked down
-  // toward the floor by their node's PDPA.
-  int total_allocated = 0;
-  for (int node = 0; node < 2; ++node) {
-    total_allocated += 16 - cluster.StatsOf(node).free_cpus;
+  ClusterOptions options = BaseOptions(2, 16);
+  options.make_policy = [] {
+    return std::make_unique<PdpaPolicy>(PdpaParams{}, PdpaMlParams{});
+  };
+  options.placement = PlacementPolicy::kLeastLoaded;
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 2; ++i) {
+    JobSpec spec;
+    spec.id = i;
+    spec.app_class = AppClass::kApsi;  // barely scalable
+    spec.submit = i * kSecond;
+    spec.request = 16;
+    jobs.push_back(spec);
   }
-  EXPECT_LE(total_allocated, 6);
+  const ClusterResult result = RunCluster(jobs, options);
+  ASSERT_TRUE(result.completed);
+  // PDPA on each node walks the unscalable apsi jobs down toward the floor:
+  // the time-averaged allocation ends far below the 16-CPU request.
+  for (const JobOutcome& outcome : result.outcomes) {
+    const double avg_alloc = result.alloc_integral_us.at(outcome.id) /
+                             static_cast<double>(outcome.finish - outcome.start);
+    EXPECT_LE(avg_alloc, 6.0) << "job " << outcome.id;
+  }
+}
+
+// The merged event log is time-ordered, node-tagged, and carries the
+// controller's placement records.
+TEST(ClusterTest, MergedEventLogIsOrderedAndTagged) {
+  ClusterOptions options = BaseOptions(3, 8);
+  const ClusterResult result = RunCluster(MakeJobs(6, 4), options);
+  ASSERT_TRUE(result.completed);
+  ASSERT_FALSE(result.events_jsonl.empty());
+  long long last_t = 0;
+  int places = 0;
+  int node_tagged = 0;
+  std::size_t pos = 0;
+  while (pos < result.events_jsonl.size()) {
+    std::size_t end = result.events_jsonl.find('\n', pos);
+    if (end == std::string::npos) {
+      end = result.events_jsonl.size();
+    }
+    const std::string line = result.events_jsonl.substr(pos, end - pos);
+    pos = end + 1;
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(ParseFlatJson(line, &fields)) << line;
+    const auto t_it = fields.find("t_us");
+    const long long t = t_it == fields.end() ? 0 : std::stoll(t_it->second);
+    EXPECT_GE(t, last_t) << line;
+    last_t = t;
+    if (fields["type"] == "place") {
+      ++places;
+    }
+    if (fields.count("node") != 0 && fields["type"] != "place") {
+      ++node_tagged;
+    }
+  }
+  EXPECT_EQ(places, 6);
+  EXPECT_GT(node_tagged, 0);
+}
+
+TEST(ClusterTest, PlacementPolicyNamesRoundTrip) {
+  for (const PlacementPolicy placement :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kMostFreeCpus,
+        PlacementPolicy::kLeastLoaded}) {
+    PlacementPolicy parsed;
+    ASSERT_TRUE(ParsePlacementPolicy(PlacementPolicyName(placement), &parsed));
+    EXPECT_EQ(parsed, placement);
+    ASSERT_TRUE(ParsePlacementPolicy(PlacementPolicyShortName(placement), &parsed));
+    EXPECT_EQ(parsed, placement);
+  }
+  PlacementPolicy parsed = PlacementPolicy::kRoundRobin;
+  EXPECT_FALSE(ParsePlacementPolicy("bogus", &parsed));
 }
 
 }  // namespace

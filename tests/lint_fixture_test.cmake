@@ -70,6 +70,13 @@ expect_lint(src/obs/not_prof.cc 1
 "src/obs/not_prof.cc:6: wall-clock: nondeterministic source 'steady_clock' in sim code (use SimTime)
 ")
 
+# The ordering audit reaches src/cluster/: placement and merge paths fed by
+# unordered iteration are findings, exactly like anywhere else in src/.
+expect_lint(src/cluster/merge_paths.cc 1
+"src/cluster/merge_paths.cc:8: unordered-iter: range-for over an unordered container: iteration order is unspecified (sort first, or justify with // lint: ordered-ok)
+src/cluster/merge_paths.cc:18: unordered-iter: range-for over an unordered container: iteration order is unspecified (sort first, or justify with // lint: ordered-ok)
+")
+
 # Tools own their streams' flushing policy: rule scoped to src/ only.
 expect_lint(stream_flush_violation.cc 0 "" --treat-as tools)
 

@@ -1,0 +1,22 @@
+// Fixture: the ordering audit covers src/cluster/ — placement and merge
+// decisions must never be fed by unspecified iteration order.
+#include <unordered_map>
+#include <vector>
+
+int PickNode(const std::unordered_map<int, int>& free_cpus_by_node) {
+  int best = -1;
+  for (const auto& [node, free] : free_cpus_by_node) {  // line 8: placement path
+    if (best < 0 || free > 0) {
+      best = node;
+    }
+  }
+  return best;
+}
+
+std::vector<int> MergeStreams(const std::unordered_map<int, std::vector<int>>& per_node) {
+  std::vector<int> merged;
+  for (const auto& [node, events] : per_node) {  // line 18: merge path
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  return merged;
+}

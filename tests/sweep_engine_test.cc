@@ -80,6 +80,72 @@ TEST(SweepEngineTest, ParallelMatchesSerialByteForByte) {
   }
 }
 
+// A cluster grid (nodes > 1) adds the placements axis between policy and
+// seed, suffixes cell names with the short placement name, and overrides
+// num_cpus with the cluster's total capacity.
+TEST(ExpandGridTest, ClusterGridAddsPlacementAxis) {
+  SweepGrid grid;
+  grid.workloads = {WorkloadId::kW1};
+  grid.loads = {0.6};
+  grid.policies = {PolicyKind::kPdpa};
+  grid.placements = {PlacementPolicy::kRoundRobin, PlacementPolicy::kMostFreeCpus};
+  grid.seeds = {1, 2};
+  grid.nodes = 3;
+  grid.cpus_per_node = 20;
+  const std::vector<SweepCell> cells = ExpandGrid(grid);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].name, "w1_0.60_PDPA_rr_s1");
+  EXPECT_EQ(cells[1].name, "w1_0.60_PDPA_rr_s2");
+  EXPECT_EQ(cells[2].name, "w1_0.60_PDPA_mf_s1");
+  EXPECT_EQ(cells[3].name, "w1_0.60_PDPA_mf_s2");
+  for (const SweepCell& cell : cells) {
+    EXPECT_EQ(cell.nodes, 3);
+    EXPECT_EQ(cell.config.num_cpus, 60);
+  }
+  // Single-SMP grids ignore the placements axis entirely.
+  grid.nodes = 1;
+  EXPECT_EQ(ExpandGrid(grid).size(), 2u);
+}
+
+// Cluster cells run through the sharded engine: the whole sweep must stay
+// byte-identical across worker counts AND across engine shard counts, and
+// the policy column must carry the placement suffix.
+TEST(SweepEngineTest, ClusterSweepMatchesAcrossWorkersAndShards) {
+  SweepGrid grid;
+  grid.workloads = {WorkloadId::kW1};
+  grid.loads = {0.6};
+  grid.policies = {PolicyKind::kPdpa};
+  grid.placements = {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded};
+  grid.seeds = {42};
+  grid.nodes = 3;
+  grid.cpus_per_node = 20;
+  SweepOptions serial;
+  serial.jobs = 1;
+  serial.capture_events = true;
+  serial.capture_counters = true;
+  SweepOptions parallel = serial;
+  parallel.jobs = 4;
+
+  const std::vector<SweepCellResult> a = RunSweep(grid, serial);
+  grid.cluster_shards = 2;  // sharded engine, parallel sweep workers
+  const std::vector<SweepCellResult> b = RunSweep(grid, parallel);
+  ASSERT_EQ(a.size(), b.size());
+
+  std::ostringstream csv_a, csv_b;
+  SweepCsv(a, grid.seeds.size(), csv_a);
+  SweepCsv(b, grid.seeds.size(), csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_NE(csv_a.str().find("PDPA@rr"), std::string::npos);
+  EXPECT_NE(csv_a.str().find("PDPA@ll"), std::string::npos);
+
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cell.name, b[i].cell.name);
+    EXPECT_FALSE(a[i].events_jsonl.empty());
+    EXPECT_EQ(a[i].events_jsonl, b[i].events_jsonl) << a[i].cell.name;
+    EXPECT_EQ(a[i].counters.ToString(), b[i].counters.ToString()) << a[i].cell.name;
+  }
+}
+
 // The progress callback fires exactly once per cell, serialized under the
 // engine's progress mutex: `done` must pass through 1..total with no
 // duplicate or skipped cell index, in both serial and parallel mode.

@@ -5,7 +5,8 @@
 // metrics fall into four classes:
 //   * informational: wall-seconds and rates (hardware-dependent; CI runners
 //     are not the machine the baseline was recorded on), plus run-shape
-//     fields (jobs, repeat, hardware_concurrency). Reported, never compared.
+//     fields (jobs, shards, threads, repeat, hardware_concurrency).
+//     Reported, never compared.
 //   * ratio metrics (name contains "speedup" or "factor"): higher is
 //     better and the ratio of two same-machine measurements transfers
 //     across hardware, so the fresh value must stay within a relative
@@ -78,11 +79,14 @@ bool EndsWith(const std::string& name, const char* suffix) {
 }
 
 // Hardware-dependent or run-shape metrics: reported, never compared.
-// skipped_single_cpu is a run-shape fact about the machine (sweep_bench
-// omits its parallel A/B on 1-CPU runners), so it can never "regress".
+// skipped_single_cpu is a run-shape fact about the machine (sweep_bench and
+// cluster_bench omit their parallel A/B on 1-CPU runners), so it can never
+// "regress"; jobs/shards/threads are the worker counts those benches sized
+// to the runner at hand.
 bool IsInformational(const std::string& name) {
   return EndsWith(name, "_wall_s") || EndsWith(name, "_per_s") || name == "jobs" ||
-         name == "repeat" || name == "hardware_concurrency" || name == "skipped_single_cpu";
+         name == "shards" || name == "threads" || name == "repeat" ||
+         name == "hardware_concurrency" || name == "skipped_single_cpu";
 }
 
 // Ratio of two same-machine measurements (or a deterministic ratio):

@@ -43,6 +43,16 @@ grid axes:
   --untuned                override every request to 30 CPUs
   --exact_ticks            fire the progress tick at every grid point
 
+cluster (nodes > 1 runs every cell on a cluster of SMPs):
+  --nodes N                cluster nodes (default 1 = single 60-CPU SMP)
+  --cpus_per_node N        processors per node (default 60); the machine
+                           is nodes x cpus_per_node
+  --placement LIST         comma list of rr,mf,ll placement policies,
+                           swept as a grid axis (default rr); the CSV
+                           policy column reads "<policy>@<placement>"
+  --cluster_shards N       worker event loops per cluster cell (default 1;
+                           outputs are shard-count invariant)
+
 execution:
   --jobs N                 worker threads (default: hardware concurrency)
   --no_fork                run every cell cold from t=0 instead of forking
@@ -155,6 +165,22 @@ int Run(int argc, char** argv) {
   }
   grid.base.untuned = flags.GetBool("untuned", false);
   grid.base.rm.exact_ticks = flags.GetBool("exact_ticks", false);
+  grid.nodes = flags.GetInt("nodes", 1);
+  grid.cpus_per_node = flags.GetInt("cpus_per_node", 60);
+  grid.cluster_shards = flags.GetInt("cluster_shards", 1);
+  if (grid.nodes < 1 || grid.cpus_per_node < 1 || grid.cluster_shards < 1) {
+    std::fprintf(stderr, "--nodes, --cpus_per_node and --cluster_shards must be >= 1\n");
+    return 2;
+  }
+  grid.placements.clear();
+  for (const std::string& token : SplitTokens(flags.GetString("placement", "rr"), ',')) {
+    PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+    if (!ParsePlacementPolicy(token, &placement)) {
+      std::fprintf(stderr, "unknown placement %s\n", token.c_str());
+      return 2;
+    }
+    grid.placements.push_back(placement);
+  }
 
   SweepOptions options;
   // Worker threads; 0 (the default) auto-detects hardware concurrency.

@@ -8,6 +8,7 @@
 //   pdpa_sim --workload w4 --policy equip --untuned --ml 4
 //   pdpa_sim --swf-in trace.swf --policy pdpa --view --prv-out run.prv
 //   pdpa_sim --workload w2 --load 0.8 --swf-out w2.swf --dry-run
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -23,6 +24,7 @@
 #include "src/obs/trace_export.h"
 #include "src/qs/swf.h"
 #include "src/trace/paraver_writer.h"
+#include "src/workload/cluster_cell.h"
 #include "src/workload/experiment.h"
 
 namespace pdpa {
@@ -46,6 +48,14 @@ scheduler flags:
   --queue-order fcfs|sjf   job selection within the queue (default fcfs)
   --ml N                   fixed ML (baselines) / default ML (PDPA), default 4
   --cpus N                 usable processors (default 60)
+  --nodes N                cluster of N SMP nodes instead of one machine
+                           (default 1; the machine is then nodes x
+                           cpus_per_node and --cpus is ignored)
+  --cpus_per_node N        processors per cluster node (default 60)
+  --placement rr|mf|ll     cluster placement policy: round-robin, most-free,
+                           least-loaded (default rr)
+  --shards N               worker event loops for the cluster engine
+                           (default 1; outputs are shard-count invariant)
   --target-eff F           PDPA target efficiency (default 0.7)
   --high-eff F             PDPA high efficiency (default 0.9)
   --step N                 PDPA allocation step (default 4)
@@ -136,6 +146,24 @@ int Run(int argc, char** argv) {
   }
   config.multiprogramming_level = flags.GetInt("ml", 4);
   config.num_cpus = flags.GetInt("cpus", 60);
+  const int nodes = flags.GetInt("nodes", 1);
+  const int cpus_per_node = flags.GetInt("cpus_per_node", 60);
+  const int shards = flags.GetInt("shards", 1);
+  const std::string placement_name = flags.GetString("placement", "rr");
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+  if (!ParsePlacementPolicy(placement_name, &placement)) {
+    std::fprintf(stderr, "unknown --placement %s\n", placement_name.c_str());
+    return 2;
+  }
+  if (nodes < 1 || cpus_per_node < 1 || shards < 1) {
+    std::fprintf(stderr, "--nodes, --cpus_per_node and --shards must be >= 1\n");
+    return 2;
+  }
+  if (nodes > 1) {
+    // Workload generation (and SWF archiving) must see the whole cluster's
+    // capacity so arrival rates scale with it.
+    config.num_cpus = nodes * cpus_per_node;
+  }
   config.pdpa.target_eff = flags.GetDouble("target-eff", 0.7);
   config.pdpa.high_eff = flags.GetDouble("high-eff", 0.9);
   config.pdpa.step = flags.GetInt("step", 4);
@@ -197,6 +225,65 @@ int Run(int argc, char** argv) {
       return 0;
     }
     config.jobs_override = jobs;
+  }
+
+  if (nodes > 1) {
+    // Cluster mode: per-node simulations via the sharded engine
+    // (src/cluster). Trace/profile/queue-order features are wired through a
+    // single machine's RM and stay single-node only.
+    if (config.record_trace || !pcf_out.empty() || want_ml_timeline || want_prof ||
+        !prof_out.empty() || !trace_out.empty() ||
+        config.queue_order != QueueOrder::kFcfs) {
+      std::fprintf(stderr,
+                   "--view/--prv-out/--pcf-out/--ml-timeline/--prof/--prof_out/--trace_out/"
+                   "--queue-order sjf are single-node only (incompatible with --nodes)\n");
+      return 2;
+    }
+    ClusterCellConfig cluster;
+    cluster.nodes = nodes;
+    cluster.cpus_per_node = cpus_per_node;
+    cluster.placement = placement;
+    cluster.shards = shards;
+    cluster.capture_counters = want_counters;
+    cluster.capture_events = !events_out.empty();
+    cluster.capture_timeseries = !timeseries_out.empty();
+    const ClusterCellOutput out = RunClusterCell(config, cluster, BuildJobs(config));
+    const ExperimentResult& result = out.result;
+    std::printf("policy %s, %d jobs, makespan %.1f s, peak node ML %d%s\n",
+                result.policy_name.c_str(), result.metrics.jobs, result.metrics.makespan_s,
+                result.max_ml, result.completed ? "" : "  [CUTOFF HIT]");
+    std::printf("cluster: %d nodes x %d cpus, %d shard(s)\n", nodes, cpus_per_node, shards);
+    std::printf("%-10s %6s %12s %12s %10s %10s\n", "class", "jobs", "response(s)", "exec(s)",
+                "wait(s)", "avg cpus");
+    for (const auto& [app_class, metrics] : result.metrics.per_class) {
+      std::printf("%-10s %6d %12.1f %12.1f %10.1f %10.1f\n", AppClassName(app_class),
+                  metrics.count, metrics.avg_response_s, metrics.avg_exec_s,
+                  metrics.avg_wait_s, metrics.avg_alloc);
+    }
+    if (!events_out.empty()) {
+      std::ofstream out_stream(events_out);
+      if (!out_stream) {
+        std::fprintf(stderr, "cannot open %s\n", events_out.c_str());
+        return 2;
+      }
+      out_stream << out.events_jsonl;
+      const long long lines =
+          static_cast<long long>(std::count(out.events_jsonl.begin(), out.events_jsonl.end(), '\n'));
+      std::printf("event log: %lld events written to %s\n", lines, events_out.c_str());
+    }
+    if (!timeseries_out.empty()) {
+      std::ofstream out_stream(timeseries_out);
+      if (!out_stream) {
+        std::fprintf(stderr, "cannot open %s\n", timeseries_out.c_str());
+        return 2;
+      }
+      out_stream << out.timeseries_csv;
+      std::printf("time-series: merged cluster CSV written to %s\n", timeseries_out.c_str());
+    }
+    if (want_counters) {
+      std::printf("\ncounters:\n%s", out.counters.ToString().c_str());
+    }
+    return 0;
   }
 
   std::ofstream events_stream;
