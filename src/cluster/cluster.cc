@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/event_log.h"
 #include "src/obs/timeseries.h"
 #include "src/sim/simulation.h"
@@ -155,7 +157,7 @@ struct Shard {
   // at or before the watermark will ever be dispatched again.
   std::atomic<SimTime> watermark{0};
   ShardState state = ShardState::kQuiesced;
-  std::condition_variable cv;
+  std::condition_variable_any cv;
   std::thread thread;
 };
 
@@ -266,7 +268,7 @@ class ClusterEngine {
 
       SimTime visible = kNever;
       if (threaded_) {
-        std::unique_lock<std::mutex> lock(mutex_);
+        std::unique_lock<Mutex> lock(engine_mutex_);
         DispatchRunnableLocked(barrier);
         visible = WaitActionableLocked(lock);
       } else {
@@ -296,7 +298,7 @@ class ClusterEngine {
     }
 
     if (threaded_) {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<Mutex> lock(engine_mutex_);
       // Stragglers from a pipelined final batch quiesce on their own (all
       // emptied nodes are parked, so no shard has work left).
       notify_past_.store(kNever);
@@ -403,13 +405,13 @@ class ClusterEngine {
     s.watermark.store(next_t);
     const SimTime armed = notify_past_.load();
     if (prev <= armed && next_t > armed) {
-      { std::lock_guard<std::mutex> guard(mutex_); }
+      { const MutexLock guard(&engine_mutex_); }
       controller_cv_.notify_one();
     }
   }
 
   void ShardLoop(Shard& s) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<Mutex> lock(engine_mutex_);
     for (;;) {
       s.cv.wait(lock,
                 [&s] { return s.state == ShardState::kRunning || s.state == ShardState::kExit; });
@@ -446,7 +448,7 @@ class ClusterEngine {
 
   // Blocks until either the earliest visible time C is globally safe
   // (returned) or every shard has quiesced at the barrier (kNever).
-  SimTime WaitActionableLocked(std::unique_lock<std::mutex>& lock) {
+  SimTime WaitActionableLocked(std::unique_lock<Mutex>& lock) {
     for (;;) {
       SimTime candidate = kNever;
       bool any_running = false;
@@ -487,7 +489,7 @@ class ClusterEngine {
     batch_shards_.clear();
     batch_nodes_.clear();
     {
-      std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+      std::unique_lock<Mutex> lock(engine_mutex_, std::defer_lock);
       if (threaded_) {
         lock.lock();
       }
@@ -540,7 +542,7 @@ class ClusterEngine {
     ReleaseTouchedNodes();
 
     {
-      std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+      std::unique_lock<Mutex> lock(engine_mutex_, std::defer_lock);
       if (threaded_) {
         lock.lock();
       }
@@ -816,9 +818,14 @@ class ClusterEngine {
   std::vector<Node*> batch_nodes_;
   std::vector<Node*> touched_nodes_;
 
-  // Cross-thread coordination (threaded mode only).
-  std::mutex mutex_;
-  std::condition_variable controller_cv_;
+  // Cross-thread coordination (threaded mode only). Ranked above the fork
+  // group lock (a worker may enter the engine while its sweep cell holds no
+  // other lock) and below the Registry: the engine never holds this across
+  // counter registration (DESIGN.md §8). std::unique_lock via the
+  // BasicLockable aliases, because the controller/shard wait loops need
+  // condition_variable_any.
+  Mutex engine_mutex_{PDPA_LOCK_RANK(30)};
+  std::condition_variable_any controller_cv_;
   std::atomic<SimTime> barrier_{0};
   // The batch time the controller is currently waiting on; workers notify
   // when their watermark first crosses it.

@@ -168,8 +168,10 @@ class Registry {
   // Guards the name->instrument maps (registration, snapshot, reset), not
   // the instrument values themselves: callers that cache instrument
   // pointers mutate them lock-free, which is safe because one run's
-  // instruments are only touched by the thread driving that run.
-  mutable Mutex mutex_;
+  // instruments are only touched by the thread driving that run. Highest
+  // rank in the hierarchy (DESIGN.md §8): registration happens under sweep
+  // and fork locks, and never calls back out.
+  mutable Mutex mutex_{PDPA_LOCK_RANK(40)};
   std::map<std::string, std::unique_ptr<Counter>> counters_ PDPA_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ PDPA_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_ PDPA_GUARDED_BY(mutex_);

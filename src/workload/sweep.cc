@@ -90,8 +90,11 @@ namespace {
 // all under the group mutex; the fields are immutable afterwards, and every
 // later reader's own acquisition of the mutex publishes them.
 struct ForkGroup {
-  Mutex mutex;
-  bool built PDPA_GUARDED_BY(mutex) = false;
+  // Ranked between the sweep cursor (held around neither BuildJobs nor the
+  // prefix run) and the Registry lock, which prefix building reaches when
+  // it registers and snapshots instruments (DESIGN.md §8).
+  Mutex group_mutex{PDPA_LOCK_RANK(20)};
+  bool built PDPA_GUARDED_BY(group_mutex) = false;
   // Written once before `built` flips; read-only afterwards (so reads after
   // the mutex round-trip are race-free without holding the lock).
   std::shared_ptr<const std::vector<JobSpec>> jobs;
@@ -155,7 +158,7 @@ void RunCell(const SweepCell& cell, const SweepOptions& options, int worker, For
       cluster.capture_timeseries = options.capture_timeseries;
       std::shared_ptr<const std::vector<JobSpec>> jobs;
       if (options.fork) {
-        const MutexLock lock(&group->mutex);
+        const MutexLock lock(&group->group_mutex);
         if (!group->built) {
           // Trace only; no prefix snapshot (group->forkable stays false).
           group->jobs = BuildJobs(config);
@@ -180,7 +183,7 @@ void RunCell(const SweepCell& cell, const SweepOptions& options, int worker, For
     ProfScope cell_scope(options.capture_prof ? &out->profile : nullptr, SpanId::kSweepCell);
     bool fork_this_cell = false;
     if (options.fork) {
-      const MutexLock lock(&group->mutex);
+      const MutexLock lock(&group->group_mutex);
       if (!group->built) {
         group->jobs = BuildJobs(config);
         if (PrefixForkable(config, *group->jobs)) {

@@ -148,7 +148,9 @@ namespace internal {
 // completion counter. Exposed in the header only so the lock-discipline
 // probe (tests/tsa_probe/) can reference it; not part of the sweep API.
 struct SweepWorkState {
-  Mutex mutex;
+  // Outermost rank in the lock hierarchy (DESIGN.md §8): held across the
+  // serialized on_progress callback, which may reach ranked locks below.
+  Mutex mutex{PDPA_LOCK_RANK(10)};
   // The work queue: cells are claimed in grid order, one per worker
   // round-trip. Equal to the number of cells handed out so far.
   std::size_t next_cell PDPA_GUARDED_BY(mutex) = 0;

@@ -69,4 +69,12 @@ expect_check(2 err "cannot open" ${BASE} ${FIXTURES}/does_not_exist.json)
 expect_check(2 err "bad --tol entry" ${BASE} ${BASE} --tol speedup)
 expect_check(2 err "bad --min entry" ${BASE} ${BASE} --min speedup=abc)
 
+# Degenerate inputs are usage errors, not clean passes: a null metric means
+# the bench aborted mid-write, and an empty object has nothing to compare
+# (it would otherwise vacuously pass every check).
+expect_check(2 err "metric 'speedup' is null" ${FIXTURES}/baseline_null.json ${BASE})
+expect_check(2 err "metric 'speedup' is null" ${BASE} ${FIXTURES}/baseline_null.json)
+expect_check(2 err "has no metrics" ${BASE} ${FIXTURES}/fresh_empty.json)
+expect_check(2 err "has no metrics" ${FIXTURES}/fresh_empty.json ${BASE})
+
 message(STATUS "bench_check CLI checks done")

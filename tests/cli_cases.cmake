@@ -1,12 +1,13 @@
 # ctest driver for tool CLI contracts. Invoked as
 #   cmake -DREPORT=<pdpa_report> -DPRV=<prv_stats> -DSIM=<pdpa_sim>
-#         -DBATCH=<pdpa_batch> -DWORKDIR=<scratch> -P cli_cases.cmake
+#         -DBATCH=<pdpa_batch> -DLINT=<pdpa_lint> -DWORKDIR=<scratch>
+#         -P cli_cases.cmake
 # Bad invocations must be usage errors (exit 2 with a pointed message), not
 # silently-wrong output; --help is exit 0.
 
-if(NOT REPORT OR NOT PRV OR NOT SIM OR NOT BATCH OR NOT WORKDIR)
+if(NOT REPORT OR NOT PRV OR NOT SIM OR NOT BATCH OR NOT LINT OR NOT WORKDIR)
   message(FATAL_ERROR
-          "usage: cmake -DREPORT=... -DPRV=... -DSIM=... -DBATCH=... -DWORKDIR=... -P cli_cases.cmake")
+          "usage: cmake -DREPORT=... -DPRV=... -DSIM=... -DBATCH=... -DLINT=... -DWORKDIR=... -P cli_cases.cmake")
 endif()
 file(MAKE_DIRECTORY ${WORKDIR})
 
@@ -108,6 +109,16 @@ expect_cli(2 err "unknown placement bogus" ${BATCH} --nodes 4 --placement bogus)
 expect_cli(2 err "must be >= 1" ${BATCH} --cluster_shards 0)
 expect_cli(0 out "PDPA@ll" ${BATCH} --workloads w1 --loads 0.6 --policies pdpa
            --nodes 3 --cpus_per_node 20 --placement rr,ll --cluster_shards 2)
+
+# pdpa_lint --explain: every rule id resolves to its summary, rationale, and
+# escape hatch; unknown ids are usage errors. (The full lint contract lives
+# in lint_fixture_test.cmake — this pins just the explain surface.)
+expect_cli(0 out "rule: ptr-taint" ${LINT} --explain ptr-taint)
+expect_cli(0 out "rationale:" ${LINT} --explain ptr-taint)
+expect_cli(0 out "escape hatch:" ${LINT} --explain ptr-taint)
+expect_cli(0 out "ptr-taint-ok" ${LINT} --explain ptr-taint)
+expect_cli(0 out "PDPA_LOCK_RANK" ${LINT} --explain lock-order)
+expect_cli(2 err "unknown rule 'bogus' .see --list-rules." ${LINT} --explain bogus)
 
 # --no_fork is the shared-prefix escape hatch: both modes must exit 0 and
 # produce byte-identical CSV (the fork log line is info-level, on stderr).

@@ -85,6 +85,60 @@ expect_lint(wall_clock_violation.cc 0 "" --treat-as bench)
 
 expect_lint(clean_file.cc 0 "")
 
+# Lock-order rule: unranked declaration, duplicate rank, a seeded inversion
+# (acquire rank 10 while holding 30), self-nesting, and a member that no
+# ranked declaration resolves. Line numbers pin the token-level lock-site
+# scanner: a shifted declaration or lock site fails this oracle.
+expect_lint(lock_order_violation.cc 1
+"lock_order_violation.cc:8: lock-order: pdpa::Mutex 'bare' declared without PDPA_LOCK_RANK(n); every mutex states its position in the lock hierarchy (DESIGN.md §8)
+lock_order_violation.cc:9: lock-order: PDPA_LOCK_RANK(30) already used by 'high' (lock_order_violation.cc:7); ranks are unique per mutex
+lock_order_violation.cc:15: lock-order: acquiring 'low' (rank 10) while holding 'high' (rank 30); ranks must strictly increase along every acquisition chain (DESIGN.md §8)
+lock_order_violation.cc:21: lock-order: acquiring 'low' (rank 10) while holding 'low' (rank 10); ranks must strictly increase along every acquisition chain (DESIGN.md §8)
+lock_order_violation.cc:25: lock-order: cannot resolve mutex member 'phantom' to a PDPA_LOCK_RANK declaration (is the declaring file outside the lint set?)
+")
+
+# Negative twin: strictly increasing chains, sequential (non-nested)
+# acquisitions, and a justified // lint: lock-order-ok suppression.
+expect_lint(lock_order_clean.cc 0 "")
+
+# Determinism-taint rule: address-of / this / thread-id reaching derived
+# sinks, pointer-keyed ordered and unordered containers, std::hash over a
+# pointer type.
+expect_lint(ptr_taint_violation.cc 1
+"ptr_taint_violation.cc:8: ptr-taint: address-of expression reaches deterministic sink 'Field' (pointer values are run-dependent; emit a stable id)
+ptr_taint_violation.cc:9: ptr-taint: 'this' reaches deterministic sink 'Emit' (pointer values are run-dependent; emit a stable id)
+ptr_taint_violation.cc:10: ptr-taint: thread id reaches deterministic sink 'AppendInt' (thread ids are run-dependent; use the worker index)
+ptr_taint_violation.cc:13: ptr-taint: pointer-keyed 'map': pointer keys order/hash by address (run-dependent; key by a stable id)
+ptr_taint_violation.cc:14: ptr-taint: pointer-keyed 'set': pointer keys order/hash by address (run-dependent; key by a stable id)
+ptr_taint_violation.cc:15: ptr-taint: std::hash over a pointer type is run-dependent (hash a stable id instead)
+")
+
+# Negative twin: stable ids through sinks, Append* destination out-params,
+# binary '&', pointer VALUES in containers (only keys are findings), and a
+# justified // lint: ptr-taint-ok suppression.
+expect_lint(ptr_taint_clean.cc 0 "")
+
+# Layer rules need their own root: the layering/ subtree carries its own
+# layers.txt ("c d" < "b" < "a") plus a seeded upward include (b -> a), a
+# seeded same-layer cycle (c <-> d), and an unassigned directory (e).
+# The upward include also closes a directory cycle a -> b -> a — both
+# findings are correct and both are pinned.
+execute_process(
+  COMMAND ${LINT} --root ${FIXTURES}/layering ${FIXTURES}/layering/src
+          --layers ${FIXTURES}/layering/layers.txt --today 2026-01-01
+  RESULT_VARIABLE exit_code OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+set(layering_want
+"src/a/a.h:5: layer-cycle: #include cycle across src/ directories: src/a -> src/b -> src/a
+src/b/b.h:5: layer-up: #include \"src/a/a.h\" reaches up from layer 1 (src/b) to layer 2 (src/a); dependencies must point downward in the architecture DAG (layers.txt)
+src/c/c.h:6: layer-cycle: #include cycle across src/ directories: src/c -> src/d -> src/c
+src/e/e.h:1: layer-up: directory 'src/e' has no layer in layers.txt; add it to the architecture DAG before depending on it
+")
+if(NOT exit_code EQUAL 1)
+  message(SEND_ERROR "layering: exit ${exit_code}, want 1\n${stdout}${stderr}")
+elseif(NOT stdout STREQUAL layering_want)
+  message(SEND_ERROR "layering: output mismatch\n--- got ---\n${stdout}--- want ---\n${layering_want}")
+endif()
+
 # In-date waiver absorbs the direct-io findings; the expired float-eq waiver
 # lets its finding surface (with a stderr note, not checked byte-for-byte).
 expect_lint(waived_file.cc 1
@@ -114,7 +168,8 @@ execute_process(COMMAND ${LINT} --list-rules RESULT_VARIABLE exit_code
                 OUTPUT_VARIABLE stdout ERROR_QUIET)
 if(NOT exit_code EQUAL 0 OR NOT stdout MATCHES "wall-clock" OR NOT stdout MATCHES "unordered-iter"
    OR NOT stdout MATCHES "float-eq" OR NOT stdout MATCHES "direct-io"
-   OR NOT stdout MATCHES "stream-flush")
+   OR NOT stdout MATCHES "stream-flush" OR NOT stdout MATCHES "layer-cycle/layer-up"
+   OR NOT stdout MATCHES "lock-order" OR NOT stdout MATCHES "ptr-taint")
   message(SEND_ERROR "--list-rules: exit ${exit_code}\n${stdout}")
 endif()
 # Exact rule count: adding or dropping a rule must update this oracle.
@@ -122,8 +177,8 @@ endif()
 string(REPLACE ";" "," rules_no_semi "${stdout}")
 string(REGEX MATCHALL "[^\n]+\n" rule_lines "${rules_no_semi}")
 list(LENGTH rule_lines rule_count)
-if(NOT rule_count EQUAL 5)
-  message(SEND_ERROR "--list-rules: ${rule_count} rules listed, want 5\n${stdout}")
+if(NOT rule_count EQUAL 8)
+  message(SEND_ERROR "--list-rules: ${rule_count} rules listed, want 8\n${stdout}")
 endif()
 
 # JSON report: well-shaped, counts waived vs unwaived.
@@ -134,6 +189,12 @@ execute_process(
 if(NOT exit_code EQUAL 1
    OR NOT stdout MATCHES "\"summary\": {\"total\": 3, \"unwaived\": 1, \"waived\": 2}")
   message(SEND_ERROR "json report: exit ${exit_code}\n${stdout}")
+endif()
+# v2 report: carries the rule catalog so downstream consumers (the CI
+# artifact) can render findings without a copy of the linter.
+if(NOT stdout MATCHES "\"version\": 2" OR NOT stdout MATCHES "\"rules\": \\["
+   OR NOT stdout MATCHES "\"id\": \"ptr-taint\"")
+  message(SEND_ERROR "json report: missing v2 rule catalog\n${stdout}")
 endif()
 
 # message(SEND_ERROR) above makes cmake -P exit non-zero; reaching this line

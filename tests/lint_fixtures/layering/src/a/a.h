@@ -1,0 +1,6 @@
+// Layering fixture: top layer. A downward include is the negative
+// control — it must produce no finding.
+#ifndef FIXTURE_A_H_
+#define FIXTURE_A_H_
+#include "src/b/ok.h"
+#endif

@@ -1,0 +1,6 @@
+// Layering fixture: seeded upward include — b (layer 1) reaching into a
+// (layer 2). The layer-up oracle pins the exact line below.
+#ifndef FIXTURE_B_B_H_
+#define FIXTURE_B_B_H_
+#include "src/a/a.h"
+#endif

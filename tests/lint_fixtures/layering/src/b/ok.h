@@ -1,0 +1,5 @@
+// Layering fixture: middle layer, clean — includes only the foundation.
+#ifndef FIXTURE_B_OK_H_
+#define FIXTURE_B_OK_H_
+#include "src/c/c.h"
+#endif

@@ -1,0 +1,7 @@
+// Layering fixture: half of the seeded same-layer cycle c -> d -> c. The
+// layer-cycle oracle anchors at the include line below (the canonical
+// cycle's first edge).
+#ifndef FIXTURE_C_C_H_
+#define FIXTURE_C_C_H_
+#include "src/d/d.h"
+#endif

@@ -1,0 +1,5 @@
+// Layering fixture: the edge that closes the seeded cycle c -> d -> c.
+#ifndef FIXTURE_D_D_H_
+#define FIXTURE_D_D_H_
+#include "src/c/c.h"
+#endif

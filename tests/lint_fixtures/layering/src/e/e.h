@@ -1,0 +1,5 @@
+// Layering fixture: a directory missing from layers.txt — the
+// unassigned-dir oracle anchors at line 1 of this file.
+#ifndef FIXTURE_E_E_H_
+#define FIXTURE_E_E_H_
+#endif

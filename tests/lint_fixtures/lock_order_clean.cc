@@ -1,0 +1,31 @@
+// Lint fixture: lock-order negative control. Ranked declarations acquired
+// in strictly increasing rank order, nested and sequential, plus a
+// justified out-of-order site — none of this may produce a finding.
+struct State {
+  Mutex first{PDPA_LOCK_RANK(10)};
+  Mutex second{PDPA_LOCK_RANK(20)};
+  Mutex third{PDPA_LOCK_RANK(40)};
+};
+
+void IncreasingChain(State* state) {
+  const MutexLock a(&state->first);
+  const MutexLock b(&state->second);
+  {
+    const MutexLock c(&state->third);
+  }
+}
+
+void SequentialNotNested(State* state) {
+  {
+    const MutexLock a(&state->second);
+  }
+  {
+    // Not an inversion: `second` was released when this acquires.
+    const MutexLock b(&state->first);
+  }
+}
+
+void JustifiedException(State* state) {
+  const MutexLock a(&state->third);
+  const MutexLock b(&state->first);  // lint: lock-order-ok (fixture: justified)
+}

@@ -1,0 +1,26 @@
+// Lint fixture: lock-order positives. Self-contained — the declarations
+// and the acquisition sites are in one file, so the phase-1 index resolves
+// every member locally. Expected findings are pinned at exact file:line in
+// lint_fixture_test.cmake; renumbering lines breaks the oracle.
+struct State {
+  Mutex low{PDPA_LOCK_RANK(10)};
+  Mutex high{PDPA_LOCK_RANK(30)};
+  Mutex bare;
+  Mutex clashing{PDPA_LOCK_RANK(30)};
+};
+
+void SeededInversion(State* state) {
+  const MutexLock outer(&state->high);
+  {
+    const MutexLock inner(&state->low);
+  }
+}
+
+void SelfNesting(State* state) {
+  const MutexLock outer(&state->low);
+  const MutexLock inner(&state->low);
+}
+
+void Unresolvable(State* state) {
+  const MutexLock lock(&state->phantom);
+}

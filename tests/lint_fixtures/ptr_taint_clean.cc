@@ -1,0 +1,22 @@
+// Lint fixture: ptr-taint negative control. Out-param destinations, stable
+// ids, value-keyed containers, binary & — none of this may produce a
+// finding.
+struct Job {
+  int id;
+};
+
+void CleanSinks(JsonObjectWriter& writer, EventLog* log, std::string* out, const Job& job,
+                int flags, int mask) {
+  writer.Field("job", job.id);
+  log->Emit(job.id);
+  AppendInt(out, job.id);           // arg 0 is the destination out-param
+  writer.Field("flags", flags & mask);  // binary &, not address-of
+}
+
+std::map<int, Job> by_id;
+std::map<int, Job*> id_to_job;  // pointer *values* are fine; keys order it
+std::size_t Hashed(const Job& job) { return std::hash<int>()(job.id); }
+
+void Justified(JsonObjectWriter& writer, Job* job) {
+  writer.Field("debug_addr", &job);  // lint: ptr-taint-ok (fixture: justified)
+}

@@ -1,0 +1,15 @@
+// Lint fixture: ptr-taint positives. Pointer-shaped values reaching
+// deterministic sinks, pointer-keyed containers, std::hash of a pointer.
+// Expected findings are pinned at exact file:line in
+// lint_fixture_test.cmake.
+struct Job;
+
+void Taints(JsonObjectWriter& writer, EventLog* log, std::string* out, Job* job) {
+  writer.Field("job", &job);
+  log->Emit(this);
+  AppendInt(out, std::this_thread::get_id());
+}
+
+std::map<Job*, int> by_job_pointer;
+std::set<const Job*> job_set;
+std::size_t Hashed(Job* job) { return std::hash<Job*>()(job); }

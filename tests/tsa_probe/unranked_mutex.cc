@@ -1,0 +1,13 @@
+// Negative-compile probe (EXPECT=fail, PATTERN=deleted): constructs a
+// pdpa::Mutex without a PDPA_LOCK_RANK. The default constructor is
+// `= delete`, so this must NOT compile; if it starts compiling, the
+// compile-time half of the lock-rank hierarchy (DESIGN.md §8) has been
+// dropped and only the pdpa_lint lock-order rule still guards it.
+// Never linked anywhere.
+#include "src/common/mutex.h"
+
+namespace pdpa {
+
+Mutex unranked_probe_mutex;  // no rank: the deleted ctor must reject this
+
+}  // namespace pdpa

@@ -1,15 +1,19 @@
-# ctest driver for the clang thread-safety probes. Invoked as
+# ctest driver for the clang negative-compile probes. Invoked as
 #   cmake -DCOMPILER=<clang++> -DSOURCE=<probe.cc> -DROOT=<repo> -DEXPECT=fail|pass
-#         -P tsa_probe_test.cmake
+#         [-DPATTERN=<stderr regex>] -P tsa_probe_test.cmake
 #
-# EXPECT=fail probes access guarded state without the lock and must be
-# rejected with "requires holding mutex"; this makes the annotations
-# load-bearing — deleting a PDPA_GUARDED_BY turns the probe compilable and
-# fails the test. EXPECT=pass is the control proving the flags work at all.
+# EXPECT=fail probes must be rejected, and the diagnostic must match PATTERN
+# (default: the thread-safety-analysis "requires holding mutex"); this makes
+# the annotations load-bearing — deleting a PDPA_GUARDED_BY (or un-deleting
+# Mutex's default ctor) turns the probe compilable and fails the test.
+# EXPECT=pass is the control proving the flags work at all.
 
 if(NOT COMPILER OR NOT SOURCE OR NOT ROOT OR NOT EXPECT)
   message(FATAL_ERROR
           "usage: cmake -DCOMPILER=... -DSOURCE=... -DROOT=... -DEXPECT=fail|pass -P ...")
+endif()
+if(NOT PATTERN)
+  set(PATTERN "requires holding mutex")
 endif()
 
 execute_process(
@@ -27,7 +31,7 @@ elseif(EXPECT STREQUAL "fail")
     message(FATAL_ERROR
             "probe compiled cleanly — a GUARDED_BY annotation was dropped: ${SOURCE}")
   endif()
-  if(NOT stderr MATCHES "requires holding mutex")
+  if(NOT stderr MATCHES "${PATTERN}")
     message(FATAL_ERROR "probe failed for the wrong reason:\n${stderr}")
   endif()
 else()

@@ -66,6 +66,23 @@ bool LoadFlatJson(const std::string& path, Fields* fields) {
     std::fprintf(stderr, "bench_check: %s is not a flat JSON object\n", path.c_str());
     return false;
   }
+  // "{}" parses fine but compares everything against nothing — every metric
+  // silently passes. A bench that wrote no metrics is a broken run, not a
+  // clean one.
+  if (fields->empty()) {
+    std::fprintf(stderr, "bench_check: %s has no metrics (empty JSON object — truncated bench run?)\n",
+                 path.c_str());
+    return false;
+  }
+  // ParseFlatJson keeps JSON null as the literal token "null"; a null metric
+  // means the bench aborted mid-write, so refuse to compare against it.
+  for (const auto& [name, value] : *fields) {
+    if (value == "null") {
+      std::fprintf(stderr, "bench_check: %s: metric '%s' is null (bench aborted mid-write?)\n",
+                   path.c_str(), name.c_str());
+      return false;
+    }
+  }
   return true;
 }
 

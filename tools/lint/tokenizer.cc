@@ -1,0 +1,223 @@
+// Phase-1 tokenizer: comments (directive capture), string/char/raw-string
+// literals, identifiers, numbers (exponent signs attached), two-character
+// operators kept whole. Exactly enough structure for token-pattern rules.
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <string_view>
+
+#include "tools/lint/lint.h"
+
+namespace pdpa {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Registers the `// lint: ...` directives of one comment on `line`.
+void ParseDirectives(const std::string& comment, int line, ScanResult* out) {
+  const std::size_t pos = comment.find("lint:");
+  if (pos == std::string::npos) {
+    return;
+  }
+  std::istringstream words(comment.substr(pos + 5));
+  std::string word;
+  while (words >> word) {
+    while (!word.empty() && (word.back() == ',' || word.back() == '.')) {
+      word.pop_back();
+    }
+    const auto it = DirectiveTable().find(word);
+    if (it != DirectiveTable().end()) {
+      out->suppressed[line].insert(it->second);
+    }
+  }
+}
+
+// Two-character operators we keep whole (only ==, != and :: matter to the
+// rules; the rest are tokenized whole so neighbours stay meaningful).
+bool IsTwoCharOp(char a, char b) {
+  static const char* kOps[] = {"==", "!=", "<=", ">=", "::", "->", "&&", "||", "<<",
+                               ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+                               "++", "--"};
+  for (const char* op : kOps) {
+    if (op[0] == a && op[1] == b) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ScanResult Scan(const std::string& text) {
+  ScanResult result;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment: capture for directives.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+      ParseDirectives(text.substr(start, i - start), line, &result);
+      continue;
+    }
+    // Block comment: directives register on the line the comment opens.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int open_line = line;
+      const std::size_t start = i + 2;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      ParseDirectives(text.substr(start, i - start), open_line, &result);
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Raw string literal: R"delim(...)delim" — skip the payload verbatim.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && text[d] != '(') {
+        ++d;
+      }
+      const std::string closer = ")" + text.substr(i + 2, d - (i + 2)) + "\"";
+      const std::size_t end = text.find(closer, d);
+      const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+      result.tokens.push_back({Token::Kind::kString, "R\"...\"", line});
+      for (std::size_t k = i; k < stop; ++k) {
+        if (text[k] == '\n') {
+          ++line;
+        }
+      }
+      i = stop;
+      continue;
+    }
+    // String / char literal (escapes honoured, payload not tokenized).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        if (text[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      ++i;
+      result.tokens.push_back({Token::Kind::kString, std::string(1, quote), line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const std::size_t start = i;
+      while (i < n && IsIdentChar(text[i])) {
+        ++i;
+      }
+      result.tokens.push_back({Token::Kind::kIdent, text.substr(start, i - start), line});
+      continue;
+    }
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(text[i + 1]))) {
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = text[i];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          // Exponent signs belong to the number: 1e+9, 0x1p-3.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i + 1 < n &&
+              (text[i + 1] == '+' || text[i + 1] == '-')) {
+            ++i;
+          }
+          ++i;
+          continue;
+        }
+        break;
+      }
+      result.tokens.push_back({Token::Kind::kNumber, text.substr(start, i - start), line});
+      continue;
+    }
+    if (i + 1 < n && IsTwoCharOp(c, text[i + 1])) {
+      result.tokens.push_back({Token::Kind::kPunct, text.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    result.tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return result;
+}
+
+bool IsFloatLiteral(const Token& token) {
+  if (token.kind != Token::Kind::kNumber) {
+    return false;
+  }
+  const std::string& t = token.text;
+  if (t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+    return t.find('.') != std::string::npos || t.find('p') != std::string::npos ||
+           t.find('P') != std::string::npos;
+  }
+  return t.find('.') != std::string::npos || t.find('e') != std::string::npos ||
+         t.find('E') != std::string::npos || t.back() == 'f' || t.back() == 'F';
+}
+
+bool Suppressed(const ScanResult& scan, int line, const std::string& rule) {
+  const auto it = scan.suppressed.find(line);
+  return it != scan.suppressed.end() && it->second.contains(rule);
+}
+
+std::vector<IncludeRef> ExtractIncludes(const std::string& text) {
+  std::vector<IncludeRef> includes;
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::size_t len = (eol == std::string::npos ? text.size() : eol) - pos;
+    std::string_view view(text.data() + pos, len);
+    const auto skip_ws = [&view] {
+      while (!view.empty() && (view.front() == ' ' || view.front() == '\t')) {
+        view.remove_prefix(1);
+      }
+    };
+    skip_ws();
+    if (!view.empty() && view.front() == '#') {
+      view.remove_prefix(1);
+      skip_ws();
+      if (view.rfind("include", 0) == 0) {
+        view.remove_prefix(7);
+        skip_ws();
+        if (!view.empty() && view.front() == '"') {
+          view.remove_prefix(1);
+          const std::size_t close = view.find('"');
+          if (close != std::string_view::npos) {
+            includes.push_back({std::string(view.substr(0, close)), line});
+          }
+        }
+      }
+    }
+    if (eol == std::string::npos) {
+      break;
+    }
+    pos = eol + 1;
+    ++line;
+  }
+  return includes;
+}
+
+}  // namespace lint
+}  // namespace pdpa

@@ -1,69 +1,65 @@
-// pdpa_lint — the project's determinism & hygiene linter.
+// pdpa_lint — the project's determinism & hygiene linter (driver).
 //
-// A self-contained tokenizer (no libclang) over C++ sources that enforces
-// the invariants the golden byte-identity tests depend on, at lint time
-// instead of test time:
+// The rules live in tools/lint/ (see tools/lint/lint.h for the two-phase
+// design). This file owns the CLI: flag parsing, file collection, the two
+// phases' sequencing, waiver application, report formatting, exit codes.
 //
-//   wall-clock      no wall-clock / nondeterministic sources in sim code
-//                   (src/, tools/): std::rand, srand, time(, clock(,
-//                   system_clock, high_resolution_clock, steady_clock.
-//                   bench/ is exempt (benchmarks measure wall time).
-//                   Sanctioned-clock allowance: steady_clock is allowed in
-//                   src/obs/prof.cc — the self-profiler's single host-clock
-//                   TU; everything else must call prof::NowNanos().
-//   unordered-iter  no range-for over std::unordered_{map,set}: iteration
-//                   order is unspecified, so anything it feeds (output,
-//                   allocation decisions) becomes nondeterministic.
-//   float-eq        no ==/!= against floating-point literals; use
-//                   NearlyEqual (src/common/stats.h).
-//   direct-io       no printf/fprintf/puts/putchar calls or std::cout/cerr
-//                   in src/ — output goes through the obs layer or
-//                   PDPA_LOG.
-//   stream-flush    no std::endl / std::flush in src/ — a flush per line is
-//                   a syscall per line and defeats BufWriter batching; write
-//                   '\n' and Flush() once at the end.
+//   phase 1: tokenize every input file, build the repo-wide indexes
+//            (#include graph, mutex/rank inventory, lock-site table,
+//            deterministic-sink set, layers.txt DAG).
+//   phase 2: run the five per-file rules on each file and the three
+//            whole-program rule families against the indexes.
 //
-// Per-line suppression: a trailing `// lint: <rule>-ok` comment (e.g.
-// `// lint: ordered-ok`) justifies one line. Per-file suppression: counted,
-// expiring waivers in lint_waivers.txt (see --help for the format).
-//
-// Output is `file:line: rule-id: message`, deterministic (files sorted,
-// findings in line order). Exit 0 clean, 1 findings, 2 usage/IO error.
-// There is deliberately no --fix: every violation is either a real bug or
-// deserves a written justification.
+// Output is `file:line: rule-id: message`, deterministic (sorted by file,
+// line, rule). Exit 0 clean, 1 findings, 2 usage/IO error. There is
+// deliberately no --fix: every violation is either a real bug or deserves
+// a written justification (see --explain <rule-id> for each rule's
+// approved escape hatch).
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <ctime>  // lint: wall-clock-ok (waiver expiry needs today's date)
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <set>
 #include <sstream>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/strings.h"
+#include "tools/lint/lint.h"
 
 namespace pdpa {
 namespace {
 
+using lint::Finding;
+using lint::LayerMap;
+using lint::RepoIndex;
+using lint::RuleInfo;
+using lint::Scope;
+using lint::SourceFile;
+using lint::Waiver;
+
 constexpr const char* kUsage = R"(usage: pdpa_lint [paths...] [flags]
 
 Lints C++ sources (*.h, *.cc) for determinism and hygiene violations.
-With no paths, lints src/ tools/ bench/ under --root.
+With no paths, lints src/ tools/ bench/ under --root. Phase 1 indexes the
+whole input set (includes, mutex ranks, lock sites); phase 2 runs per-file
+and whole-program rules, so repo-wide rules see every file at once.
 
 flags:
   --root DIR        repo root; scopes rules and waiver paths (default ".")
   --waivers FILE    waiver list (default <root>/lint_waivers.txt if present)
+  --layers FILE     architecture DAG (default <root>/tools/lint/layers.txt
+                    if present; layer rules are skipped without one)
   --json FILE       also write a JSON report ("-" for stdout)
   --today YYYY-MM-DD  waiver-expiry reference date (default: today)
   --treat-as DIR    classify explicit paths as src|tools|bench for rule
                     scoping (fixture testing)
   --list-rules      print the rule catalog and exit
+  --explain RULE    print one rule's rationale and escape hatch, then exit
+  --waiver-expiry-within N
+                    report-only mode: warn (exit 0) for waivers expiring
+                    within N days of --today, instead of linting
   --help            this text
 
 waiver format (lint_waivers.txt), one per line:
@@ -71,574 +67,6 @@ waiver format (lint_waivers.txt), one per line:
 A waiver suppresses up to <max-findings> findings of <rule-id> in <path>
 until <expires>; expired or over-budget waivers surface every finding.
 )";
-
-// ---------------------------------------------------------------------------
-// Rule catalog
-// ---------------------------------------------------------------------------
-
-enum class Scope { kSrc, kTools, kBench, kOther };
-
-struct Rule {
-  const char* id;
-  const char* summary;
-};
-
-constexpr Rule kRules[] = {
-    {"wall-clock",
-     "no wall-clock/nondeterministic sources in sim code (src/, tools/); "
-     "simulation time is the only clock (sanctioned host clock: steady_clock "
-     "in src/obs/prof.cc only)"},
-    {"unordered-iter",
-     "no range-for over unordered containers (unspecified order feeds output "
-     "or allocation decisions); justify with // lint: ordered-ok"},
-    {"float-eq",
-     "no ==/!= against floating-point literals; use NearlyEqual "
-     "(src/common/stats.h) or justify with // lint: float-eq-ok"},
-    {"direct-io",
-     "no printf-family calls or std::cout/cerr in src/; use the obs layer or "
-     "PDPA_LOG"},
-    {"stream-flush",
-     "no std::endl/std::flush in src/; a flush per line is a syscall per line "
-     "and defeats BufWriter — write '\\n' and Flush() once"},
-};
-
-// Inline-suppression comment spelling -> rule id.
-const std::map<std::string, std::string>& DirectiveTable() {
-  static const std::map<std::string, std::string>* table =
-      new std::map<std::string, std::string>{
-          {"wall-clock-ok", "wall-clock"},
-          {"ordered-ok", "unordered-iter"},
-          {"float-eq-ok", "float-eq"},
-          {"direct-io-ok", "direct-io"},
-          {"stream-flush-ok", "stream-flush"},
-      };
-  return *table;
-}
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-struct Token {
-  enum class Kind { kIdent, kNumber, kString, kPunct };
-  Kind kind = Kind::kPunct;
-  std::string text;
-  int line = 0;
-};
-
-struct ScanResult {
-  std::vector<Token> tokens;
-  // line -> rule ids suppressed on that line by `// lint: <directive>`.
-  std::map<int, std::set<std::string>> suppressed;
-};
-
-bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
-
-// Registers the `// lint: ...` directives of one comment on `line`.
-void ParseDirectives(const std::string& comment, int line, ScanResult* out) {
-  const std::size_t pos = comment.find("lint:");
-  if (pos == std::string::npos) {
-    return;
-  }
-  std::istringstream words(comment.substr(pos + 5));
-  std::string word;
-  while (words >> word) {
-    while (!word.empty() && (word.back() == ',' || word.back() == '.')) {
-      word.pop_back();
-    }
-    const auto it = DirectiveTable().find(word);
-    if (it != DirectiveTable().end()) {
-      out->suppressed[line].insert(it->second);
-    }
-  }
-}
-
-// Two-character operators we keep whole (only ==, != and :: matter to the
-// rules; the rest are tokenized whole so neighbours stay meaningful).
-bool IsTwoCharOp(char a, char b) {
-  static const char* kOps[] = {"==", "!=", "<=", ">=", "::", "->", "&&", "||", "<<",
-                               ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
-                               "++", "--"};
-  for (const char* op : kOps) {
-    if (op[0] == a && op[1] == b) {
-      return true;
-    }
-  }
-  return false;
-}
-
-ScanResult Scan(const std::string& text) {
-  ScanResult result;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = text.size();
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Line comment: capture for directives.
-    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      const std::size_t start = i + 2;
-      while (i < n && text[i] != '\n') {
-        ++i;
-      }
-      ParseDirectives(text.substr(start, i - start), line, &result);
-      continue;
-    }
-    // Block comment: directives register on the line the comment opens.
-    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      const int open_line = line;
-      const std::size_t start = i + 2;
-      i += 2;
-      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') {
-          ++line;
-        }
-        ++i;
-      }
-      ParseDirectives(text.substr(start, i - start), open_line, &result);
-      i = std::min(n, i + 2);
-      continue;
-    }
-    // Raw string literal: R"delim(...)delim" — skip the payload verbatim.
-    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
-      std::size_t d = i + 2;
-      while (d < n && text[d] != '(') {
-        ++d;
-      }
-      const std::string closer = ")" + text.substr(i + 2, d - (i + 2)) + "\"";
-      const std::size_t end = text.find(closer, d);
-      const std::size_t stop = end == std::string::npos ? n : end + closer.size();
-      result.tokens.push_back({Token::Kind::kString, "R\"...\"", line});
-      for (std::size_t k = i; k < stop; ++k) {
-        if (text[k] == '\n') {
-          ++line;
-        }
-      }
-      i = stop;
-      continue;
-    }
-    // String / char literal (escapes honoured, payload not tokenized).
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && text[i] != quote) {
-        if (text[i] == '\\' && i + 1 < n) {
-          ++i;
-        }
-        if (text[i] == '\n') {
-          ++line;
-        }
-        ++i;
-      }
-      ++i;
-      result.tokens.push_back({Token::Kind::kString, std::string(1, quote), line});
-      continue;
-    }
-    if (IsIdentStart(c)) {
-      const std::size_t start = i;
-      while (i < n && IsIdentChar(text[i])) {
-        ++i;
-      }
-      result.tokens.push_back({Token::Kind::kIdent, text.substr(start, i - start), line});
-      continue;
-    }
-    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(text[i + 1]))) {
-      const std::size_t start = i;
-      while (i < n) {
-        const char d = text[i];
-        if (IsIdentChar(d) || d == '.' || d == '\'') {
-          // Exponent signs belong to the number: 1e+9, 0x1p-3.
-          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i + 1 < n &&
-              (text[i + 1] == '+' || text[i + 1] == '-')) {
-            ++i;
-          }
-          ++i;
-          continue;
-        }
-        break;
-      }
-      result.tokens.push_back({Token::Kind::kNumber, text.substr(start, i - start), line});
-      continue;
-    }
-    if (i + 1 < n && IsTwoCharOp(c, text[i + 1])) {
-      result.tokens.push_back({Token::Kind::kPunct, text.substr(i, 2), line});
-      i += 2;
-      continue;
-    }
-    result.tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return result;
-}
-
-bool IsFloatLiteral(const Token& token) {
-  if (token.kind != Token::Kind::kNumber) {
-    return false;
-  }
-  const std::string& t = token.text;
-  if (t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
-    return t.find('.') != std::string::npos || t.find('p') != std::string::npos ||
-           t.find('P') != std::string::npos;
-  }
-  return t.find('.') != std::string::npos || t.find('e') != std::string::npos ||
-         t.find('E') != std::string::npos || t.back() == 'f' || t.back() == 'F';
-}
-
-// ---------------------------------------------------------------------------
-// Findings & rules
-// ---------------------------------------------------------------------------
-
-struct Finding {
-  std::string file;  // root-relative
-  int line = 0;
-  std::string rule;
-  std::string message;
-  bool waived = false;
-};
-
-bool Suppressed(const ScanResult& scan, int line, const std::string& rule) {
-  const auto it = scan.suppressed.find(line);
-  return it != scan.suppressed.end() && it->second.contains(rule);
-}
-
-void AddFinding(std::vector<Finding>* findings, const ScanResult& scan, const std::string& file,
-                int line, const char* rule, std::string message) {
-  if (Suppressed(scan, line, rule)) {
-    return;
-  }
-  findings->push_back(Finding{file, line, rule, std::move(message), false});
-}
-
-void CheckWallClock(const ScanResult& scan, Scope scope, const std::string& file,
-                    std::vector<Finding>* findings) {
-  if (scope != Scope::kSrc && scope != Scope::kTools) {
-    return;  // bench/ measures wall time by design.
-  }
-  static const std::set<std::string>* kBannedIdents = new std::set<std::string>{
-      "rand", "srand", "system_clock", "high_resolution_clock", "steady_clock"};
-  static const std::set<std::string>* kBannedCalls =
-      new std::set<std::string>{"time", "clock"};
-  const std::vector<Token>& tokens = scan.tokens;
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
-    const Token& token = tokens[i];
-    if (token.kind != Token::Kind::kIdent) {
-      continue;
-    }
-    if (kBannedIdents->contains(token.text)) {
-      // Sanctioned-clock allowance: the host-time self-profiler's one
-      // translation unit is the only place in src/ allowed to read
-      // steady_clock (everything else calls prof::NowNanos()). Only that
-      // exact token in that exact file — system_clock etc. stay banned.
-      if (token.text == "steady_clock" && file == "src/obs/prof.cc") {
-        continue;
-      }
-      AddFinding(findings, scan, file, token.line, "wall-clock",
-                 StrFormat("nondeterministic source '%s' in sim code (use SimTime)",
-                           token.text.c_str()));
-      continue;
-    }
-    if (kBannedCalls->contains(token.text) && i + 1 < tokens.size() &&
-        tokens[i + 1].text == "(") {
-      AddFinding(findings, scan, file, token.line, "wall-clock",
-                 StrFormat("nondeterministic source '%s()' in sim code (use SimTime)",
-                           token.text.c_str()));
-    }
-  }
-}
-
-// Names declared (or bound as parameters) with an unordered container type:
-// `std::unordered_map<K, V>[&*] name`. Template arguments are skipped by
-// angle-depth counting; `>>` is one token and closes two levels.
-std::set<std::string> UnorderedTypedNames(const std::vector<Token>& tokens) {
-  std::set<std::string> names;
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
-    if (tokens[i].kind != Token::Kind::kIdent ||
-        tokens[i].text.find("unordered") == std::string::npos) {
-      continue;
-    }
-    std::size_t j = i + 1;
-    if (j < tokens.size() && tokens[j].text == "<") {
-      int angle = 1;
-      for (++j; j < tokens.size() && angle > 0; ++j) {
-        if (tokens[j].text == "<") {
-          ++angle;
-        } else if (tokens[j].text == ">") {
-          --angle;
-        } else if (tokens[j].text == ">>") {
-          angle -= 2;
-        } else if (tokens[j].text == ";") {
-          angle = 0;  // malformed; bail out of the template scan
-        }
-      }
-    }
-    while (j < tokens.size() &&
-           (tokens[j].text == "&" || tokens[j].text == "*" || tokens[j].text == "&&" ||
-            tokens[j].text == "const")) {
-      ++j;
-    }
-    if (j < tokens.size() && tokens[j].kind == Token::Kind::kIdent) {
-      names.insert(tokens[j].text);
-    }
-  }
-  return names;
-}
-
-void CheckUnorderedIter(const ScanResult& scan, const std::string& file,
-                        std::vector<Finding>* findings) {
-  const std::vector<Token>& tokens = scan.tokens;
-  const std::set<std::string> unordered_names = UnorderedTypedNames(tokens);
-  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
-    if (tokens[i].kind != Token::Kind::kIdent || tokens[i].text != "for" ||
-        tokens[i + 1].text != "(") {
-      continue;
-    }
-    // Walk the for-header; a range-for has a `:` at depth 1. `::` is one
-    // token, so a bare `:` is unambiguous.
-    int depth = 0;
-    bool seen_colon = false;
-    for (std::size_t j = i + 1; j < tokens.size(); ++j) {
-      const Token& t = tokens[j];
-      if (t.text == "(" || t.text == "[" || t.text == "{") {
-        ++depth;
-      } else if (t.text == ")" || t.text == "]" || t.text == "}") {
-        --depth;
-        if (depth == 0) {
-          break;
-        }
-      } else if (t.text == ":" && depth == 1) {
-        seen_colon = true;
-      } else if (seen_colon && t.kind == Token::Kind::kIdent &&
-                 (t.text.find("unordered") != std::string::npos ||
-                  unordered_names.contains(t.text))) {
-        AddFinding(findings, scan, file, tokens[i].line, "unordered-iter",
-                   "range-for over an unordered container: iteration order is "
-                   "unspecified (sort first, or justify with // lint: ordered-ok)");
-        break;
-      }
-    }
-  }
-}
-
-void CheckFloatEq(const ScanResult& scan, const std::string& file,
-                  std::vector<Finding>* findings) {
-  const std::vector<Token>& tokens = scan.tokens;
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
-    const Token& token = tokens[i];
-    if (token.kind != Token::Kind::kPunct || (token.text != "==" && token.text != "!=")) {
-      continue;
-    }
-    const bool prev_float = i > 0 && IsFloatLiteral(tokens[i - 1]);
-    const bool next_float = i + 1 < tokens.size() && IsFloatLiteral(tokens[i + 1]);
-    if (prev_float || next_float) {
-      AddFinding(findings, scan, file, token.line, "float-eq",
-                 StrFormat("'%s' against a floating-point literal (use NearlyEqual from "
-                           "src/common/stats.h)",
-                           token.text.c_str()));
-    }
-  }
-}
-
-void CheckDirectIo(const ScanResult& scan, Scope scope, const std::string& file,
-                   std::vector<Finding>* findings) {
-  if (scope != Scope::kSrc) {
-    return;  // Tools and benches own their stdout/stderr.
-  }
-  static const std::set<std::string>* kBannedCalls =
-      new std::set<std::string>{"printf", "fprintf", "puts", "putchar"};
-  static const std::set<std::string>* kBannedStreams =
-      new std::set<std::string>{"cout", "cerr"};
-  const std::vector<Token>& tokens = scan.tokens;
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
-    const Token& token = tokens[i];
-    if (token.kind != Token::Kind::kIdent) {
-      continue;
-    }
-    // Call-position only: `printf` inside `__attribute__((format(printf,..)))`
-    // is an identifier, not output.
-    if (kBannedCalls->contains(token.text) && i + 1 < tokens.size() &&
-        tokens[i + 1].text == "(") {
-      AddFinding(findings, scan, file, token.line, "direct-io",
-                 StrFormat("'%s()' in src/ (emit through the obs layer or PDPA_LOG)",
-                           token.text.c_str()));
-      continue;
-    }
-    if (kBannedStreams->contains(token.text)) {
-      AddFinding(findings, scan, file, token.line, "direct-io",
-                 StrFormat("'std::%s' in src/ (emit through the obs layer or PDPA_LOG)",
-                           token.text.c_str()));
-    }
-  }
-}
-
-void CheckStreamFlush(const ScanResult& scan, Scope scope, const std::string& file,
-                      std::vector<Finding>* findings) {
-  if (scope != Scope::kSrc) {
-    return;  // Tools and benches own their streams' flushing policy.
-  }
-  const std::vector<Token>& tokens = scan.tokens;
-  for (std::size_t i = 1; i < tokens.size(); ++i) {
-    const Token& token = tokens[i];
-    if (token.kind != Token::Kind::kIdent ||
-        (token.text != "endl" && token.text != "flush")) {
-      continue;
-    }
-    // Qualified (std::endl) or streamed (<< endl under a using-directive);
-    // a plain identifier named `flush` is someone's variable, not I/O.
-    const std::string& prev = tokens[i - 1].text;
-    if (prev != "::" && prev != "<<") {
-      continue;
-    }
-    AddFinding(findings, scan, file, token.line, "stream-flush",
-               StrFormat("'%s' in src/ flushes per line (write '\\n' and let BufWriter "
-                         "batch; Flush() once at the end)",
-                         token.text.c_str()));
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Waivers
-// ---------------------------------------------------------------------------
-
-struct Waiver {
-  std::string rule;
-  std::string path;  // root-relative
-  int max_findings = 0;
-  int expires = 0;  // yyyymmdd
-  std::string reason;
-  int source_line = 0;
-  mutable int used = 0;
-};
-
-// "YYYY-MM-DD" -> yyyymmdd; 0 on malformed input.
-int ParseDate(const std::string& text) {
-  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
-    return 0;
-  }
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (i == 4 || i == 7) {
-      continue;
-    }
-    if (!IsDigit(text[i])) {
-      return 0;
-    }
-  }
-  return std::atoi(text.substr(0, 4).c_str()) * 10000 +
-         std::atoi(text.substr(5, 2).c_str()) * 100 + std::atoi(text.substr(8, 2).c_str());
-}
-
-int TodayYyyymmdd() {
-  const std::time_t now = std::time(nullptr);  // lint: wall-clock-ok (lint is a dev tool)
-  std::tm tm_buf{};
-  localtime_r(&now, &tm_buf);
-  return (tm_buf.tm_year + 1900) * 10000 + (tm_buf.tm_mon + 1) * 100 + tm_buf.tm_mday;
-}
-
-bool LoadWaivers(const std::string& path, std::vector<Waiver>* waivers, std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    *error = StrFormat("cannot open waiver file %s", path.c_str());
-    return false;
-  }
-  std::string line;
-  int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const std::size_t first = line.find_first_not_of(" \t");
-    if (first == std::string::npos || line[first] == '#') {
-      continue;
-    }
-    std::istringstream fields(line);
-    Waiver waiver;
-    std::string count_text, expires_text;
-    if (!(fields >> waiver.rule >> waiver.path >> count_text >> expires_text)) {
-      *error = StrFormat("%s:%d: expected <rule> <path> <count> <expires> <reason>",
-                         path.c_str(), line_no);
-      return false;
-    }
-    bool known = false;
-    for (const Rule& rule : kRules) {
-      known = known || waiver.rule == rule.id;
-    }
-    if (!known) {
-      *error = StrFormat("%s:%d: unknown rule-id '%s'", path.c_str(), line_no,
-                         waiver.rule.c_str());
-      return false;
-    }
-    if (!ParseInt(count_text, &waiver.max_findings) || waiver.max_findings < 1) {
-      *error = StrFormat("%s:%d: bad count '%s'", path.c_str(), line_no, count_text.c_str());
-      return false;
-    }
-    waiver.expires = ParseDate(expires_text);
-    if (waiver.expires == 0) {
-      *error = StrFormat("%s:%d: bad expiry '%s' (want YYYY-MM-DD)", path.c_str(), line_no,
-                         expires_text.c_str());
-      return false;
-    }
-    std::getline(fields, waiver.reason);
-    const std::size_t start = waiver.reason.find_first_not_of(" \t");
-    waiver.reason = start == std::string::npos ? "" : waiver.reason.substr(start);
-    if (waiver.reason.empty()) {
-      *error = StrFormat("%s:%d: waiver needs a reason", path.c_str(), line_no);
-      return false;
-    }
-    waiver.source_line = line_no;
-    waivers->push_back(std::move(waiver));
-  }
-  return true;
-}
-
-// Marks findings covered by an in-date, in-budget waiver. Expired or
-// over-budget waivers leave their findings unwaived (and say why on stderr).
-void ApplyWaivers(const std::vector<Waiver>& waivers, int today,
-                  std::vector<Finding>* findings) {
-  for (const Waiver& waiver : waivers) {
-    std::vector<Finding*> matches;
-    for (Finding& finding : *findings) {
-      if (finding.rule == waiver.rule && finding.file == waiver.path) {
-        matches.push_back(&finding);
-      }
-    }
-    waiver.used = static_cast<int>(matches.size());
-    if (matches.empty()) {
-      std::fprintf(stderr,
-                   "pdpa_lint: note: stale waiver (line %d: %s %s) matches nothing; "
-                   "remove it\n",
-                   waiver.source_line, waiver.rule.c_str(), waiver.path.c_str());
-      continue;
-    }
-    if (today > waiver.expires) {
-      std::fprintf(stderr, "pdpa_lint: note: waiver expired (line %d: %s %s); findings "
-                           "surface until it is re-justified\n",
-                   waiver.source_line, waiver.rule.c_str(), waiver.path.c_str());
-      continue;
-    }
-    if (static_cast<int>(matches.size()) > waiver.max_findings) {
-      std::fprintf(stderr,
-                   "pdpa_lint: note: waiver over budget (line %d: %s %s allows %d, found "
-                   "%zu); findings surface\n",
-                   waiver.source_line, waiver.rule.c_str(), waiver.path.c_str(),
-                   waiver.max_findings, matches.size());
-      continue;
-    }
-    for (Finding* finding : matches) {
-      finding->waived = true;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
 
 Scope ScopeOf(const std::string& rel_path) {
   if (rel_path.rfind("src/", 0) == 0) {
@@ -701,8 +129,15 @@ void WriteJsonReport(const std::vector<Finding>& findings, std::size_t files_sca
   for (const Finding& finding : findings) {
     unwaived += finding.waived ? 0 : 1;
   }
-  out << "{\n  \"version\": 1,\n  \"today\": \"" << today << "\",\n  \"files_scanned\": "
-      << files_scanned << ",\n  \"findings\": [\n";
+  out << "{\n  \"version\": 2,\n  \"today\": \"" << today << "\",\n  \"files_scanned\": "
+      << files_scanned << ",\n  \"rules\": [\n";
+  const std::vector<RuleInfo>& catalog = lint::RuleCatalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out << "    {\"id\": \"" << catalog[i].id << "\", \"summary\": \""
+        << JsonEscapeMin(catalog[i].summary) << "\"}"
+        << (i + 1 < catalog.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"findings\": [\n";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     out << "    {\"file\": \"" << JsonEscapeMin(f.file) << "\", \"line\": " << f.line
@@ -714,6 +149,51 @@ void WriteJsonReport(const std::vector<Finding>& findings, std::size_t files_sca
       << ", \"waived\": " << findings.size() - unwaived << "}\n}\n";
 }
 
+// --waiver-expiry-within N: report-only advisory (always exit 0 unless the
+// waiver file itself is broken). Separate from linting so lint_repo can
+// pin --today for date-independence while CI still surfaces approaching
+// expirations as a non-fatal, distinct message.
+int RunWaiverExpiry(const std::string& waiver_path, int today, int within_days) {
+  std::vector<Waiver> waivers;
+  std::string error;
+  if (!waiver_path.empty() && !lint::LoadWaivers(waiver_path, &waivers, &error)) {
+    std::fprintf(stderr, "pdpa_lint: %s\n", error.c_str());
+    return 2;
+  }
+  int flagged = 0;
+  for (const Waiver& waiver : waivers) {
+    const long days_left = lint::DaysBetween(today, waiver.expires);
+    const std::string date = StrFormat("%04d-%02d-%02d", waiver.expires / 10000,
+                                       (waiver.expires / 100) % 100, waiver.expires % 100);
+    if (days_left < 0) {
+      std::printf("pdpa_lint: waiver-expiry: line %d (%s %s) EXPIRED %s; re-justify or "
+                  "remove it\n",
+                  waiver.source_line, waiver.rule.c_str(), waiver.path.c_str(), date.c_str());
+      ++flagged;
+    } else if (days_left <= within_days) {
+      std::printf("pdpa_lint: waiver-expiry: line %d (%s %s) expires in %ld day%s (%s)\n",
+                  waiver.source_line, waiver.rule.c_str(), waiver.path.c_str(), days_left,
+                  days_left == 1 ? "" : "s", date.c_str());
+      ++flagged;
+    }
+  }
+  std::printf("pdpa_lint: waiver-expiry: %zu waiver%s checked, %d within %d days "
+              "(advisory only)\n",
+              waivers.size(), waivers.size() == 1 ? "" : "s", flagged, within_days);
+  return 0;
+}
+
+int RunExplain(const std::string& rule_id) {
+  const RuleInfo* rule = lint::FindRuleInfo(rule_id);
+  if (rule == nullptr) {
+    std::fprintf(stderr, "pdpa_lint: unknown rule '%s' (see --list-rules)\n", rule_id.c_str());
+    return 2;
+  }
+  std::printf("rule: %s\n\nsummary:\n  %s\n\nrationale:\n  %s\n\nescape hatch:\n  %s\n",
+              rule->id, rule->summary, rule->rationale, rule->escape);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
   if (flags.GetBool("help", false)) {
@@ -721,16 +201,22 @@ int Run(int argc, char** argv) {
     return 0;
   }
   if (flags.GetBool("list-rules", false)) {
-    for (const Rule& rule : kRules) {
-      std::printf("%-15s %s\n", rule.id, rule.summary);
+    for (const RuleInfo& rule : lint::RuleCatalog()) {
+      std::printf("%-21s %s\n", rule.id, rule.summary);
     }
     return 0;
   }
+  const std::string explain = flags.GetString("explain", "");
+  if (!explain.empty()) {
+    return RunExplain(explain);
+  }
   const std::string root = flags.GetString("root", ".");
   const std::string waivers_flag = flags.GetString("waivers", "");
+  const std::string layers_flag = flags.GetString("layers", "");
   const std::string json_path = flags.GetString("json", "");
   const std::string today_text = flags.GetString("today", "");
   const std::string treat_as = flags.GetString("treat-as", "");
+  const int expiry_within = flags.GetInt("waiver-expiry-within", -1);
   std::vector<std::string> inputs = flags.positional();
   for (const std::string& unknown : flags.UnconsumedFlags()) {
     std::fprintf(stderr, "pdpa_lint: unknown flag --%s (see --help)\n", unknown.c_str());
@@ -740,9 +226,9 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "pdpa_lint: malformed flag value (see --help)\n");
     return 2;
   }
-  int today = TodayYyyymmdd();
+  int today = lint::TodayYyyymmdd();
   if (!today_text.empty()) {
-    today = ParseDate(today_text);
+    today = lint::ParseDate(today_text);
     if (today == 0) {
       std::fprintf(stderr, "pdpa_lint: bad --today %s (want YYYY-MM-DD)\n", today_text.c_str());
       return 2;
@@ -766,6 +252,18 @@ int Run(int argc, char** argv) {
   }
 
   namespace fs = std::filesystem;
+  std::string waiver_path = waivers_flag;
+  if (waiver_path.empty()) {
+    const fs::path fallback = fs::path(root) / "lint_waivers.txt";
+    std::error_code ec;
+    if (fs::is_regular_file(fallback, ec)) {
+      waiver_path = fallback.string();
+    }
+  }
+  if (expiry_within >= 0) {
+    return RunWaiverExpiry(waiver_path, today, expiry_within);
+  }
+
   if (inputs.empty()) {
     for (const char* dir : {"src", "tools", "bench"}) {
       const fs::path path = fs::path(root) / dir;
@@ -787,20 +285,32 @@ int Run(int argc, char** argv) {
   }
 
   std::vector<Waiver> waivers;
-  std::string waiver_path = waivers_flag;
-  if (waiver_path.empty()) {
-    const fs::path fallback = fs::path(root) / "lint_waivers.txt";
-    std::error_code ec;
-    if (fs::is_regular_file(fallback, ec)) {
-      waiver_path = fallback.string();
-    }
-  }
-  if (!waiver_path.empty() && !LoadWaivers(waiver_path, &waivers, &error)) {
+  if (!waiver_path.empty() && !lint::LoadWaivers(waiver_path, &waivers, &error)) {
     std::fprintf(stderr, "pdpa_lint: %s\n", error.c_str());
     return 2;
   }
 
-  std::vector<Finding> findings;
+  LayerMap layers;
+  bool have_layers = false;
+  std::string layers_path = layers_flag;
+  if (layers_path.empty()) {
+    const fs::path fallback = fs::path(root) / "tools" / "lint" / "layers.txt";
+    std::error_code ec;
+    if (fs::is_regular_file(fallback, ec)) {
+      layers_path = fallback.string();
+    }
+  }
+  if (!layers_path.empty()) {
+    if (!lint::LoadLayers(layers_path, &layers, &error)) {
+      std::fprintf(stderr, "pdpa_lint: %s\n", error.c_str());
+      return 2;
+    }
+    have_layers = true;
+  }
+
+  // Phase 1: scan everything, build the repo-wide indexes.
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream in(file);
     if (!in) {
@@ -809,7 +319,7 @@ int Run(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const ScanResult scan = Scan(buffer.str());
+    const std::string text = buffer.str();
 
     // Waiver paths and reported paths are root-relative when the file lies
     // under --root, verbatim otherwise.
@@ -818,16 +328,30 @@ int Run(int argc, char** argv) {
     std::string rel_path = (ec || rel.empty() || *rel.begin() == "..")
                                ? file
                                : rel.lexically_normal().generic_string();
-    const Scope scope = have_forced_scope ? forced_scope : ScopeOf(rel_path);
-
-    CheckWallClock(scan, scope, rel_path, &findings);
-    CheckUnorderedIter(scan, rel_path, &findings);
-    CheckFloatEq(scan, rel_path, &findings);
-    CheckDirectIo(scan, scope, rel_path, &findings);
-    CheckStreamFlush(scan, scope, rel_path, &findings);
+    SourceFile source;
+    source.scope = have_forced_scope ? forced_scope : ScopeOf(rel_path);
+    source.rel_path = std::move(rel_path);
+    source.scan = lint::Scan(text);
+    source.includes = lint::ExtractIncludes(text);
+    sources.push_back(std::move(source));
   }
+  const RepoIndex index = lint::BuildRepoIndex(sources, have_layers ? &layers : nullptr);
 
-  ApplyWaivers(waivers, today, &findings);
+  // Phase 2: per-file rules, then the whole-program rules on the indexes.
+  std::vector<Finding> findings;
+  for (const SourceFile& source : sources) {
+    lint::CheckWallClock(source, &findings);
+    lint::CheckUnorderedIter(source, &findings);
+    lint::CheckFloatEq(source, &findings);
+    lint::CheckDirectIo(source, &findings);
+    lint::CheckStreamFlush(source, &findings);
+    lint::CheckPtrTaint(source, index, &findings);
+  }
+  lint::CheckLayerRules(sources, index, &findings);
+  lint::CheckLockOrder(sources, index, &findings);
+
+  lint::ApplyWaivers(waivers, today, &findings);
+  std::sort(findings.begin(), findings.end(), lint::FindingBefore);
 
   int unwaived = 0;
   for (const Finding& finding : findings) {
