@@ -26,6 +26,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -42,6 +43,11 @@ ResourceManager::Params FastParams() {
   params.analyzer.noise_sigma = 0.0;
   params.app_costs.reconfig_freeze = 0;
   params.app_costs.warmup = 0;
+  // Skip immaterial boundary ticks (Equipartition ignores reports). The
+  // capture-enabled identity config below ignores this — the fast path
+  // disengages whenever a sink is attached — so the byte-identity gate
+  // always runs against the exact tick schedule.
+  params.boundary_batch = true;
   return params;
 }
 
@@ -68,6 +74,33 @@ ClusterOptions BaseOptions(int num_nodes, int cpus_per_node) {
   options.make_policy = [] { return std::make_unique<Equipartition>(4); };
   options.rm_params = FastParams();
   return options;
+}
+
+// Counter value by name, 0 when absent.
+long long CounterValue(const RegistrySnapshot& snapshot, std::string_view name) {
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    if (counter.name == name) {
+      return counter.value;
+    }
+  }
+  return 0;
+}
+
+// Snapshot dump with the instruments that legitimately differ across
+// protocol/tick modes removed: the two batch-protocol counters (zero with
+// batching off) and the tick-schedule instruments (boundary batching elides
+// immaterial ticks). Everything else must match byte for byte.
+std::string CrossModeCounterDump(const RegistrySnapshot& snapshot) {
+  RegistrySnapshot filtered = snapshot;
+  const auto excluded = [](const std::string& name) {
+    return name == "cluster.arrival_batches" || name == "cluster.batched_arrivals" ||
+           name == "rm.ticks" || name == "rm.ticks_elided" || name == "sim.events_dispatched" ||
+           name == "sim.periodic_fires" || name == "machine.free_cpus";
+  };
+  std::erase_if(filtered.counters,
+                [&](const CounterSnapshot& c) { return excluded(c.name); });
+  std::erase_if(filtered.gauges, [&](const GaugeSnapshot& g) { return excluded(g.name); });
+  return filtered.ToString();
 }
 
 // Appends a first-divergent-line report for two large artifacts.
@@ -164,6 +197,23 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // --- Correctness gate 2: protocol/tick-mode A/B on a no-capture config. -
+  // The epoch-batched controller and the boundary-batched RM must reproduce
+  // the reference protocol's outcomes exactly; counters match too, minus
+  // the batch-protocol and tick-schedule instruments (CrossModeCounterDump).
+  {
+    const std::vector<JobSpec> jobs = MakeJobs(2000, 6, kSecond / 4);
+    const ClusterOptions batched = BaseOptions(24, 8);
+    ClusterOptions reference = batched;
+    reference.arrival_batch = false;
+    reference.rm_params.boundary_batch = false;
+    const ClusterResult fast = RunCluster(jobs, batched);
+    const ClusterResult exact = RunCluster(jobs, reference);
+    AppendOutcomeDivergence(exact, fast, "cross-mode outcomes", &divergence);
+    AppendDivergence(CrossModeCounterDump(exact.counters), CrossModeCounterDump(fast.counters),
+                     "cross-mode counters", &divergence);
+  }
+
   // --- Headline configuration. -------------------------------------------
   const std::vector<JobSpec> jobs = MakeJobs(total_jobs, cpus_per_node / 2 + 1, kSecond / 100);
   const ClusterOptions single_options = BaseOptions(nodes, cpus_per_node);
@@ -181,7 +231,7 @@ int Run(int argc, char** argv) {
   const double single_s =
       MedianWallSeconds(repeat, [&] { single_result = RunCluster(jobs, single_options); });
 
-  // Correctness gate 2 always runs: outcome/placement/counter identity of
+  // Correctness gate 3 always runs: outcome/placement/counter identity of
   // the sharded headline run against the single-loop reference. Only the
   // *timing* A/B is gated on a multi-CPU host.
   const bool single_cpu = std::thread::hardware_concurrency() == 1;
@@ -221,6 +271,10 @@ int Run(int argc, char** argv) {
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"skipped_single_cpu\": " << (single_cpu ? "true" : "false") << ",\n"
       << "  \"sharded_output_identical\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"arrival_batches\": " << CounterValue(single_result.counters, "cluster.arrival_batches")
+      << ",\n"
+      << "  \"batched_arrivals\": "
+      << CounterValue(single_result.counters, "cluster.batched_arrivals") << ",\n"
       << "  \"single_loop_wall_s\": " << single_s << ",\n"
       << "  \"cluster_jobs_per_s\": "
       << (single_s > 0 ? static_cast<double>(total_jobs) / single_s : 0);

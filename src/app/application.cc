@@ -210,22 +210,27 @@ bool Application::ElisionReady(SimTime now) const {
   return true;
 }
 
-SimTime Application::NextBoundaryTime(SimTime now) const {
+SimTime Application::NextBoundaryTime(SimTime now) const { return BoundaryTimeAhead(1, now); }
+
+SimTime Application::BoundaryTimeAhead(int iterations_ahead, SimTime now) const {
   const HotStateArena& h = *hot_;
   const double speed = SteadySpeed();
   if (speed <= 0.0 || h.finished[slot_]) {
     return kHorizonNever;
   }
   // Select the anchor exactly like Integrate will: continue the live segment
-  // when it abuts `now` at the same speed, else start a fresh one here.
+  // when it abuts `now` at the same speed, else start a fresh one here. The
+  // boundary value is the same `work_per_iter_s_ * index` double Integrate
+  // crosses, so a coarse span reproduces the fine-tick instant bit for bit
+  // for *every* boundary on the steady segment, not just the next one.
   SimTime anchor_t = now;
   double anchor_p = progress_s_;
   if (h.seg_valid[slot_] && h.seg_speed[slot_] == speed && h.seg_end[slot_] == now) {
     anchor_t = h.seg_start[slot_];
     anchor_p = h.seg_progress[slot_];
   }
-  const double next_boundary = work_per_iter_s_ * (completed_iterations_ + 1);
-  return anchor_t + SecondsToTime((next_boundary - anchor_p) / speed);
+  const double boundary = work_per_iter_s_ * (completed_iterations_ + iterations_ahead);
+  return anchor_t + SecondsToTime((boundary - anchor_p) / speed);
 }
 
 void Application::PublishHot(SimTime now) {

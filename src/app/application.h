@@ -142,6 +142,15 @@ class Application {
   // ElisionReady(now).
   SimTime NextBoundaryTime(SimTime now) const;
 
+  // Generalization of NextBoundaryTime: predicted instant of the boundary
+  // `iterations_ahead` iterations from now on the same steady segment (1 ==
+  // NextBoundaryTime). Same anchor selection and arithmetic as Integrate, so
+  // every predicted instant is bit-exact. Requires ElisionReady(now).
+  SimTime BoundaryTimeAhead(int iterations_ahead, SimTime now) const;
+
+  // Iterations left until the final boundary (the completion instant).
+  int remaining_iterations() const { return profile_.iterations - completed_iterations_; }
+
   // Monotonic counter bumped whenever state that can move the next boundary
   // changes (allocation, force override, iteration completion, segment
   // re-anchor).

@@ -185,6 +185,8 @@ class ClusterEngine {
     }
     shard_count_ = std::min(std::max(options.shards, 1), options.num_nodes);
     threaded_ = shard_count_ > 1;
+    batch_ = options.arrival_batch;
+    profiler_ = options.profiler;
     profile_source_ = options.profile_source
                           ? options.profile_source
                           : [](AppClass app_class) -> const AppProfile& {
@@ -193,6 +195,7 @@ class ClusterEngine {
 
     arrivals_ = controller_registry_.counter("cluster.arrivals");
     arrival_batches_ = controller_registry_.counter("cluster.arrival_batches");
+    batched_arrivals_ = controller_registry_.counter("cluster.batched_arrivals");
     placements_ = controller_registry_.counter("cluster.placements");
     completions_ = controller_registry_.counter("cluster.completions");
     completion_batches_ = controller_registry_.counter("cluster.completion_batches");
@@ -221,6 +224,16 @@ class ClusterEngine {
       if (options.capture_timeseries) {
         raw->timeseries = std::make_unique<TimeSeriesSampler>();
         raw->rm->set_timeseries(raw->timeseries.get());
+      }
+      if (profiler_ != nullptr && shard_count_ == 1) {
+        // Serial inline loop: node code runs on the controller thread, so
+        // the sim/rm/obs spans can share the controller's profiler. With
+        // worker threads they must stay dark (Profiler is single-writer).
+        raw->rm->set_profiler(profiler_);
+        raw->sim.events().set_profiler(profiler_);
+        if (raw->event_log != nullptr) {
+          raw->event_log->set_profiler(profiler_);
+        }
       }
       raw->rm->set_job_finish_callback(
           [raw](JobId local, SimTime) { raw->finished_local.push_back(local); });
@@ -258,43 +271,59 @@ class ClusterEngine {
       }
     }
 
+    const SimTime cutoff = options_.max_sim_time > 0 ? options_.max_sim_time : kNever;
     while (completed_ < total) {
       const SimTime arrival_t = arrival_ix_ < total
                                     ? workload_[static_cast<std::size_t>(arrival_ix_)].submit
                                     : kNever;
-      const SimTime cutoff = options_.max_sim_time > 0 ? options_.max_sim_time : kNever;
-      const SimTime barrier = std::min(arrival_t, cutoff);
+      // Epoch selection. While no node admits (regime B), an arrival is a
+      // pure queue push that reads no node state, so the barrier jumps
+      // straight to the cutoff and pending arrivals are folded into the
+      // completion batches they precede. Otherwise (regime A) the next
+      // arrival re-barriers exactly as in the reference protocol; arrival
+      // batching then happens inside HandleArrivals' safe window.
+      const bool pure_enqueue = batch_ && admitting_.empty();
+      const SimTime barrier = pure_enqueue ? cutoff : std::min(arrival_t, cutoff);
       barrier_.store(barrier);
 
       SimTime visible = kNever;
-      if (threaded_) {
-        std::unique_lock<Mutex> lock(engine_mutex_);
-        DispatchRunnableLocked(barrier);
-        visible = WaitActionableLocked(lock);
-      } else {
-        Shard& s = *shards_[0];
-        const SimTime top = s.state == ShardState::kQuiesced ? ValidTop(s) : kNever;
-        if (top != kNever && top <= barrier) {
-          s.state = AdvanceShard(s);
-        }
-        if (s.state == ShardState::kPausedVisible) {
-          visible = s.visible_time;
+      {
+        ProfScope wait_scope(profiler_, SpanId::kClusterBarrierWait);
+        if (threaded_) {
+          std::unique_lock<Mutex> lock(engine_mutex_);
+          DispatchRunnableLocked(barrier);
+          visible = WaitActionableLocked(lock, barrier);
+        } else {
+          Shard& s = *shards_[0];
+          const SimTime top = s.state == ShardState::kQuiesced ? ValidTop(s) : kNever;
+          if (top != kNever && top <= barrier) {
+            s.state = AdvanceShard(s);
+          }
+          if (s.state == ShardState::kPausedVisible && s.visible_time <= barrier) {
+            visible = s.visible_time;
+          }
         }
       }
 
       if (visible != kNever) {
-        HandleVisibleBatch(visible);
+        DrainVisible(visible);
         continue;
       }
-      // Every shard is quiesced at the barrier: the next thing that can
-      // happen anywhere in the cluster is the barrier itself.
-      PDPA_CHECK(barrier != kNever)
-          << "cluster stuck: " << queue_.size() << " queued jobs, no arrivals, no running work";
-      if (cutoff < arrival_t) {
-        end_time_ = cutoff;
-        break;
+      // Every shard has drained its work at or before the barrier. A pause
+      // beyond the barrier (left over from a wider regime-B epoch) stays
+      // parked: its nodes are provably absent from the admitting set, so no
+      // placement can touch them before their batch time becomes actionable.
+      if (arrival_t != kNever && arrival_t <= cutoff) {
+        HandleArrivals(arrival_t, cutoff);
+        continue;
       }
-      HandleArrivals(arrival_t);
+      // No arrival at or before the cutoff is left. With an unbounded
+      // cutoff this is the reference protocol's stuck condition (arrivals
+      // were all enqueued above, so the queue size diagnostic matches).
+      PDPA_CHECK(cutoff != kNever)
+          << "cluster stuck: " << queue_.size() << " queued jobs, no arrivals, no running work";
+      end_time_ = cutoff;
+      break;
     }
 
     if (threaded_) {
@@ -446,14 +475,17 @@ class ClusterEngine {
     }
   }
 
-  // Blocks until either the earliest visible time C is globally safe
-  // (returned) or every shard has quiesced at the barrier (kNever).
-  SimTime WaitActionableLocked(std::unique_lock<Mutex>& lock) {
+  // Blocks until either the earliest visible time C <= barrier is globally
+  // safe (returned) or every shard has quiesced at the barrier (kNever). A
+  // pause beyond the barrier — left over from a wider regime-B epoch — is
+  // not actionable this cycle and does not count as running either: its
+  // batch drains in a later cycle once the barrier catches up to it.
+  SimTime WaitActionableLocked(std::unique_lock<Mutex>& lock, SimTime barrier) {
     for (;;) {
       SimTime candidate = kNever;
       bool any_running = false;
       for (const auto& shard : shards_) {
-        if (shard->state == ShardState::kPausedVisible) {
+        if (shard->state == ShardState::kPausedVisible && shard->visible_time <= barrier) {
           candidate = std::min(candidate, shard->visible_time);
         } else if (shard->state == ShardState::kRunning) {
           any_running = true;
@@ -479,6 +511,96 @@ class ClusterEngine {
       }
       controller_cv_.wait(lock);
     }
+  }
+
+  // Handles the visible batch at `t` and then — regime B only — keeps
+  // draining successive globally-safe pause times in the same controller
+  // wakeup. Coalescing t2 is safe when every quiesced shard's next live
+  // event and every running shard's watermark lie strictly beyond t2: no
+  // shard can then produce an event at or before t2 that is not already
+  // part of t2's paused batches. Watermarks are monotone, so the lock-held
+  // scan cannot race with a worker crossing t2 afterwards. The loop exits
+  // on a regime switch (some node admits again — the outer loop must
+  // re-barrier at the next arrival) and hands a not-yet-safe t2 back to
+  // the outer loop, which arms notify_past_ and waits properly. Drains stay
+  // globally ascending in time in both modes, so the batch counters are
+  // shard-count-invariant.
+  void DrainVisible(SimTime t) {
+    for (;;) {
+      if (batch_) {
+        EnqueueArrivalsBefore(t);
+      }
+      {
+        ProfScope drain_scope(profiler_, SpanId::kClusterDrain);
+        HandleVisibleBatch(t);
+      }
+      if (!batch_ || !admitting_.empty()) {
+        return;
+      }
+      SimTime t2 = kNever;
+      {
+        std::unique_lock<Mutex> lock(engine_mutex_, std::defer_lock);
+        if (threaded_) {
+          lock.lock();
+        }
+        for (const auto& shard : shards_) {
+          if (shard->state == ShardState::kPausedVisible) {
+            t2 = std::min(t2, shard->visible_time);
+          }
+        }
+        if (t2 == kNever) {
+          return;
+        }
+        for (const auto& shard : shards_) {
+          Shard& s = *shard;
+          if (s.state == ShardState::kQuiesced && ValidTop(s) <= t2) {
+            return;  // a shard needs a redispatch below t2 first
+          }
+          if (s.state == ShardState::kRunning && s.watermark.load() <= t2) {
+            return;  // not yet provably safe; the outer loop waits for it
+          }
+        }
+      }
+      t = t2;
+    }
+  }
+
+  // Regime-B feeder: while no node admits, an arrival strictly before the
+  // completion batch at `t` is a pure queue push that reads no node state,
+  // logged and counted exactly as its own barrier cycle would have done
+  // (submits before t precede finishes at t; arrivals at t itself wait
+  // until after the batch, matching the reference finish-before-submit tie
+  // order).
+  void EnqueueArrivalsBefore(SimTime t) {
+    const int total = static_cast<int>(workload_.size());
+    if (arrival_ix_ >= total || workload_[static_cast<std::size_t>(arrival_ix_)].submit >= t) {
+      return;
+    }
+    arrival_batches_->Increment();
+    while (arrival_ix_ < total && workload_[static_cast<std::size_t>(arrival_ix_)].submit < t) {
+      const JobSpec& spec = workload_[static_cast<std::size_t>(arrival_ix_)];
+      ++arrival_ix_;
+      arrivals_->Increment();
+      batched_arrivals_->Increment();
+      if (controller_log_ != nullptr) {
+        controller_log_->JobSubmit(spec.submit, spec.id, AppClassName(spec.app_class),
+                                   spec.request, spec.rigid);
+      }
+      queue_.push_back(&spec);
+    }
+  }
+
+  // Earliest instant any node could produce an event, over all shards: a
+  // paused shard's next activity is its undrained visible time (its heap
+  // top is strictly later), a quiesced shard's is its next live heap entry.
+  // Controller-only, with no shard running.
+  SimTime EarliestClusterEvent() {
+    SimTime e = kNever;
+    for (const auto& shard : shards_) {
+      Shard& s = *shard;
+      e = std::min(e, s.state == ShardState::kPausedVisible ? s.visible_time : ValidTop(s));
+    }
+    return e;
   }
 
   // Drains every shard paused at exactly `t`: records completions, syncs
@@ -553,24 +675,45 @@ class ClusterEngine {
     }
   }
 
-  // All shards are quiesced at the barrier == t: enqueue every arrival at
-  // t (workload order), then place.
-  void HandleArrivals(SimTime t) {
+  // All shards have drained at or before the barrier and the arrival at t
+  // is due: enqueue every arrival at t (workload order), place, and — with
+  // batching on — keep consuming later arrival groups while each strictly
+  // precedes the earliest possible node event E (recomputed after every
+  // group's placements). Inside the window no node can produce any event,
+  // so the controller state each rr/mf/ll decision reads is exactly the
+  // state the one-arrival-per-barrier protocol would read at that group's
+  // own barrier cycle — placements are byte-identical.
+  void HandleArrivals(SimTime t, SimTime cutoff) {
     arrival_batches_->Increment();
     const int total = static_cast<int>(workload_.size());
-    while (arrival_ix_ < total &&
-           workload_[static_cast<std::size_t>(arrival_ix_)].submit == t) {
-      const JobSpec& spec = workload_[static_cast<std::size_t>(arrival_ix_)];
-      ++arrival_ix_;
-      arrivals_->Increment();
-      if (controller_log_ != nullptr) {
-        controller_log_->JobSubmit(t, spec.id, AppClassName(spec.app_class), spec.request,
-                                   spec.rigid);
+    bool first_group = true;
+    for (;;) {
+      while (arrival_ix_ < total &&
+             workload_[static_cast<std::size_t>(arrival_ix_)].submit == t) {
+        const JobSpec& spec = workload_[static_cast<std::size_t>(arrival_ix_)];
+        ++arrival_ix_;
+        arrivals_->Increment();
+        if (!first_group) {
+          batched_arrivals_->Increment();
+        }
+        if (controller_log_ != nullptr) {
+          controller_log_->JobSubmit(t, spec.id, AppClassName(spec.app_class), spec.request,
+                                     spec.rigid);
+        }
+        queue_.push_back(&spec);
       }
-      queue_.push_back(&spec);
+      TryStartJobs(t);
+      ReleaseTouchedNodes();
+      if (!batch_ || arrival_ix_ >= total) {
+        return;
+      }
+      first_group = false;
+      const SimTime next_t = workload_[static_cast<std::size_t>(arrival_ix_)].submit;
+      if (next_t > cutoff || next_t >= EarliestClusterEvent()) {
+        return;
+      }
+      t = next_t;
     }
-    TryStartJobs(t);
-    ReleaseTouchedNodes();
   }
 
   void TryStartJobs(SimTime now) {
@@ -636,6 +779,7 @@ class ClusterEngine {
   }
 
   void PlaceJob(const JobSpec& spec, int k, SimTime now) {
+    ProfScope place_scope(profiler_, SpanId::kClusterPlace);
     Node& node = *nodes_[static_cast<std::size_t>(k)];
     TouchNode(node);
     if (!node.started) {
@@ -786,11 +930,17 @@ class ClusterEngine {
   const ClusterOptions& options_;
   int shard_count_ = 1;
   bool threaded_ = false;
+  // Epoch batching enabled (ClusterOptions::arrival_batch). Off restores the
+  // historical one-arrival-per-barrier protocol bit for bit.
+  bool batch_ = true;
+  // Controller-thread profiler; null when profiling is off.
+  Profiler* profiler_ = nullptr;
   std::function<const AppProfile&(AppClass)> profile_source_;
 
   Registry controller_registry_;
   Counter* arrivals_ = nullptr;
   Counter* arrival_batches_ = nullptr;
+  Counter* batched_arrivals_ = nullptr;
   Counter* placements_ = nullptr;
   Counter* completions_ = nullptr;
   Counter* completion_batches_ = nullptr;

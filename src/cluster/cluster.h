@@ -14,16 +14,27 @@
 // discrete-event simulation. Nodes are partitioned over `shards` event
 // loops (node k lives on shard k % shards); each shard interleaves its
 // nodes one event at a time in global (time, node) order and runs freely up
-// to the controller's barrier — the next job arrival (or the cutoff),
-// before which no new cross-node interaction can possibly occur. The only
-// cross-node facts are job completions and admission flips, which shards
-// surface to the controller at their exact timestamps; the controller
-// handles each completion batch, places queued jobs, and resumes. Every
-// controller decision is made in canonical (time, node-index) order
-// regardless of the shard count, so a run with `shards == 1` (which
-// executes inline on the calling thread, with zero synchronization) and a
-// run with N worker threads produce byte-identical event logs, time-series
-// CSVs and counters. tests/cluster_test.cc asserts exactly that.
+// to the controller's barrier, before which no new cross-node interaction
+// can possibly occur. The only cross-node facts are job completions and
+// admission flips, which shards surface to the controller at their exact
+// timestamps; the controller handles each completion batch, places queued
+// jobs, and resumes. Every controller decision is made in canonical
+// (time, node-index) order regardless of the shard count, so a run with
+// `shards == 1` (which executes inline on the calling thread, with zero
+// synchronization) and a run with N worker threads produce byte-identical
+// event logs, time-series CSVs and counters. tests/cluster_test.cc asserts
+// exactly that.
+//
+// Epoch batching (default on, `arrival_batch`): instead of re-barriering at
+// every single arrival, the controller batches arrivals inside provably
+// safe windows — while no node admits, arrivals are pure queue pushes and
+// the barrier jumps straight to the cutoff; while nodes admit, successive
+// arrival groups are placed in one quiesced cycle as long as each group
+// precedes the earliest possible node event. Placements are applied in the
+// same canonical (time, node-index) order either way, so batched runs are
+// byte-identical to the one-arrival-per-barrier protocol (`arrival_batch =
+// false`) except for the two batch-protocol counters
+// (cluster.arrival_batches, cluster.batched_arrivals).
 #ifndef SRC_CLUSTER_CLUSTER_H_
 #define SRC_CLUSTER_CLUSTER_H_
 
@@ -37,6 +48,7 @@
 
 #include "src/app/app_profile.h"
 #include "src/obs/counters.h"
+#include "src/obs/prof.h"
 #include "src/qs/job.h"
 #include "src/rm/resource_manager.h"
 
@@ -77,6 +89,17 @@ struct ClusterOptions {
   int shards = 1;
   // Simulation-time cutoff; 0 means run until the workload drains.
   SimTime max_sim_time = 0;
+  // Epoch-batched arrival handling (see the header comment). The escape
+  // hatch (`--no_arrival_batch` in the CLIs) restores the historical
+  // one-arrival-per-barrier protocol; outputs differ only in the
+  // batch-protocol counters.
+  bool arrival_batch = true;
+  // Borrowed host-time profiler for the controller thread (null disables).
+  // Controller spans: cluster.barrier_wait, cluster.drain, cluster.place.
+  // With shards == 1 the node-level sim/rm/obs spans are recorded too (the
+  // inline loop runs on the controller thread); with worker threads they
+  // stay dark — Profiler is single-writer, and workers never touch it.
+  Profiler* profiler = nullptr;
   // Flight-recorder capture. Events and time-series are merged across the
   // controller and all nodes into single deterministic artifacts; the
   // "queued" column of machine samples is always 0 in cluster mode (the

@@ -41,6 +41,12 @@ const char* SpanName(SpanId id) {
       return "obs.flush";
     case SpanId::kSweepCell:
       return "sweep.cell";
+    case SpanId::kClusterBarrierWait:
+      return "cluster.barrier_wait";
+    case SpanId::kClusterDrain:
+      return "cluster.drain";
+    case SpanId::kClusterPlace:
+      return "cluster.place";
     case SpanId::kCount:
       break;
   }

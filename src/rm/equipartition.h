@@ -20,6 +20,9 @@ class Equipartition : public SchedulingPolicy {
   bool ShouldAdmit(const PolicyContext& ctx) const override;
   // Reallocates only at job arrival and completion.
   bool quantum_passive() const override { return true; }
+  // Ignores performance reports entirely (OnReport is the base no-op and
+  // ShouldAdmit counts jobs): safe for boundary batching.
+  bool report_passive() const override { return true; }
 
   // Water-filling equal split capped by requests; exposed for tests.
   static AllocationPlan EqualSplit(const PolicyContext& ctx);

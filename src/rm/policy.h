@@ -117,6 +117,15 @@ class SchedulingPolicy {
   // OnQuantum can return a non-empty plan or mutate policy state.
   virtual bool quantum_passive() const { return false; }
 
+  // True when OnReport is a guaranteed no-op (empty plan, no policy-state
+  // mutation) *and* ShouldAdmit ignores performance reports. Together with
+  // quantum_passive this means iteration boundaries carry no scheduling
+  // consequence, so the resource manager's boundary-batching fast path may
+  // cross many boundaries per tick and drain the queued reports late (see
+  // Params::boundary_batch). Must stay false for any policy that reacts to
+  // reports (PDPA, Equal_efficiency).
+  virtual bool report_passive() const { return false; }
+
   // Multiprogramming-level coordination: may the queuing system start one
   // more job right now? Baseline policies enforce a fixed ML; PDPA applies
   // its coordinated rule.

@@ -54,6 +54,8 @@ void ResourceManager::Start() {
   advanced_to_ = tick_origin_;
   elide_ = !params_.exact_ticks && !policy_->is_time_sharing() && trace_ == nullptr;
   quantum_passive_ = elide_ && policy_->quantum_passive();
+  fast_path_ = params_.boundary_batch && quantum_passive_ && policy_->report_passive() &&
+               events_ == nullptr && timeseries_ == nullptr;
   next_ts_sample_ = sim_->now() + params_.quantum;
   // The tick is scheduled before the quantum task so that when tick ==
   // quantum their first firings keep the historical tick-then-quantum order.
@@ -84,6 +86,8 @@ void ResourceManager::StartResumed(const ResumeState& state) {
   advanced_to_ = state.advanced_to;
   elide_ = !params_.exact_ticks && !policy_->is_time_sharing() && trace_ == nullptr;
   quantum_passive_ = elide_ && policy_->quantum_passive();
+  fast_path_ = params_.boundary_batch && quantum_passive_ && policy_->report_passive() &&
+               events_ == nullptr && timeseries_ == nullptr;
   next_ts_sample_ = state.next_ts_sample;
   tick_active_ = true;
   // Recreate the cold run's pending tick. Tick before quantum, as in
@@ -122,8 +126,11 @@ void ResourceManager::Stop() {
     // An elided run may have a span pending behind the parked tick. A fine
     // run at this instant has fired every grid tick at or before now (the
     // driver stops between events), so advance to exactly that point. The
-    // span is boundary-free — every job's next boundary lies at or beyond
-    // the parked tick — hence no completions or reports can fire here.
+    // span holds no completion boundary (a completion's grid tick at or
+    // before now would already have fired), so no job can finish here; under
+    // boundary batching it may cross report boundaries, whose queued reports
+    // are dropped with the run — the fast-path gate guarantees no sink or
+    // policy could have observed their drain.
     if (elide_) {
       AdvanceAllTo(GridFloorAtOrBefore(sim_->now()));
     }
@@ -407,6 +414,13 @@ void ResourceManager::DrainReports(SimTime now) {
       if (events_ != nullptr) {
         events_->PerfSample(now, report.job, report.procs, report.speedup, report.efficiency);
       }
+      if (fast_path_) {
+        // Report-passive policy: OnReport is a guaranteed no-op, so skip the
+        // O(jobs) context fill and the empty-plan application outright. Gated
+        // on the fast path (not bare report_passive) so committed profiles'
+        // policy.decide span hits stay as pinned.
+        continue;
+      }
       const AllocationPlan plan = [&] {
         ProfScope prof_scope(profiler_, SpanId::kPolicyDecide);
         return policy_->OnReport(FillContext(now), report);
@@ -542,8 +556,10 @@ void ResourceManager::CatchUp(SimTime now) {
     return;
   }
   // Everything in (advanced_to_, last grid < now] is span a fine run has
-  // already ticked through. It is boundary-free: the tick was parked only
-  // because no job crosses a boundary before the parked instant.
+  // already ticked through. No *material* boundary lies inside it (the tick
+  // was parked past it only if nothing before the parked instant could
+  // change scheduling state); under boundary batching, passive report
+  // boundaries may be crossed here and their reports drain at the next tick.
   AdvanceAllTo(GridFloorBefore(now));
 }
 
@@ -604,6 +620,20 @@ SimTime ResourceManager::ElisionHorizon(SimTime now) {
   SimTime min_boundary = kHorizonNever;
   const SimTime* ready_at = hot_.ready_at.data();
   const SimTime* next_boundary = hot_.next_boundary.data();
+  if (fast_path_) {
+    // Boundary batching: park at the earliest *material* stop instead of the
+    // earliest boundary. MaterialStop returns grid-aligned instants, so no
+    // further GridCeil; the quantum (passive) and sample (no sink) caps are
+    // vacuous under the fast-path gate.
+    SimTime horizon = kHorizonNever;
+    for (int slot : order_) {
+      if (ready_at[slot] > now) {
+        return 0;  // Unsteady (frozen or mid-warmup): stay on the fine grid.
+      }
+      horizon = std::min(horizon, MaterialStop(slot, now));
+    }
+    return horizon;
+  }
   for (int slot : order_) {
     if (ready_at[slot] > now) {
       return 0;  // Unsteady (frozen or mid-warmup): stay on the fine grid.
@@ -623,6 +653,64 @@ SimTime ResourceManager::ElisionHorizon(SimTime now) {
     horizon = std::min(horizon, GridCeil(next_ts_sample_));
   }
   return horizon;
+}
+
+SimTime ResourceManager::MaterialStop(int slot, SimTime now) {
+  const std::size_t s = static_cast<std::size_t>(slot);
+  RunningJob& rj = slots_[s];
+  const std::uint64_t epoch = hot_.change_epoch[s];
+  if (rj.material_epoch == epoch && rj.material_stop > now) {
+    return rj.material_stop;
+  }
+  const SimTime next_b = hot_.next_boundary[s];
+  SimTime stop = kHorizonNever;
+  if (next_b < kHorizonNever) {
+    const Application& app = rj.binding->app();
+    const SelfAnalyzer& analyzer = rj.binding->analyzer();
+    const int remaining = app.remaining_iterations();
+    if (!analyzer.baseline_done()) {
+      // The analyzer reacts at each boundary while its baseline window can
+      // still fill (it force-releases the processor override when done), so
+      // those boundaries are material — unless the window can never fill at
+      // the current steady allocation (a mismatched rigid job): its records
+      // are discarded without side effects and only completion matters.
+      const bool can_engage =
+          app.EffectiveProcs() == std::min(analyzer.baseline_procs(), app.allocated());
+      stop = can_engage ? GridCeil(next_b)
+                        : GridCeil(app.BoundaryTimeAhead(remaining, now));
+    } else {
+      // Settled: reports accumulate at boundaries but the passive policy
+      // ignores them, so the only material instants left are the penultimate
+      // drain tick — the largest grid instant that any pre-final boundary
+      // rounds up to, where the reference schedule has drained every report
+      // it will ever drain for this job — and the completion tick, where
+      // reports from boundaries sharing that grid instant are dropped
+      // (CheckCompletions frees the slot before DrainReports runs).
+      const SimTime fin = GridCeil(app.BoundaryTimeAhead(remaining, now));
+      stop = fin;
+      // Bounded descending walk for the largest boundary with an earlier
+      // grid tick; a pathological pile-up of boundaries on the final tick
+      // falls back to per-boundary stops (slower, identically scheduled).
+      constexpr int kWalkCap = 64;
+      int steps = 0;
+      for (int k = remaining - 1; k >= 1; --k) {
+        if (++steps > kWalkCap) {
+          stop = GridCeil(next_b);
+          break;
+        }
+        const SimTime g = GridCeil(app.BoundaryTimeAhead(k, now));
+        if (g < fin) {
+          if (g > now) {
+            stop = g;
+          }
+          break;
+        }
+      }
+    }
+  }
+  rj.material_stop = stop;
+  rj.material_epoch = epoch;
+  return stop;
 }
 
 void ResourceManager::ScheduleNextTick(SimTime now) {

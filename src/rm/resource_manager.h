@@ -64,6 +64,17 @@ class ResourceManager {
     // event-horizon analysis would allow eliding (A/B validation; the
     // golden-equivalence tests compare exact vs elided runs byte for byte).
     bool exact_ticks = false;
+    // Boundary batching: under elision with a quantum- AND report-passive
+    // policy and no event-log/time-series sinks, iteration boundaries carry
+    // no scheduling consequence, so the tick can park past *many* boundaries
+    // at once — at the penultimate drain tick and the completion tick of
+    // each job — instead of materializing every boundary. Schedule-visible
+    // outputs (outcomes, finish times, allocation integrals, report counts
+    // and efficiency histograms) are byte-identical to the per-boundary
+    // schedule; only rm.ticks / rm.ticks_elided and gauge sampling instants
+    // differ. Opt-in because committed single-node baselines pin exact tick
+    // counts.
+    bool boundary_batch = false;
   };
 
   // (job, finish_time) after the job's processors have been released.
@@ -168,6 +179,10 @@ class ResourceManager {
     // Allocation-integral watermark of the last emitted time-series window.
     double sampled_integral_us = 0.0;
     SimTime last_sample = 0;
+    // Boundary-batching cache: the material stop computed for this slot and
+    // the hot-state change epoch it was computed at (see MaterialStop).
+    SimTime material_stop = 0;
+    std::uint64_t material_epoch = ~0ull;
   };
 
   // Fills and returns the reusable scratch context (no per-call allocation
@@ -204,6 +219,16 @@ class ResourceManager {
   // the next time-series sample. 0 when some job is unsteady;
   // kHorizonNever when nothing bounds the horizon.
   SimTime ElisionHorizon(SimTime now);
+  // Boundary-batching fast path: earliest grid instant > now at which this
+  // slot's job has a *material* event — a boundary whose tick the reference
+  // schedule observably depends on. For a settled job that is the penultimate
+  // drain tick (largest grid instant strictly before the completion tick,
+  // where every still-drainable report must be flushed) and the completion
+  // tick itself; during the baseline phase it is every boundary (the analyzer
+  // reacts at each one); for a job whose analyzer can never engage it is the
+  // completion tick only. Grid-aligned; kHorizonNever when the job cannot
+  // progress. Requires fast_path_ and ready_at[slot] <= now.
+  SimTime MaterialStop(int slot, SimTime now);
 
   SimTime GridCeil(SimTime t) const;
   // Largest grid instant < t (clamped to advanced_to_).
@@ -265,6 +290,10 @@ class ResourceManager {
   // elide_ plus a policy whose OnQuantum is a guaranteed no-op: the quantum
   // periodic is not scheduled at all and does not cap the elision horizon.
   bool quantum_passive_ = false;
+  // Boundary batching engaged: params_.boundary_batch plus a fully passive
+  // policy (quantum and report) and no event-log / time-series / trace sinks,
+  // whose exact per-boundary drain instants the outputs could observe.
+  bool fast_path_ = false;
   bool tick_active_ = false;   // Start() .. Stop()
   bool tick_pending_ = false;  // a tick event is outstanding
   EventId tick_event_ = 0;

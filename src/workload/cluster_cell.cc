@@ -17,7 +17,6 @@ ClusterCellOutput RunClusterCell(const ExperimentConfig& config, const ClusterCe
       << "cluster cell num_cpus must equal nodes * cpus_per_node";
   PDPA_CHECK(!config.record_trace) << "CPU-ownership traces are per-node; not supported "
                                       "in cluster cells";
-  PDPA_CHECK(config.profiler == nullptr) << "profiling is single-node only";
   PDPA_CHECK(config.event_log == nullptr && config.timeseries == nullptr)
       << "cluster cells own their sinks; use ClusterCellConfig capture flags";
 
@@ -30,6 +29,8 @@ ClusterCellOutput RunClusterCell(const ExperimentConfig& config, const ClusterCe
   options.seed = config.seed;
   options.shards = cluster.shards;
   options.max_sim_time = config.max_sim_time;
+  options.arrival_batch = cluster.arrival_batch;
+  options.profiler = config.profiler;
   options.capture_events = cluster.capture_events;
   options.capture_timeseries = cluster.capture_timeseries;
 

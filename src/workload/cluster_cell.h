@@ -31,6 +31,9 @@ struct ClusterCellConfig {
   // Worker event loops for the sharded engine; 1 = serial reference. The
   // output contract (cluster.h) makes this a pure wall-clock knob.
   int shards = 1;
+  // Epoch-batched arrival handling (cluster.h); false restores the
+  // one-arrival-per-barrier reference protocol (--no_arrival_batch).
+  bool arrival_batch = true;
   bool capture_counters = false;
   bool capture_events = false;
   bool capture_timeseries = false;
@@ -48,8 +51,10 @@ struct ClusterCellOutput {
 // Runs `jobs` on the cluster described by (config, cluster). The trace must
 // be the one BuildJobs would produce for `config` (whose num_cpus must
 // already equal nodes * cpus_per_node, so arrival rates scale with cluster
-// capacity). Trace recording and profiling are single-node features:
-// config.record_trace and config.profiler must be unset.
+// capacity). Trace recording is a single-node feature: config.record_trace
+// must be unset. config.profiler, when set, profiles the controller thread
+// (cluster.barrier_wait / cluster.drain / cluster.place plus the node spans
+// reached from the serial inline loop).
 ClusterCellOutput RunClusterCell(const ExperimentConfig& config, const ClusterCellConfig& cluster,
                                  std::shared_ptr<const std::vector<JobSpec>> jobs);
 

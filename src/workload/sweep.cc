@@ -68,6 +68,7 @@ std::vector<SweepCell> ExpandGrid(const SweepGrid& grid) {
             cell.nodes = grid.nodes;
             cell.cpus_per_node = grid.cpus_per_node;
             cell.cluster_shards = grid.cluster_shards;
+            cell.arrival_batch = grid.arrival_batch;
             cell.placement = placement;
             if (cluster) {
               // Arrival rates must scale with the whole cluster's capacity.
@@ -153,6 +154,7 @@ void RunCell(const SweepCell& cell, const SweepOptions& options, int worker, For
       cluster.cpus_per_node = cell.cpus_per_node;
       cluster.placement = cell.placement;
       cluster.shards = cell.cluster_shards;
+      cluster.arrival_batch = cell.arrival_batch;
       cluster.capture_counters = options.capture_counters;
       cluster.capture_events = options.capture_events;
       cluster.capture_timeseries = options.capture_timeseries;

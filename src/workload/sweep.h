@@ -55,6 +55,9 @@ struct SweepGrid {
   // Per-cell shard count for the cluster engine (wall-clock only; outputs
   // are shard-count-invariant).
   int cluster_shards = 1;
+  // Epoch-batched arrival handling in the cluster engine (cluster.h);
+  // false restores the one-arrival-per-barrier reference protocol.
+  bool arrival_batch = true;
 };
 
 // One fully resolved grid cell.
@@ -73,6 +76,7 @@ struct SweepCell {
   int nodes = 1;
   int cpus_per_node = 60;
   int cluster_shards = 1;
+  bool arrival_batch = true;
   PlacementPolicy placement = PlacementPolicy::kRoundRobin;
 };
 

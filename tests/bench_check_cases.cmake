@@ -43,17 +43,28 @@ expect_check(0 out "info shards" ${BASE} ${FIXTURES}/fresh_ok.json)
 expect_check(0 out "info threads" ${BASE} ${FIXTURES}/fresh_ok.json)
 expect_check(0 out "new  extra_metric" ${BASE} ${FIXTURES}/fresh_ok.json)
 
-# A regressed run: deterministic count changed, ratio below tolerance, and
-# a boolean flipped — three findings, exit 1.
-expect_check(1 out "bench_check: 3 regressions" ${BASE} ${FIXTURES}/fresh_regressed.json)
+# Cluster throughput is a rate (hardware-dependent: informational), but the
+# epoch-batch counters are outputs of the deterministic protocol, so they
+# compare exact even though they only exist because of a wall-clock
+# optimization.
+expect_check(0 out "info cluster_jobs_per_s" ${BASE} ${FIXTURES}/fresh_ok.json)
+expect_check(0 out "ok   arrival_batches" ${BASE} ${FIXTURES}/fresh_ok.json)
+expect_check(0 out "ok   batched_arrivals" ${BASE} ${FIXTURES}/fresh_ok.json)
+
+# A regressed run: deterministic counts changed (cells, arrival_batches), a
+# ratio below tolerance, and a boolean flipped — four findings, exit 1. The
+# slower cluster_jobs_per_s stays informational even in a failing run.
+expect_check(1 out "bench_check: 4 regressions" ${BASE} ${FIXTURES}/fresh_regressed.json)
 expect_check(1 out "FAIL cells" ${BASE} ${FIXTURES}/fresh_regressed.json)
+expect_check(1 out "FAIL arrival_batches.*deterministic value changed" ${BASE} ${FIXTURES}/fresh_regressed.json)
 expect_check(1 out "FAIL speedup" ${BASE} ${FIXTURES}/fresh_regressed.json)
 expect_check(1 out "FAIL output_identical" ${BASE} ${FIXTURES}/fresh_regressed.json)
+expect_check(1 out "info cluster_jobs_per_s" ${BASE} ${FIXTURES}/fresh_regressed.json)
 
 # --tol tightens (or loosens) a single metric's band.
 expect_check(1 out "FAIL speedup" ${BASE} ${FIXTURES}/fresh_ok.json --tol speedup=0.1)
 expect_check(0 out "bench_check: ok" ${BASE} ${FIXTURES}/fresh_regressed.json
-             --tol speedup=0.9 --ignore cells,output_identical)
+             --tol speedup=0.9 --ignore cells,output_identical,arrival_batches)
 
 # --min imposes an absolute floor on a fresh metric.
 expect_check(0 out "events_speedup.*>= 2" ${BASE} ${FIXTURES}/fresh_ok.json

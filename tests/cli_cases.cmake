@@ -110,6 +110,21 @@ expect_cli(2 err "must be >= 1" ${BATCH} --cluster_shards 0)
 expect_cli(0 out "PDPA@ll" ${BATCH} --workloads w1 --loads 0.6 --policies pdpa
            --nodes 3 --cpus_per_node 20 --placement rr,ll --cluster_shards 2)
 
+# Epoch batching (DESIGN.md §13): the escape hatch is documented in both
+# tools, is cluster-only (usage error on a single-SMP run), and a cluster
+# run can be profiled — the controller-plane spans show up in the table.
+expect_cli(0 out "--no_arrival_batch" ${SIM} --help)
+expect_cli(0 out "--no_arrival_batch" ${BATCH} --help)
+expect_cli(2 err "cluster-only .requires --nodes > 1." ${SIM} --no_arrival_batch)
+expect_cli(2 err "cluster-only .requires --nodes > 1." ${BATCH} --no_arrival_batch
+           --workloads w1 --loads 0.6)
+expect_cli(0 out "policy PDPA@rr" ${SIM} --workload w1 --load 0.6
+           --nodes 3 --cpus_per_node 20 --no_arrival_batch)
+expect_cli(0 out "cluster.place" ${SIM} --workload w1 --load 0.6
+           --nodes 3 --cpus_per_node 20 --prof)
+expect_cli(0 out "cluster.barrier_wait" ${SIM} --workload w1 --load 0.6
+           --nodes 3 --cpus_per_node 20 --prof)
+
 # pdpa_lint --explain: every rule id resolves to its summary, rationale, and
 # escape hatch; unknown ids are usage errors. (The full lint contract lives
 # in lint_fixture_test.cmake — this pins just the explain surface.)

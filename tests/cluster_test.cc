@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -270,6 +271,238 @@ TEST(ClusterTest, MergedEventLogIsOrderedAndTagged) {
   }
   EXPECT_EQ(places, 6);
   EXPECT_GT(node_tagged, 0);
+}
+
+// --- epoch batching (arrival_batch) --------------------------------------
+
+long long CounterValue(const RegistrySnapshot& snapshot, std::string_view name) {
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    if (counter.name == name) {
+      return counter.value;
+    }
+  }
+  return 0;
+}
+
+// Counter dump without the two batch-protocol counters — the only fields
+// allowed to differ between a batched and a reference-protocol run.
+std::string CountersMinusBatchProtocol(const RegistrySnapshot& snapshot) {
+  RegistrySnapshot filtered = snapshot;
+  std::erase_if(filtered.counters, [](const CounterSnapshot& c) {
+    return c.name == "cluster.arrival_batches" || c.name == "cluster.batched_arrivals";
+  });
+  return filtered.ToString();
+}
+
+// Cross-protocol identity: everything ExpectIdenticalResults checks, with
+// the counter comparison filtered down to the non-protocol instruments.
+void ExpectIdenticalModuloBatchCounters(const ClusterResult& reference,
+                                        const ClusterResult& batched) {
+  ASSERT_EQ(reference.outcomes.size(), batched.outcomes.size());
+  for (std::size_t i = 0; i < reference.outcomes.size(); ++i) {
+    EXPECT_EQ(reference.outcomes[i].id, batched.outcomes[i].id) << "outcome " << i;
+    EXPECT_EQ(reference.outcomes[i].start, batched.outcomes[i].start) << "outcome " << i;
+    EXPECT_EQ(reference.outcomes[i].finish, batched.outcomes[i].finish) << "outcome " << i;
+  }
+  EXPECT_EQ(reference.outcome_nodes, batched.outcome_nodes);
+  EXPECT_EQ(reference.completed, batched.completed);
+  EXPECT_EQ(reference.end_time, batched.end_time);
+  EXPECT_EQ(reference.max_node_running, batched.max_node_running);
+  EXPECT_EQ(reference.total_reallocations, batched.total_reallocations);
+  EXPECT_EQ(reference.alloc_integral_us, batched.alloc_integral_us);
+  ExpectSameBytes(reference.events_jsonl, batched.events_jsonl, "events_jsonl");
+  ExpectSameBytes(reference.timeseries_csv, batched.timeseries_csv, "timeseries_csv");
+  ExpectSameBytes(CountersMinusBatchProtocol(reference.counters),
+                  CountersMinusBatchProtocol(batched.counters), "filtered counters");
+}
+
+// The tentpole contract of the epoch-batched control plane: batched runs —
+// serial and sharded — reproduce the one-arrival-per-barrier protocol byte
+// for byte (modulo the two batch-protocol counters) for every placement
+// policy.
+TEST(ClusterBatchingTest, BatchedProtocolMatchesReferenceAcrossShardsAndPlacements) {
+  const std::vector<JobSpec> jobs = MakeJobs(24, 6, 700 * kMillisecond);
+  for (const PlacementPolicy placement :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kMostFreeCpus,
+        PlacementPolicy::kLeastLoaded}) {
+    ClusterOptions options = BaseOptions(6, 8);
+    options.placement = placement;
+    options.arrival_batch = false;
+    options.shards = 1;
+    const ClusterResult reference = RunCluster(jobs, options);
+    ASSERT_TRUE(reference.completed);
+    EXPECT_EQ(CounterValue(reference.counters, "cluster.batched_arrivals"), 0);
+    options.arrival_batch = true;
+    for (const int shards : {1, 2, 5}) {
+      options.shards = shards;
+      const ClusterResult batched = RunCluster(jobs, options);
+      SCOPED_TRACE(std::string(PlacementPolicyName(placement)) + " shards " +
+                   std::to_string(shards));
+      ExpectIdenticalModuloBatchCounters(reference, batched);
+    }
+  }
+}
+
+// Batch counters are themselves deterministic across shard counts (drains
+// and arrival cycles happen in the same global time order either way), and
+// a same-time arrival burst is one cycle in both protocols.
+TEST(ClusterBatchingTest, BatchCountersAreShardCountInvariant) {
+  const std::vector<JobSpec> jobs = MakeJobs(24, 6, 300 * kMillisecond);
+  ClusterOptions options = BaseOptions(6, 8);
+  options.shards = 1;
+  const ClusterResult serial = RunCluster(jobs, options);
+  const long long cycles = CounterValue(serial.counters, "cluster.arrival_batches");
+  const long long piggybacked = CounterValue(serial.counters, "cluster.batched_arrivals");
+  EXPECT_GT(cycles, 0);
+  EXPECT_LE(cycles, 24);
+  for (const int shards : {2, 5}) {
+    options.shards = shards;
+    const ClusterResult sharded = RunCluster(jobs, options);
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    EXPECT_EQ(CounterValue(sharded.counters, "cluster.arrival_batches"), cycles);
+    EXPECT_EQ(CounterValue(sharded.counters, "cluster.batched_arrivals"), piggybacked);
+  }
+}
+
+// An arrival landing exactly on a completion time must drain the completion
+// batch first (finish-before-submit tie order) in both protocols — the
+// regime-B feeder enqueues strictly-earlier arrivals only.
+TEST(ClusterBatchingTest, ArrivalExactlyAtCompletionBatchBoundary) {
+  // Pin the boundary: run one job to learn its finish time, then submit the
+  // second job at exactly that instant. ML 1 keeps the node non-admitting
+  // while busy, so the arrival rides the regime-B path.
+  ClusterOptions options = BaseOptions(2, 8, /*ml=*/1);
+  const ClusterResult probe = RunCluster(MakeJobs(1, 4), options);
+  ASSERT_TRUE(probe.completed);
+  const SimTime boundary = probe.outcomes[0].finish;
+  ASSERT_GT(boundary, 0);
+
+  std::vector<JobSpec> jobs = MakeJobs(2, 4, 0);
+  jobs[1].submit = boundary;
+  options.arrival_batch = false;
+  const ClusterResult reference = RunCluster(jobs, options);
+  ASSERT_TRUE(reference.completed);
+  options.arrival_batch = true;
+  for (const int shards : {1, 2}) {
+    options.shards = shards;
+    const ClusterResult batched = RunCluster(jobs, options);
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    ExpectIdenticalModuloBatchCounters(reference, batched);
+  }
+}
+
+// More shards than nodes (clamped) with batching on still matches the
+// reference protocol.
+TEST(ClusterBatchingTest, MoreShardsThanNodesMatchesReference) {
+  const std::vector<JobSpec> jobs = MakeJobs(8, 4, 500 * kMillisecond);
+  ClusterOptions options = BaseOptions(2, 8);
+  options.arrival_batch = false;
+  const ClusterResult reference = RunCluster(jobs, options);
+  options.arrival_batch = true;
+  options.shards = 5;
+  const ClusterResult batched = RunCluster(jobs, options);
+  EXPECT_EQ(batched.shards_used, 2);
+  ExpectIdenticalModuloBatchCounters(reference, batched);
+}
+
+// A zero-arrival workload terminates immediately in both protocols, with
+// and without a cutoff.
+TEST(ClusterBatchingTest, ZeroArrivalWorkloadTerminates) {
+  for (const bool batch : {true, false}) {
+    for (const SimTime cutoff : {SimTime{0}, 5 * kSecond}) {
+      ClusterOptions options = BaseOptions(3, 8);
+      options.arrival_batch = batch;
+      options.max_sim_time = cutoff;
+      const ClusterResult result = RunCluster({}, options);
+      SCOPED_TRACE((batch ? "batched" : "reference") + std::string(" cutoff ") +
+                   std::to_string(cutoff));
+      EXPECT_TRUE(result.completed);
+      EXPECT_TRUE(result.outcomes.empty());
+      EXPECT_EQ(result.end_time, 0);
+      EXPECT_EQ(CounterValue(result.counters, "cluster.arrival_batches"), 0);
+    }
+  }
+}
+
+// Cutoff semantics are protocol-invariant: the batched run times out at the
+// same instant with the same completed prefix.
+TEST(ClusterBatchingTest, CutoffMatchesReferenceProtocol) {
+  const std::vector<JobSpec> jobs = MakeJobs(8, 4);
+  ClusterOptions options = BaseOptions(2, 4);
+  options.max_sim_time = 2 * kSecond;
+  options.arrival_batch = false;
+  const ClusterResult reference = RunCluster(jobs, options);
+  EXPECT_FALSE(reference.completed);
+  options.arrival_batch = true;
+  for (const int shards : {1, 2}) {
+    options.shards = shards;
+    const ClusterResult batched = RunCluster(jobs, options);
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    ExpectIdenticalModuloBatchCounters(reference, batched);
+  }
+}
+
+// --- RM boundary batching (rm_params.boundary_batch) ---------------------
+
+// With a report-passive policy and no capture sinks, the boundary-batched
+// RM skips immaterial progress ticks; completions, placements and
+// allocation integrals must not move by a microsecond.
+TEST(ClusterBoundaryBatchTest, FastPathReproducesExactOutcomes) {
+  const std::vector<JobSpec> jobs = MakeJobs(24, 6, 400 * kMillisecond);
+  ClusterOptions exact_options = BaseOptions(4, 8);
+  exact_options.capture_events = false;
+  exact_options.capture_timeseries = false;
+  const ClusterResult exact = RunCluster(jobs, exact_options);
+  ASSERT_TRUE(exact.completed);
+
+  ClusterOptions fast_options = exact_options;
+  fast_options.rm_params.boundary_batch = true;
+  const ClusterResult fast = RunCluster(jobs, fast_options);
+  ASSERT_TRUE(fast.completed);
+
+  ASSERT_EQ(exact.outcomes.size(), fast.outcomes.size());
+  for (std::size_t i = 0; i < exact.outcomes.size(); ++i) {
+    EXPECT_EQ(exact.outcomes[i].id, fast.outcomes[i].id) << "outcome " << i;
+    EXPECT_EQ(exact.outcomes[i].start, fast.outcomes[i].start) << "outcome " << i;
+    EXPECT_EQ(exact.outcomes[i].finish, fast.outcomes[i].finish) << "outcome " << i;
+  }
+  EXPECT_EQ(exact.outcome_nodes, fast.outcome_nodes);
+  EXPECT_EQ(exact.end_time, fast.end_time);
+  EXPECT_EQ(exact.total_reallocations, fast.total_reallocations);
+  EXPECT_EQ(exact.alloc_integral_us, fast.alloc_integral_us);
+  // The whole point: far fewer ticks fired.
+  EXPECT_LT(CounterValue(fast.counters, "rm.ticks"),
+            CounterValue(exact.counters, "rm.ticks") / 2);
+}
+
+// Capture sinks disengage the fast path: a boundary-batched run with
+// event/time-series capture is byte-identical to the exact one, ticks
+// included.
+TEST(ClusterBoundaryBatchTest, CaptureSinksDisengageFastPath) {
+  const std::vector<JobSpec> jobs = MakeJobs(12, 6, 500 * kMillisecond);
+  ClusterOptions exact_options = BaseOptions(3, 8);
+  const ClusterResult exact = RunCluster(jobs, exact_options);
+  ClusterOptions fast_options = exact_options;
+  fast_options.rm_params.boundary_batch = true;
+  const ClusterResult fast = RunCluster(jobs, fast_options);
+  ExpectIdenticalResults(exact, fast);
+}
+
+// A report-reactive policy (PDPA) must ignore boundary_batch entirely: its
+// OnReport decisions need every boundary tick.
+TEST(ClusterBoundaryBatchTest, ReactivePolicyIgnoresBoundaryBatch) {
+  const std::vector<JobSpec> jobs = MakeJobs(8, 8, 600 * kMillisecond);
+  ClusterOptions exact_options = BaseOptions(2, 8);
+  exact_options.capture_events = false;
+  exact_options.capture_timeseries = false;
+  exact_options.make_policy = [] {
+    return std::make_unique<PdpaPolicy>(PdpaParams{}, PdpaMlParams{});
+  };
+  const ClusterResult exact = RunCluster(jobs, exact_options);
+  ClusterOptions fast_options = exact_options;
+  fast_options.rm_params.boundary_batch = true;
+  const ClusterResult fast = RunCluster(jobs, fast_options);
+  ExpectSameBytes(exact.counters.ToString(), fast.counters.ToString(), "counters");
 }
 
 TEST(ClusterTest, PlacementPolicyNamesRoundTrip) {

@@ -16,14 +16,17 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/obs/event_log.h"
 #include "src/obs/prof.h"
 #include "src/obs/slowdown.h"
 #include "src/obs/trace_export.h"
+#include "src/rm/equipartition.h"
 #include "src/workload/experiment.h"
 #include "src/workload/sweep.h"
 
@@ -337,6 +340,56 @@ TEST(ProfilerDeterminismTest, PerCellHitCountsAreIdenticalSerialVsParallel) {
   const Profiler merged_parallel = MergeProfiles(p);
   EXPECT_GT(merged_serial.TotalHits(), 0);
   EXPECT_EQ(merged_serial.TotalHits(), merged_parallel.TotalHits());
+}
+
+// Cluster controller spans. All hit counts are functions of the simulated
+// schedule: repeated serial runs agree on every span, and drain/place stay
+// invariant under sharding (one hit per drained timestamp / per placement).
+// barrier_wait counts controller wake cycles, which depend on thread timing
+// once workers exist — it is deliberately pinned serial-only.
+TEST(ProfilerDeterminismTest, ClusterSpanHitsAreDeterministic) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 12; ++i) {
+    JobSpec spec;
+    spec.id = i;
+    spec.app_class = static_cast<AppClass>(i % kNumAppClasses);
+    spec.submit = i * 500 * kMillisecond;
+    spec.request = 6;
+    jobs.push_back(spec);
+  }
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.cpus_per_node = 8;
+  options.make_policy = [] { return std::make_unique<Equipartition>(4); };
+  options.rm_params.analyzer.noise_sigma = 0.0;
+
+  const auto hits = [&](int shards) {
+    Profiler profiler;
+    options.shards = shards;
+    options.profiler = &profiler;
+    const ClusterResult result = RunCluster(jobs, options);
+    EXPECT_TRUE(result.completed);
+    return profiler;
+  };
+  const Profiler serial_a = hits(1);
+  const Profiler serial_b = hits(1);
+  for (int span = 0; span < kNumSpanIds; ++span) {
+    const SpanId id = static_cast<SpanId>(span);
+    EXPECT_EQ(serial_a.stats(id).hits, serial_b.stats(id).hits) << SpanName(id);
+  }
+  EXPECT_GT(serial_a.stats(SpanId::kClusterBarrierWait).hits, 0);
+  EXPECT_GT(serial_a.stats(SpanId::kClusterDrain).hits, 0);
+  EXPECT_GT(serial_a.stats(SpanId::kClusterPlace).hits, 0);
+  // The serial inline loop also records the node-level spans.
+  EXPECT_GT(serial_a.stats(SpanId::kRmTick).hits, 0);
+
+  const Profiler sharded = hits(2);
+  EXPECT_EQ(sharded.stats(SpanId::kClusterDrain).hits,
+            serial_a.stats(SpanId::kClusterDrain).hits);
+  EXPECT_EQ(sharded.stats(SpanId::kClusterPlace).hits,
+            serial_a.stats(SpanId::kClusterPlace).hits);
+  // Worker threads never write to the controller's profiler.
+  EXPECT_EQ(sharded.stats(SpanId::kRmTick).hits, 0);
 }
 
 }  // namespace

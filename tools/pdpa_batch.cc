@@ -52,6 +52,10 @@ cluster (nodes > 1 runs every cell on a cluster of SMPs):
                            policy column reads "<policy>@<placement>"
   --cluster_shards N       worker event loops per cluster cell (default 1;
                            outputs are shard-count invariant)
+  --no_arrival_batch       disable the cluster engine's epoch-batched
+                           arrival handling (one barrier per arrival, the
+                           reference protocol; outputs differ only in the
+                           cluster.*_batch* counters). Requires --nodes > 1
 
 execution:
   --jobs N                 worker threads (default: hardware concurrency)
@@ -170,6 +174,11 @@ int Run(int argc, char** argv) {
   grid.cluster_shards = flags.GetInt("cluster_shards", 1);
   if (grid.nodes < 1 || grid.cpus_per_node < 1 || grid.cluster_shards < 1) {
     std::fprintf(stderr, "--nodes, --cpus_per_node and --cluster_shards must be >= 1\n");
+    return 2;
+  }
+  grid.arrival_batch = !flags.GetBool("no_arrival_batch", false);
+  if (!grid.arrival_batch && grid.nodes <= 1) {
+    std::fprintf(stderr, "--no_arrival_batch is cluster-only (requires --nodes > 1)\n");
     return 2;
   }
   grid.placements.clear();

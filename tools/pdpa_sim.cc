@@ -56,6 +56,10 @@ scheduler flags:
                            least-loaded (default rr)
   --shards N               worker event loops for the cluster engine
                            (default 1; outputs are shard-count invariant)
+  --no_arrival_batch       disable the cluster engine's epoch-batched
+                           arrival handling (one barrier per arrival, the
+                           reference protocol; outputs differ only in the
+                           cluster.*_batch* counters). Requires --nodes > 1
   --target-eff F           PDPA target efficiency (default 0.7)
   --high-eff F             PDPA high efficiency (default 0.9)
   --step N                 PDPA allocation step (default 4)
@@ -159,6 +163,11 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--nodes, --cpus_per_node and --shards must be >= 1\n");
     return 2;
   }
+  const bool no_arrival_batch = flags.GetBool("no_arrival_batch", false);
+  if (no_arrival_batch && nodes <= 1) {
+    std::fprintf(stderr, "--no_arrival_batch is cluster-only (requires --nodes > 1)\n");
+    return 2;
+  }
   if (nodes > 1) {
     // Workload generation (and SWF archiving) must see the whole cluster's
     // capacity so arrival rates scale with it.
@@ -229,21 +238,26 @@ int Run(int argc, char** argv) {
 
   if (nodes > 1) {
     // Cluster mode: per-node simulations via the sharded engine
-    // (src/cluster). Trace/profile/queue-order features are wired through a
-    // single machine's RM and stay single-node only.
-    if (config.record_trace || !pcf_out.empty() || want_ml_timeline || want_prof ||
-        !prof_out.empty() || !trace_out.empty() ||
+    // (src/cluster). Trace/queue-order features are wired through a single
+    // machine's RM and stay single-node only; --prof profiles the
+    // controller thread (plus the node spans when --shards 1).
+    if (config.record_trace || !pcf_out.empty() || want_ml_timeline || !trace_out.empty() ||
         config.queue_order != QueueOrder::kFcfs) {
       std::fprintf(stderr,
-                   "--view/--prv-out/--pcf-out/--ml-timeline/--prof/--prof_out/--trace_out/"
+                   "--view/--prv-out/--pcf-out/--ml-timeline/--trace_out/"
                    "--queue-order sjf are single-node only (incompatible with --nodes)\n");
       return 2;
+    }
+    Profiler profiler;
+    if (want_prof || !prof_out.empty()) {
+      config.profiler = &profiler;
     }
     ClusterCellConfig cluster;
     cluster.nodes = nodes;
     cluster.cpus_per_node = cpus_per_node;
     cluster.placement = placement;
     cluster.shards = shards;
+    cluster.arrival_batch = !no_arrival_batch;
     cluster.capture_counters = want_counters;
     cluster.capture_events = !events_out.empty();
     cluster.capture_timeseries = !timeseries_out.empty();
@@ -279,6 +293,24 @@ int Run(int argc, char** argv) {
       }
       out_stream << out.timeseries_csv;
       std::printf("time-series: merged cluster CSV written to %s\n", timeseries_out.c_str());
+    }
+    if (want_prof) {
+      std::string table;
+      AppendProfTable(profiler, &table);
+      std::printf("\nhost-time profile (hits are deterministic; times are not):\n%s",
+                  table.c_str());
+    }
+    if (!prof_out.empty()) {
+      std::ofstream prof_stream(prof_out);
+      if (!prof_stream) {
+        std::fprintf(stderr, "cannot open %s\n", prof_out.c_str());
+        return 2;
+      }
+      std::string jsonl;
+      AppendProfJsonl(profiler, "pdpa_sim", &jsonl);
+      prof_stream << jsonl;
+      std::printf("profile: %lld span hits written to %s\n", profiler.TotalHits(),
+                  prof_out.c_str());
     }
     if (want_counters) {
       std::printf("\ncounters:\n%s", out.counters.ToString().c_str());
